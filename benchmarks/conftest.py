@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper asset (Tables 2-4, Figures 7, 12-15) has a matching benchmark
+module that regenerates its rows through the same experiment drivers the CLI
+uses, at a laptop-sized budget.  ``benchmark.pedantic(..., rounds=1)`` is
+used throughout because a single regeneration is already the interesting
+unit of work; the value of the harness is the printed rows plus the timing,
+not statistical timing precision.
+
+Paper-scale numbers are obtained by re-running the drivers through
+``python -m repro.experiments <asset> --shots ... --iterations ...``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentBudget
+
+
+@pytest.fixture(scope="session")
+def bench_budget() -> ExperimentBudget:
+    """Budget used by all asset benchmarks (small but non-trivial)."""
+    return ExperimentBudget(
+        shots=200,
+        synthesis_shots=80,
+        iterations_per_step=2,
+        max_evaluations=8,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def quick_budget() -> ExperimentBudget:
+    """Smaller budget for the benchmarks that synthesise several codes."""
+    return ExperimentBudget(
+        shots=120,
+        synthesis_shots=60,
+        iterations_per_step=1,
+        max_evaluations=4,
+        seed=0,
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

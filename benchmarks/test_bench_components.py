@@ -1,0 +1,116 @@
+"""Micro-benchmarks of the substrate components and design-choice ablations.
+
+These benchmarks time the individual stages of the pipeline (DEM extraction,
+sampling, each decoder) and exercise the design choices called out in
+DESIGN.md for ablation: MCTS subtree reuse on/off, evaluation objective, and
+rollout shot budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import build_memory_experiment
+from repro.codes import get_code
+from repro.core import MCTSConfig, PartitionMCTS, ScheduleEvaluator
+from repro.decoders import decoder_factory
+from repro.noise import brisbane_noise
+from repro.scheduling import checks_of_code, google_surface_schedule, lowest_depth_schedule
+from repro.sim import build_detector_error_model, sample_detector_error_model
+
+
+@pytest.fixture(scope="module")
+def surface_dem():
+    code = get_code("rotated_surface_d3")
+    experiment = build_memory_experiment(
+        code, google_surface_schedule(code), brisbane_noise(), basis="Z"
+    )
+    return build_detector_error_model(experiment.circuit)
+
+
+class TestComponentThroughput:
+    def test_dem_extraction_surface_d3(self, benchmark):
+        code = get_code("rotated_surface_d3")
+        experiment = build_memory_experiment(
+            code, google_surface_schedule(code), brisbane_noise(), basis="Z"
+        )
+        dem = benchmark(build_detector_error_model, experiment.circuit)
+        assert dem.num_mechanisms > 0
+
+    def test_dem_extraction_color_d5(self, benchmark):
+        code = get_code("hexagonal_color_d5")
+        experiment = build_memory_experiment(
+            code, lowest_depth_schedule(code), brisbane_noise(), basis="Z"
+        )
+        dem = benchmark.pedantic(
+            build_detector_error_model, args=(experiment.circuit,), rounds=1, iterations=1
+        )
+        assert dem.num_detectors == 2 * code.num_stabilizers
+
+    def test_sampler_throughput(self, benchmark, surface_dem):
+        batch = benchmark(sample_detector_error_model, surface_dem, 2000, seed=0)
+        assert batch.num_shots == 2000
+
+    @pytest.mark.parametrize("decoder_name", ["mwpm", "unionfind", "bposd", "lookup"])
+    def test_decoder_throughput(self, benchmark, surface_dem, decoder_name):
+        decoder = decoder_factory(decoder_name)(surface_dem)
+        batch = sample_detector_error_model(surface_dem, 200, seed=1)
+        predictions = benchmark.pedantic(
+            decoder.decode_batch, args=(batch.detectors,), rounds=1, iterations=1
+        )
+        assert predictions.shape == batch.observables.shape
+
+
+class TestAblations:
+    def _search(self, *, reuse: bool, objective: str = "inverse", shots: int = 80) -> tuple:
+        code = get_code("steane")
+        evaluator = ScheduleEvaluator(
+            code=code,
+            noise=brisbane_noise(),
+            decoder_factory=decoder_factory("lookup"),
+            shots=shots,
+            seed=0,
+            objective=objective,
+        )
+        checks = tuple(c for c in checks_of_code(code) if c.pauli == "X")
+        search = PartitionMCTS(
+            evaluator=evaluator,
+            checks=checks,
+            compose=lambda schedule: _complete(code, schedule),
+            config=MCTSConfig(iterations_per_step=3, seed=0, reuse_subtree=reuse),
+        )
+        schedule, _ = search.search()
+        return schedule, search.evaluations_used
+
+    def test_ablation_subtree_reuse(self, benchmark):
+        _, evaluations_with_reuse = benchmark.pedantic(
+            self._search, kwargs={"reuse": True}, rounds=1, iterations=1
+        )
+        _, evaluations_without = self._search(reuse=False)
+        assert evaluations_with_reuse <= evaluations_without
+
+    def test_ablation_objective(self, benchmark):
+        schedule, _ = benchmark.pedantic(
+            self._search, kwargs={"reuse": True, "objective": "neg_log"}, rounds=1, iterations=1
+        )
+        schedule.validate(require_complete=False)
+
+    def test_ablation_rollout_shots(self, benchmark):
+        schedule, _ = benchmark.pedantic(
+            self._search, kwargs={"reuse": True, "shots": 30}, rounds=1, iterations=1
+        )
+        schedule.validate(require_complete=False)
+
+
+def _complete(code, partial):
+    """Complete a partial (X-partition) schedule with the Z checks appended
+    in lowest-depth order so the evaluator always sees a full round."""
+    from repro.scheduling import lowest_depth_schedule
+
+    full = partial.copy()
+    offset = full.depth
+    baseline = lowest_depth_schedule(code)
+    for check, tick in baseline.assignment.items():
+        if check not in full.assignment and check.pauli == "Z":
+            full.assignment[check] = tick + offset
+    return full

@@ -1,0 +1,74 @@
+"""Surface-code scheduling under a non-uniform error model (Figure 15).
+
+Google's zig-zag schedule is designed for a uniform error model; when the
+ancilla qubits have unequal error rates the best ordering changes.  This
+example draws a per-ancilla noise profile, synthesises a schedule tailored
+to it with AlphaSyndrome, and compares against Google's schedule and the
+lowest-depth baseline under the same profile.
+
+Run with::
+
+    python examples/nonuniform_noise_surface_code.py [--distance 3] [--variance 0.6]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.codes import rotated_surface_code
+from repro.core import AlphaSyndrome, MCTSConfig
+from repro.decoders import decoder_factory
+from repro.noise import non_uniform_noise
+from repro.scheduling import google_surface_schedule, lowest_depth_schedule
+from repro.sim import estimate_logical_error_rates
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--distance", type=int, default=3)
+    parser.add_argument("--variance", type=float, default=0.6)
+    parser.add_argument("--shots", type=int, default=2000)
+    parser.add_argument("--synthesis-shots", type=int, default=250)
+    parser.add_argument("--iterations", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    code = rotated_surface_code(args.distance)
+    ancillas = [code.num_qubits + s for s in range(code.num_stabilizers)]
+    noise = non_uniform_noise(ancillas, variance=args.variance, seed=args.seed + 11)
+    factory = decoder_factory("mwpm")
+
+    print(f"code: {code!r}")
+    print("per-ancilla two-qubit error rates:")
+    for ancilla in ancillas:
+        print(f"  ancilla {ancilla}: {noise.two_qubit_rate(ancilla, 0):.5f}")
+
+    print("\nsynthesising noise-aware schedule ...")
+    alpha = AlphaSyndrome(
+        code=code,
+        noise=noise,
+        decoder_factory=factory,
+        shots=args.synthesis_shots,
+        mcts_config=MCTSConfig(iterations_per_step=args.iterations, seed=args.seed),
+        seed=args.seed,
+    )
+    result = alpha.synthesize()
+
+    schedules = {
+        "alphasyndrome": result.schedule,
+        "google": google_surface_schedule(code),
+        "lowest_depth": lowest_depth_schedule(code),
+    }
+    print(f"\n{'schedule':<14} {'depth':>5} {'err_X':>10} {'err_Z':>10} {'overall':>10}")
+    for label, schedule in schedules.items():
+        rates = estimate_logical_error_rates(
+            code, schedule, noise, factory, shots=args.shots, seed=args.seed
+        )
+        print(
+            f"{label:<14} {schedule.depth:>5} {rates.error_x:>10.3e} "
+            f"{rates.error_z:>10.3e} {rates.overall:>10.3e}"
+        )
+
+
+if __name__ == "__main__":
+    main()

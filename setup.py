@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can also be installed in fully offline environments
+where pip falls back to the legacy (non-PEP-517) code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""AlphaSyndrome reproduction: syndrome-measurement circuit scheduling for QEC codes.
+
+The package layers:
+
+``repro.pauli``      Pauli algebra and GF(2) linear algebra.
+``repro.codes``      Stabilizer / CSS code library (surface, colour, BB, HGP, ...).
+``repro.circuits``   Tick-based Clifford circuit IR and experiment builders.
+``repro.noise``      Circuit-level noise models (IBM-Brisbane-derived).
+``repro.sim``        Fault propagation, detector error models, sampling, tableau sim.
+``repro.decoders``   MWPM, union-find, BP-OSD, lookup decoders.
+``repro.scheduling`` Schedule representation, partitioning, baselines, hand-crafted orders.
+``repro.core``       The AlphaSyndrome MCTS synthesiser and evaluation function.
+``repro.analysis``   Space-time volume model and statistics helpers.
+``repro.experiments``Drivers regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro.codes import get_code
+    from repro.noise import brisbane_noise
+    from repro.decoders import decoder_factory
+    from repro.core import synthesize_schedule
+
+    code = get_code("rotated_surface_d3")
+    result = synthesize_schedule(code, brisbane_noise(), decoder_factory("mwpm"))
+    print(result.rates, result.schedule.depth)
+"""
+
+from repro.codes import get_code
+from repro.core import AlphaSyndrome, MCTSConfig, SynthesisResult, synthesize_schedule
+from repro.decoders import decoder_factory
+from repro.noise import NoiseModel, brisbane_noise, non_uniform_noise, scaled_noise
+from repro.scheduling import (
+    Schedule,
+    google_surface_schedule,
+    lowest_depth_schedule,
+    trivial_schedule,
+)
+from repro.sim import estimate_logical_error_rates
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_code",
+    "AlphaSyndrome",
+    "MCTSConfig",
+    "SynthesisResult",
+    "synthesize_schedule",
+    "decoder_factory",
+    "NoiseModel",
+    "brisbane_noise",
+    "scaled_noise",
+    "non_uniform_noise",
+    "Schedule",
+    "trivial_schedule",
+    "lowest_depth_schedule",
+    "google_surface_schedule",
+    "estimate_logical_error_rates",
+    "__version__",
+]

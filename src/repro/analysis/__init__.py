@@ -1,0 +1,17 @@
+"""Result analysis: space-time volume model and statistics helpers."""
+
+from repro.analysis.spacetime import (
+    SpaceTimeEstimate,
+    estimate_space_time,
+    space_time_reduction,
+)
+from repro.analysis.stats import geometric_mean, relative_reduction, wilson_interval
+
+__all__ = [
+    "SpaceTimeEstimate",
+    "estimate_space_time",
+    "space_time_reduction",
+    "wilson_interval",
+    "relative_reduction",
+    "geometric_mean",
+]

@@ -1,0 +1,69 @@
+"""Space-time resource estimation (Section 5.3.2 / Table 3).
+
+The execution time of one syndrome-measurement round on the IBM Brisbane
+timing model is ``T_round = depth * T_2Q + T_meas`` with ``T_2Q = 600 ns``
+and ``T_meas = 4000 ns``; the space-time volume is ``T_round`` multiplied by
+the total number of physical qubits (data plus one ancilla per stabilizer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import StabilizerCode
+from repro.noise.models import BRISBANE_MEASUREMENT_TIME_NS, BRISBANE_TWO_QUBIT_TIME_NS
+
+__all__ = ["SpaceTimeEstimate", "estimate_space_time", "space_time_reduction"]
+
+
+@dataclass
+class SpaceTimeEstimate:
+    """Round time and space-time volume of a schedule on a code."""
+
+    code_name: str
+    physical_qubits: int
+    depth: int
+    round_time_us: float
+    volume_us_qubits: float
+    logical_error_rate: float | None = None
+
+    def as_row(self) -> dict:
+        """Row dictionary used by the Table 3 driver."""
+        return {
+            "code": self.code_name,
+            "qubits": self.physical_qubits,
+            "depth": self.depth,
+            "time_us": round(self.round_time_us, 2),
+            "volume": round(self.volume_us_qubits, 1),
+            "logical_error_rate": self.logical_error_rate,
+        }
+
+
+def estimate_space_time(
+    code: StabilizerCode,
+    depth: int,
+    *,
+    logical_error_rate: float | None = None,
+    two_qubit_time_ns: float = BRISBANE_TWO_QUBIT_TIME_NS,
+    measurement_time_ns: float = BRISBANE_MEASUREMENT_TIME_NS,
+) -> SpaceTimeEstimate:
+    """Estimate round time (microseconds) and space-time volume of a schedule."""
+    physical_qubits = code.num_qubits + code.num_stabilizers
+    round_time_us = (depth * two_qubit_time_ns + measurement_time_ns) / 1000.0
+    return SpaceTimeEstimate(
+        code_name=code.name,
+        physical_qubits=physical_qubits,
+        depth=depth,
+        round_time_us=round_time_us,
+        volume_us_qubits=round_time_us * physical_qubits,
+        logical_error_rate=logical_error_rate,
+    )
+
+
+def space_time_reduction(
+    optimised: SpaceTimeEstimate, baseline: SpaceTimeEstimate
+) -> float:
+    """Fractional space-time volume reduction of ``optimised`` vs ``baseline``."""
+    if baseline.volume_us_qubits <= 0:
+        return 0.0
+    return 1.0 - optimised.volume_us_qubits / baseline.volume_us_qubits

@@ -1,0 +1,37 @@
+"""Statistics helpers for logical-error-rate estimates."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["wilson_interval", "relative_reduction", "geometric_mean"]
+
+
+def wilson_interval(successes: int, trials: int, *, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    proportion = successes / trials
+    denominator = 1 + z * z / trials
+    centre = (proportion + z * z / (2 * trials)) / denominator
+    spread = (
+        z
+        * math.sqrt(proportion * (1 - proportion) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return max(0.0, centre - spread), min(1.0, centre + spread)
+
+
+def relative_reduction(optimised: float, baseline: float) -> float:
+    """Fractional reduction ``1 - optimised / baseline`` (0 when baseline is 0)."""
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - optimised / baseline
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean of positive values (zeros are clipped to 1e-12)."""
+    if not values:
+        raise ValueError("geometric_mean needs at least one value")
+    total = sum(math.log(max(value, 1e-12)) for value in values)
+    return math.exp(total / len(values))

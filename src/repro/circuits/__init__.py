@@ -1,0 +1,21 @@
+"""Circuit IR and circuit builders for syndrome-measurement experiments."""
+
+from repro.circuits.builder import (
+    SyndromeRoundRecord,
+    ancilla_qubits,
+    append_logical_measurement,
+    append_syndrome_round,
+)
+from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.memory import MemoryExperiment, build_memory_experiment
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "SyndromeRoundRecord",
+    "ancilla_qubits",
+    "append_logical_measurement",
+    "append_syndrome_round",
+    "MemoryExperiment",
+    "build_memory_experiment",
+]

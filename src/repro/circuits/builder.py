@@ -1,0 +1,151 @@
+"""Builders that turn a :class:`~repro.scheduling.schedule.Schedule` into circuits.
+
+Two building blocks are provided:
+
+* :func:`append_logical_measurement` — ancilla-mediated measurement of an
+  arbitrary Pauli operator (used for the logical-operator readouts at the
+  start and end of the paper's Figure 10 sampling circuit);
+* :func:`append_syndrome_round` — one full syndrome-measurement round that
+  executes every Pauli check at the tick chosen by the schedule, optionally
+  injecting the circuit-level noise model (two-qubit depolarizing after each
+  check, single-qubit depolarizing on every idling qubit per tick,
+  measurement/reset flips when configured).
+
+Ancilla-as-control convention: every Pauli check is implemented as a
+controlled-Pauli with the ancilla (prepared in ``|+>`` and read out in the X
+basis) as control and the data qubit as target.  For Z checks this is the
+textbook phase-kickback circuit; it is local-Clifford equivalent to the
+CNOT-based circuits of the paper's Figure 4, and has the same hook-error
+behaviour: an X (or Y) error on the ancilla propagates the stabilizer's
+Pauli letter onto every data qubit whose check has not yet executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.codes.base import StabilizerCode
+from repro.noise.models import NoiseModel
+from repro.pauli import PauliString
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "SyndromeRoundRecord",
+    "append_logical_measurement",
+    "append_syndrome_round",
+    "ancilla_qubits",
+]
+
+
+@dataclass
+class SyndromeRoundRecord:
+    """Measurement-record bookkeeping for one syndrome round.
+
+    ``measurements[s]`` is the measurement-record index of stabilizer ``s``'s
+    ancilla readout in this round.
+    """
+
+    measurements: dict[int, int]
+
+
+def ancilla_qubits(code: StabilizerCode) -> list[int]:
+    """Ancilla qubit indices used for syndrome measurement (one per stabilizer)."""
+    return [code.num_qubits + s for s in range(code.num_stabilizers)]
+
+
+def append_logical_measurement(
+    circuit: Circuit,
+    code: StabilizerCode,
+    operator: PauliString,
+    ancilla: int,
+) -> int:
+    """Measure ``operator`` via ``ancilla``; returns the measurement index.
+
+    The measurement is noiseless (the paper's logical readouts are ideal and
+    only the syndrome round under study carries noise).
+    """
+    circuit.reset(ancilla, basis="X")
+    for qubit in operator.support:
+        circuit.cpauli(ancilla, qubit, operator.pauli_at(qubit))
+    return circuit.measure(ancilla, basis="X")[0]
+
+
+def append_syndrome_round(
+    circuit: Circuit,
+    code: StabilizerCode,
+    schedule: Schedule,
+    *,
+    noise: NoiseModel | None = None,
+    idle_data_qubits: bool = True,
+) -> SyndromeRoundRecord:
+    """Append one syndrome-measurement round laid out according to ``schedule``.
+
+    Parameters
+    ----------
+    noise:
+        When provided, two-qubit depolarizing noise follows every Pauli
+        check, idling depolarizing noise is applied per tick, and
+        measurement / reset flips are injected as configured.  ``None``
+        produces a noiseless round.
+    idle_data_qubits:
+        Apply idle noise to data qubits that are not touched during a tick
+        (the paper's model); ancillas idle between their first and last
+        scheduled tick.
+    """
+    ticks = schedule.ticks()
+    active_stabilizers = sorted({check.stabilizer for check in schedule.assignment})
+    ancilla_of = {s: schedule.ancilla_of(s) for s in active_stabilizers}
+    first_tick = {
+        s: min(t for check, t in schedule.assignment.items() if check.stabilizer == s)
+        for s in active_stabilizers
+    }
+    last_tick = {
+        s: max(t for check, t in schedule.assignment.items() if check.stabilizer == s)
+        for s in active_stabilizers
+    }
+
+    # Ancilla preparation.
+    for stabilizer in active_stabilizers:
+        circuit.reset(ancilla_of[stabilizer], basis="X")
+    if noise is not None and noise.reset_error > 0:
+        circuit.z_error(noise.reset_error, *[ancilla_of[s] for s in active_stabilizers])
+
+    depth = schedule.depth
+    for tick in range(1, depth + 1):
+        busy: set[int] = set()
+        for check in ticks.get(tick, []):
+            ancilla = ancilla_of[check.stabilizer]
+            circuit.cpauli(ancilla, check.data_qubit, check.pauli)
+            busy.add(ancilla)
+            busy.add(check.data_qubit)
+            if noise is not None:
+                circuit.depolarize2(
+                    noise.two_qubit_rate(ancilla, check.data_qubit),
+                    ancilla,
+                    check.data_qubit,
+                )
+        if noise is not None:
+            idle: list[int] = []
+            if idle_data_qubits:
+                idle.extend(
+                    q for q in range(code.num_qubits) if q not in busy
+                )
+            for stabilizer in active_stabilizers:
+                ancilla = ancilla_of[stabilizer]
+                if ancilla in busy:
+                    continue
+                if first_tick[stabilizer] <= tick <= last_tick[stabilizer]:
+                    idle.append(ancilla)
+            for qubit in idle:
+                circuit.depolarize1(noise.idle_rate(qubit), qubit)
+        circuit.tick()
+
+    # Ancilla readout.
+    measurements: dict[int, int] = {}
+    for stabilizer in active_stabilizers:
+        ancilla = ancilla_of[stabilizer]
+        if noise is not None and noise.measurement_error > 0:
+            circuit.z_error(noise.measurement_error, ancilla)
+        measurements[stabilizer] = circuit.measure(ancilla, basis="X")[0]
+    return SyndromeRoundRecord(measurements)

@@ -1,0 +1,255 @@
+"""Tick-based Clifford circuit intermediate representation.
+
+The instruction set is a small, stim-flavoured subset sufficient for
+syndrome-measurement experiments:
+
+``R`` / ``RX``
+    reset qubits to ``|0>`` / ``|+>``.
+``M`` / ``MX``
+    measure qubits in the Z / X basis (each measured qubit appends one
+    measurement record entry).
+``H``, ``S``, ``X``, ``Y``, ``Z``
+    single-qubit Cliffords / Paulis.
+``CPAULI``
+    controlled-Pauli with the first qubit as control and the second as
+    target; the ``pauli`` argument selects X (CNOT), Z (CZ) or Y.
+``SWAP``
+    qubit exchange.
+``X_ERROR`` / ``Z_ERROR`` / ``Y_ERROR``
+    single-qubit Pauli noise channels with probability ``p``.
+``DEPOLARIZE1`` / ``DEPOLARIZE2``
+    single- / two-qubit depolarizing channels.
+``TICK``
+    timing barrier (purely annotational).
+``DETECTOR``
+    parity of a set of measurement-record indices that is deterministic in
+    the absence of noise.
+``OBSERVABLE``
+    parity of measurement-record indices defining a logical observable.
+
+Measurement-record indices are absolute (0-based, in order of appearance),
+which keeps the builders simple; :class:`CircuitBuilder`-style helpers in
+``repro.circuits.builder`` track them for callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Instruction", "Circuit", "GATE_NAMES", "NOISE_NAMES"]
+
+GATE_NAMES = frozenset(
+    {"R", "RX", "M", "MX", "H", "S", "X", "Y", "Z", "CPAULI", "SWAP"}
+)
+NOISE_NAMES = frozenset(
+    {"X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1", "DEPOLARIZE2"}
+)
+_ANNOTATIONS = frozenset({"TICK", "DETECTOR", "OBSERVABLE"})
+
+
+@dataclass
+class Instruction:
+    """One circuit instruction.
+
+    Attributes
+    ----------
+    name:
+        Instruction mnemonic (see module docstring).
+    qubits:
+        Qubit indices the instruction acts on (empty for annotations).
+    probability:
+        Error probability for noise channels, ``None`` otherwise.
+    pauli:
+        Pauli letter for ``CPAULI`` instructions.
+    targets:
+        Measurement-record indices for ``DETECTOR`` / ``OBSERVABLE``.
+    index:
+        Observable index for ``OBSERVABLE`` instructions.
+    """
+
+    name: str
+    qubits: tuple[int, ...] = ()
+    probability: float | None = None
+    pauli: str | None = None
+    targets: tuple[int, ...] = ()
+    index: int | None = None
+
+    def is_noise(self) -> bool:
+        return self.name in NOISE_NAMES
+
+    def is_gate(self) -> bool:
+        return self.name in GATE_NAMES
+
+    def __str__(self) -> str:
+        parts = [self.name]
+        if self.pauli:
+            parts.append(f"[{self.pauli}]")
+        if self.probability is not None:
+            parts.append(f"({self.probability:g})")
+        if self.qubits:
+            parts.append(" ".join(str(q) for q in self.qubits))
+        if self.targets:
+            parts.append("rec[" + ",".join(str(t) for t in self.targets) + "]")
+        if self.index is not None:
+            parts.append(f"obs={self.index}")
+        return " ".join(parts)
+
+
+@dataclass
+class Circuit:
+    """An ordered list of instructions plus derived bookkeeping."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> None:
+        self._check(instruction)
+        self.instructions.append(instruction)
+
+    def _check(self, instruction: Instruction) -> None:
+        name = instruction.name
+        if name not in GATE_NAMES | NOISE_NAMES | _ANNOTATIONS:
+            raise ValueError(f"unknown instruction {name!r}")
+        if name in NOISE_NAMES:
+            if instruction.probability is None or not 0 <= instruction.probability <= 1:
+                raise ValueError(f"{name} needs a probability in [0, 1]")
+        if name == "CPAULI":
+            if instruction.pauli not in ("X", "Y", "Z"):
+                raise ValueError("CPAULI needs pauli in {'X', 'Y', 'Z'}")
+            if len(instruction.qubits) != 2:
+                raise ValueError("CPAULI acts on exactly two qubits")
+        if name in ("SWAP", "DEPOLARIZE2") and len(instruction.qubits) % 2:
+            raise ValueError(f"{name} needs an even number of qubits")
+
+    # Convenience emitters -------------------------------------------------
+    def reset(self, *qubits: int, basis: str = "Z") -> None:
+        self.append(Instruction("RX" if basis == "X" else "R", tuple(qubits)))
+
+    def measure(self, *qubits: int, basis: str = "Z") -> list[int]:
+        """Measure qubits, returning the new measurement-record indices."""
+        start = self.num_measurements
+        self.append(Instruction("MX" if basis == "X" else "M", tuple(qubits)))
+        return list(range(start, start + len(qubits)))
+
+    def h(self, *qubits: int) -> None:
+        self.append(Instruction("H", tuple(qubits)))
+
+    def s(self, *qubits: int) -> None:
+        self.append(Instruction("S", tuple(qubits)))
+
+    def cpauli(self, control: int, target: int, pauli: str) -> None:
+        self.append(Instruction("CPAULI", (control, target), pauli=pauli))
+
+    def cx(self, control: int, target: int) -> None:
+        self.cpauli(control, target, "X")
+
+    def cz(self, control: int, target: int) -> None:
+        self.cpauli(control, target, "Z")
+
+    def swap(self, first: int, second: int) -> None:
+        self.append(Instruction("SWAP", (first, second)))
+
+    def tick(self) -> None:
+        self.append(Instruction("TICK"))
+
+    def depolarize1(self, probability: float, *qubits: int) -> None:
+        if probability > 0 and qubits:
+            self.append(
+                Instruction("DEPOLARIZE1", tuple(qubits), probability=probability)
+            )
+
+    def depolarize2(self, probability: float, first: int, second: int) -> None:
+        if probability > 0:
+            self.append(
+                Instruction("DEPOLARIZE2", (first, second), probability=probability)
+            )
+
+    def x_error(self, probability: float, *qubits: int) -> None:
+        if probability > 0 and qubits:
+            self.append(Instruction("X_ERROR", tuple(qubits), probability=probability))
+
+    def z_error(self, probability: float, *qubits: int) -> None:
+        if probability > 0 and qubits:
+            self.append(Instruction("Z_ERROR", tuple(qubits), probability=probability))
+
+    def detector(self, measurement_indices: list[int]) -> int:
+        """Append a detector; returns its index."""
+        index = self.num_detectors
+        self.append(Instruction("DETECTOR", targets=tuple(measurement_indices)))
+        return index
+
+    def observable(self, observable_index: int, measurement_indices: list[int]) -> None:
+        self.append(
+            Instruction(
+                "OBSERVABLE", targets=tuple(measurement_indices), index=observable_index
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        highest = -1
+        for instruction in self.instructions:
+            if instruction.qubits:
+                highest = max(highest, max(instruction.qubits))
+        return highest + 1
+
+    @property
+    def num_measurements(self) -> int:
+        return sum(
+            len(inst.qubits)
+            for inst in self.instructions
+            if inst.name in ("M", "MX")
+        )
+
+    @property
+    def num_detectors(self) -> int:
+        return sum(1 for inst in self.instructions if inst.name == "DETECTOR")
+
+    @property
+    def num_observables(self) -> int:
+        indices = {
+            inst.index for inst in self.instructions if inst.name == "OBSERVABLE"
+        }
+        return (max(indices) + 1) if indices else 0
+
+    @property
+    def num_ticks(self) -> int:
+        return sum(1 for inst in self.instructions if inst.name == "TICK")
+
+    def detectors(self) -> list[tuple[int, ...]]:
+        """Return the measurement-index tuples of all detectors, in order."""
+        return [
+            inst.targets for inst in self.instructions if inst.name == "DETECTOR"
+        ]
+
+    def observables(self) -> dict[int, tuple[int, ...]]:
+        """Return ``{observable index: measurement indices}`` (XOR-merged)."""
+        merged: dict[int, set[int]] = {}
+        for inst in self.instructions:
+            if inst.name != "OBSERVABLE":
+                continue
+            bucket = merged.setdefault(inst.index, set())
+            bucket.symmetric_difference_update(inst.targets)
+        return {key: tuple(sorted(value)) for key, value in merged.items()}
+
+    def without_noise(self) -> "Circuit":
+        """Return a copy of the circuit with all noise channels removed."""
+        return Circuit(
+            [inst for inst in self.instructions if not inst.is_noise()]
+        )
+
+    def __iadd__(self, other: "Circuit") -> "Circuit":
+        for instruction in other.instructions:
+            self.append(instruction)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        return "\n".join(str(inst) for inst in self.instructions)

@@ -1,0 +1,65 @@
+"""Small reference codes used in unit tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base import CSSCode, StabilizerCode
+from repro.pauli import PauliString
+
+__all__ = ["five_qubit_code", "repetition_code", "shor_code"]
+
+
+def five_qubit_code() -> StabilizerCode:
+    """The perfect ``[[5, 1, 3]]`` code (non-CSS)."""
+    generators = [
+        PauliString.from_string("XZZXI"),
+        PauliString.from_string("IXZZX"),
+        PauliString.from_string("XIXZZ"),
+        PauliString.from_string("ZXIXZ"),
+    ]
+    code = StabilizerCode(
+        generators,
+        name="five_qubit",
+        distance=3,
+        metadata={"family": "perfect"},
+    )
+    code.set_logicals(
+        [PauliString.from_string("XXXXX")], [PauliString.from_string("ZZZZZ")]
+    )
+    return code
+
+
+def repetition_code(length: int) -> CSSCode:
+    """Bit-flip repetition code ``[[n, 1, n]]`` (Z-type checks only).
+
+    Only protects against X errors; used as the simplest non-trivial test
+    fixture for circuit construction and decoding.
+    """
+    if length < 2:
+        raise ValueError("repetition code needs length >= 2")
+    hz = np.zeros((length - 1, length), dtype=np.uint8)
+    for i in range(length - 1):
+        hz[i, i] = 1
+        hz[i, i + 1] = 1
+    hx = np.zeros((0, length), dtype=np.uint8)
+    code = CSSCode(hx, hz, name=f"repetition_{length}", distance=1,
+                   metadata={"family": "repetition"})
+    logical_z = PauliString.from_sparse(length, {0: "Z"})
+    logical_x = PauliString.from_sparse(length, {i: "X" for i in range(length)})
+    code.set_logicals([logical_x], [logical_z])
+    return code
+
+
+def shor_code() -> CSSCode:
+    """The ``[[9, 1, 3]]`` Shor code."""
+    hz = np.zeros((6, 9), dtype=np.uint8)
+    for block in range(3):
+        for offset in range(2):
+            row = 2 * block + offset
+            hz[row, 3 * block + offset] = 1
+            hz[row, 3 * block + offset + 1] = 1
+    hx = np.zeros((2, 9), dtype=np.uint8)
+    hx[0, 0:6] = 1
+    hx[1, 3:9] = 1
+    return CSSCode(hx, hz, name="shor", distance=3, metadata={"family": "shor"})

@@ -1,0 +1,57 @@
+"""XZZX (tailored) rotated surface codes.
+
+The XZZX surface code is local-Clifford equivalent to the CSS rotated
+surface code: applying a Hadamard to every data qubit on one checkerboard
+sublattice exchanges X and Z on those qubits in every stabilizer.  The
+resulting stabilizers all have the mixed form ``X Z Z X``, which makes the
+code a useful exercise for the general (non-CSS) machinery — in particular
+the stabilizer-partition step (Algorithm 1), which must keep anticommuting
+partial checks in separate scheduling groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base import StabilizerCode
+from repro.codes.surface import rectangular_surface_code
+from repro.pauli import PauliString
+
+__all__ = ["xzzx_surface_code"]
+
+
+def xzzx_surface_code(distance: int) -> StabilizerCode:
+    """XZZX rotated surface code ``[[d^2, 1, d]]``."""
+    css = rectangular_surface_code(distance, distance)
+    coords = css.metadata["qubit_coords"]
+    flip = {
+        qubit
+        for qubit, (row, col) in coords.items()
+        if (row + col) % 2 == 1
+    }
+
+    def hadamard_sublattice(pauli: PauliString) -> PauliString:
+        xs = pauli.xs.copy()
+        zs = pauli.zs.copy()
+        for qubit in flip:
+            xs[qubit], zs[qubit] = zs[qubit], xs[qubit]
+        return PauliString(xs=xs, zs=zs, sign=pauli.sign)
+
+    stabilizers = [hadamard_sublattice(s) for s in css.stabilizers]
+    code = StabilizerCode(
+        stabilizers,
+        name=f"xzzx_surface_d{distance}",
+        distance=distance,
+        metadata={
+            "family": "xzzx_surface",
+            "qubit_coords": coords,
+            "hadamard_sublattice": sorted(flip),
+            "rows": distance,
+            "cols": distance,
+        },
+    )
+    code.set_logicals(
+        [hadamard_sublattice(p) for p in css.logical_xs],
+        [hadamard_sublattice(p) for p in css.logical_zs],
+    )
+    return code

@@ -1,0 +1,197 @@
+"""Monte-Carlo Tree Search over syndrome-measurement schedules (Section 4).
+
+The search constructs the schedule of one stabilizer *partition* (see
+:mod:`repro.scheduling.partition`) incrementally.  A state is a partial
+assignment of the partition's Pauli checks to ticks; a move appends one
+unassigned check at its earliest non-conflicting tick (Section 4.3); a
+terminal state is a complete partition schedule, which is scored by the
+decoder-in-the-loop evaluator (Section 4.4) after being composed with the
+schedules chosen for the other partitions.
+
+The four MCTS phases (selection with UCT, expansion, random rollout,
+backpropagation) follow Section 2.3, and the *continuous search* of Section
+4.5 is implemented by re-rooting the tree at the chosen child and only
+topping its visit count up to the per-step iteration budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.core.evaluator import ScheduleEvaluator
+from repro.scheduling.schedule import PauliCheck, Schedule
+
+__all__ = ["MCTSConfig", "MCTSNode", "PartitionMCTS"]
+
+
+@dataclass
+class MCTSConfig:
+    """Search hyper-parameters.
+
+    ``iterations_per_step`` is the paper's ``#iters_per_step`` (4000-8000 at
+    paper scale; laptop defaults are much smaller).  ``exploration`` is the
+    UCT constant ``c``.  ``reuse_subtree`` toggles the continuous-search
+    optimisation of Section 4.5 (kept as a switch for the ablation study).
+    """
+
+    iterations_per_step: int = 32
+    exploration: float = math.sqrt(2.0)
+    reuse_subtree: bool = True
+    seed: int = 0
+    max_total_evaluations: int | None = None
+
+
+class MCTSNode:
+    """One node of the search tree: a partial schedule of the partition."""
+
+    __slots__ = ("schedule", "remaining", "parent", "children", "visits", "total_score", "move")
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        remaining: tuple[PauliCheck, ...],
+        parent: "MCTSNode | None" = None,
+        move: PauliCheck | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.remaining = remaining
+        self.parent = parent
+        self.children: list[MCTSNode] = []
+        self.visits = 0
+        self.total_score = 0.0
+        self.move = move
+
+    # ------------------------------------------------------------------
+    @property
+    def is_terminal(self) -> bool:
+        return not self.remaining
+
+    @property
+    def is_fully_expanded(self) -> bool:
+        return len(self.children) == len(self.remaining)
+
+    @property
+    def expectation(self) -> float:
+        return self.total_score / self.visits if self.visits else 0.0
+
+    def uct(self, exploration: float) -> float:
+        if self.visits == 0:
+            return math.inf
+        parent_visits = self.parent.visits if self.parent else self.visits
+        return self.expectation + exploration * math.sqrt(
+            math.log(max(parent_visits, 1)) / self.visits
+        )
+
+    def child_for_move(self, move: PauliCheck) -> "MCTSNode":
+        schedule = self.schedule.copy()
+        schedule.assign(move, schedule.earliest_valid_tick(move))
+        remaining = tuple(check for check in self.remaining if check != move)
+        return MCTSNode(schedule, remaining, parent=self, move=move)
+
+
+@dataclass
+class PartitionMCTS:
+    """MCTS scheduler for one partition.
+
+    ``compose`` maps a complete partition schedule to the full-code schedule
+    that the evaluator can score (i.e. it splices in the schedules used for
+    the other partitions); it is supplied by
+    :class:`~repro.core.alphasyndrome.AlphaSyndrome`.
+    """
+
+    evaluator: ScheduleEvaluator
+    checks: tuple[PauliCheck, ...]
+    compose: "callable"
+    config: MCTSConfig = field(default_factory=MCTSConfig)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.config.seed)
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def search(self) -> tuple[Schedule, list[PauliCheck]]:
+        """Run the continuous search; returns (partition schedule, move sequence)."""
+        root = MCTSNode(Schedule(self.evaluator.code), tuple(self.checks))
+        moves: list[PauliCheck] = []
+        while not root.is_terminal:
+            budget = self.config.iterations_per_step
+            if self.config.reuse_subtree:
+                budget = max(budget - root.visits, 1)
+            for _ in range(budget):
+                if self._budget_exhausted():
+                    break
+                self._iterate(root)
+            best = self._best_child(root)
+            moves.append(best.move)
+            if self.config.reuse_subtree:
+                best.parent = None
+                root = best
+            else:
+                root = MCTSNode(best.schedule, best.remaining)
+        return root.schedule, moves
+
+    @property
+    def evaluations_used(self) -> int:
+        return self._evaluations
+
+    # ------------------------------------------------------------------
+    # The four MCTS phases
+    # ------------------------------------------------------------------
+    def _iterate(self, root: MCTSNode) -> None:
+        leaf = self._select(root)
+        expanded = self._expand(leaf)
+        score = self._simulate(expanded)
+        self._backpropagate(expanded, score)
+
+    def _select(self, node: MCTSNode) -> MCTSNode:
+        current = node
+        while not current.is_terminal and current.is_fully_expanded and current.children:
+            current = max(
+                current.children, key=lambda child: child.uct(self.config.exploration)
+            )
+        return current
+
+    def _expand(self, node: MCTSNode) -> MCTSNode:
+        if node.is_terminal:
+            return node
+        tried = {child.move for child in node.children}
+        untried = [check for check in node.remaining if check not in tried]
+        move = self._rng.choice(untried)
+        child = node.child_for_move(move)
+        node.children.append(child)
+        return child
+
+    def _simulate(self, node: MCTSNode) -> float:
+        schedule = node.schedule.copy()
+        remaining = list(node.remaining)
+        self._rng.shuffle(remaining)
+        for check in remaining:
+            schedule.assign(check, schedule.earliest_valid_tick(check))
+        self._evaluations += 1
+        return self.evaluator.score(self.compose(schedule))
+
+    @staticmethod
+    def _backpropagate(node: MCTSNode, score: float) -> None:
+        current = node
+        while current is not None:
+            current.visits += 1
+            current.total_score += score
+            current = current.parent
+
+    # ------------------------------------------------------------------
+    def _best_child(self, node: MCTSNode) -> MCTSNode:
+        if not node.children:
+            # Budget exhausted before expansion: fall back to a random move.
+            move = self._rng.choice(list(node.remaining))
+            child = node.child_for_move(move)
+            node.children.append(child)
+            return child
+        return max(node.children, key=lambda child: child.expectation)
+
+    def _budget_exhausted(self) -> bool:
+        limit = self.config.max_total_evaluations
+        return limit is not None and self._evaluations >= limit

@@ -1,0 +1,74 @@
+"""Decoder interface.
+
+All decoders consume a :class:`~repro.sim.dem.DetectorErrorModel` (the
+decoding problem: check matrix ``H``, per-mechanism priors, observable
+matrix ``L``) and map detector syndromes to predicted logical-observable
+flips.  The heuristic decoders here mirror the three used in the paper:
+minimum-weight perfect matching, (hypergraph) union-find, and BP-OSD.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.sim.dem import DetectorErrorModel
+
+__all__ = ["Decoder", "decoder_factory"]
+
+
+class Decoder(ABC):
+    """Base class: build from a DEM, decode single syndromes or batches."""
+
+    def __init__(self, dem: DetectorErrorModel) -> None:
+        self.dem = dem
+        self.check_matrix = dem.check_matrix
+        self.observable_matrix = dem.observable_matrix
+        self.priors = dem.priors
+
+    @abstractmethod
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        """Decode one syndrome (length ``num_detectors``) to observable flips."""
+
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Decode ``(shots, num_detectors)`` syndromes; override for speed."""
+        return np.array(
+            [self.decode(syndrome) for syndrome in syndromes], dtype=np.uint8
+        )
+
+    def predicted_observables(self, error_vector: np.ndarray) -> np.ndarray:
+        """Map a mechanism-indicator vector to observable flips."""
+        if self.dem.num_observables == 0:
+            return np.zeros(0, dtype=np.uint8)
+        return (
+            self.observable_matrix.astype(np.int64) @ error_vector.astype(np.int64)
+        ).astype(np.uint8) % 2
+
+
+def decoder_factory(name: str, **kwargs):
+    """Return a ``DetectorErrorModel -> Decoder`` factory by decoder name.
+
+    Recognised names: ``"mwpm"``, ``"unionfind"``, ``"bposd"``, ``"lookup"``.
+    """
+    from repro.decoders.bposd import BPOSDDecoder
+    from repro.decoders.lookup import LookupDecoder
+    from repro.decoders.matching import MWPMDecoder
+    from repro.decoders.union_find import UnionFindDecoder
+
+    registry = {
+        "mwpm": MWPMDecoder,
+        "matching": MWPMDecoder,
+        "unionfind": UnionFindDecoder,
+        "union_find": UnionFindDecoder,
+        "bposd": BPOSDDecoder,
+        "bp_osd": BPOSDDecoder,
+        "lookup": LookupDecoder,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown decoder {name!r}; available: mwpm, unionfind, bposd, lookup"
+        ) from error
+    return lambda dem: cls(dem, **kwargs)

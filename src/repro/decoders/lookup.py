@@ -1,0 +1,56 @@
+"""Brute-force lookup decoder for small decoding problems.
+
+Enumerates error patterns up to a configurable number of simultaneous
+mechanisms, records the most likely pattern for every reachable syndrome and
+decodes by table lookup (falling back to "no logical flip" for unseen
+syndromes).  Only practical for small DEMs; used as a near-maximum-likelihood
+reference in tests and for the smallest codes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.sim.dem import DetectorErrorModel
+
+__all__ = ["LookupDecoder"]
+
+
+class LookupDecoder(Decoder):
+    """Most-likely-error table decoder (exact up to ``max_order`` faults)."""
+
+    def __init__(self, dem: DetectorErrorModel, *, max_order: int = 2) -> None:
+        super().__init__(dem)
+        self.max_order = max_order
+        self._table: dict[bytes, tuple[float, np.ndarray]] = {}
+        self._build_table()
+
+    def _build_table(self) -> None:
+        num = self.dem.num_mechanisms
+        log_priors = np.log(np.clip(self.priors, 1e-15, 1.0))
+        for order in range(0, self.max_order + 1):
+            for combo in itertools.combinations(range(num), order):
+                detectors = np.zeros(self.dem.num_detectors, dtype=np.uint8)
+                observables = np.zeros(self.dem.num_observables, dtype=np.uint8)
+                log_probability = 0.0
+                for column in combo:
+                    mechanism = self.dem.mechanisms[column]
+                    for detector in mechanism.detectors:
+                        detectors[detector] ^= 1
+                    for observable in mechanism.observables:
+                        observables[observable] ^= 1
+                    log_probability += log_priors[column]
+                key = detectors.tobytes()
+                existing = self._table.get(key)
+                if existing is None or log_probability > existing[0]:
+                    self._table[key] = (log_probability, observables)
+
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        key = np.asarray(syndrome, dtype=np.uint8).reshape(-1).tobytes()
+        entry = self._table.get(key)
+        if entry is None:
+            return np.zeros(self.dem.num_observables, dtype=np.uint8)
+        return entry[1].copy()

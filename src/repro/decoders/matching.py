@@ -1,0 +1,158 @@
+"""Minimum-weight perfect matching decoder.
+
+The decoding graph has one node per detector plus a virtual boundary node.
+Every mechanism that flips one or two detectors becomes a weighted edge
+(weight ``log((1-p)/p)``); mechanisms flipping more than two detectors are
+decomposed into existing edges when possible (the standard treatment of
+Y-type faults in surface-code DEMs) and otherwise approximated by chaining
+their detectors.
+
+Decoding a syndrome: take the defect nodes, look up the pre-computed
+all-pairs shortest-path distances, build a complete graph on the defects
+(plus one boundary copy per defect) and find a minimum-weight perfect
+matching with networkx's blossom implementation.  The predicted logical
+flip is the XOR of the observable flips accumulated along the matched
+shortest paths — functionally the same algorithm as PyMatching, traded for
+portability over speed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+
+from repro.decoders.base import Decoder
+from repro.sim.dem import DetectorErrorModel
+
+__all__ = ["MWPMDecoder"]
+
+_BOUNDARY = "boundary"
+#: Probabilities are clipped away from 0/1 to keep weights finite.
+_MIN_PROBABILITY = 1e-12
+
+
+def _edge_weight(probability: float) -> float:
+    probability = min(max(probability, _MIN_PROBABILITY), 1 - _MIN_PROBABILITY)
+    return math.log((1 - probability) / probability)
+
+
+class MWPMDecoder(Decoder):
+    """Minimum-weight perfect matching on the DEM's decoding graph."""
+
+    def __init__(self, dem: DetectorErrorModel) -> None:
+        super().__init__(dem)
+        self.graph = self._build_graph(dem)
+        self._distances, self._path_observables = self._all_pairs_paths()
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def _build_graph(self, dem: DetectorErrorModel) -> nx.Graph:
+        edges: dict[tuple, dict] = {}
+
+        def add_edge(u, v, probability: float, observables: frozenset[int]) -> None:
+            key = (u, v) if str(u) <= str(v) else (v, u)
+            entry = edges.setdefault(
+                key, {"probability": 0.0, "observables": frozenset()}
+            )
+            combined = entry["probability"] * (1 - probability) + probability * (
+                1 - entry["probability"]
+            )
+            entry["probability"] = combined
+            # Keep the observable signature of the dominant contribution.
+            if probability > entry.get("max_contribution", 0.0):
+                entry["observables"] = observables
+                entry["max_contribution"] = probability
+
+        pending: list = []
+        for mechanism in dem.mechanisms:
+            detectors = sorted(mechanism.detectors)
+            if len(detectors) == 0:
+                continue
+            if len(detectors) == 1:
+                add_edge(detectors[0], _BOUNDARY, mechanism.probability, mechanism.observables)
+            elif len(detectors) == 2:
+                add_edge(detectors[0], detectors[1], mechanism.probability, mechanism.observables)
+            else:
+                pending.append(mechanism)
+
+        # Decompose hyperedges (e.g. Y faults) into chains of graph edges.
+        for mechanism in pending:
+            detectors = sorted(mechanism.detectors)
+            for first, second in zip(detectors[::2], detectors[1::2]):
+                add_edge(first, second, mechanism.probability, mechanism.observables)
+            if len(detectors) % 2:
+                add_edge(detectors[-1], _BOUNDARY, mechanism.probability, frozenset())
+
+        graph = nx.Graph()
+        graph.add_node(_BOUNDARY)
+        graph.add_nodes_from(range(dem.num_detectors))
+        for (u, v), entry in edges.items():
+            graph.add_edge(
+                u,
+                v,
+                weight=_edge_weight(entry["probability"]),
+                observables=entry["observables"],
+            )
+        return graph
+
+    def _all_pairs_paths(self):
+        """Pre-compute distances and path observable parities between all nodes."""
+        distances: dict = {}
+        observables: dict = {}
+        for source in self.graph.nodes:
+            lengths, paths = nx.single_source_dijkstra(self.graph, source, weight="weight")
+            distances[source] = lengths
+            source_observables: dict = {}
+            for target, path in paths.items():
+                parity: set[int] = set()
+                for u, v in zip(path, path[1:]):
+                    parity.symmetric_difference_update(
+                        self.graph.edges[u, v]["observables"]
+                    )
+                source_observables[target] = frozenset(parity)
+            observables[source] = source_observables
+        return distances, observables
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        prediction = np.zeros(self.dem.num_observables, dtype=np.uint8)
+        defects = [int(d) for d in np.nonzero(np.asarray(syndrome).reshape(-1))[0]]
+        defects = [d for d in defects if d in self._distances]
+        if not defects:
+            return prediction
+
+        matching_graph = nx.Graph()
+        large = 1e9
+        for i, u in enumerate(defects):
+            for j in range(i + 1, len(defects)):
+                v = defects[j]
+                distance = self._distances[u].get(v, large)
+                matching_graph.add_edge(("d", i), ("d", j), weight=-distance)
+            boundary_distance = self._distances[u].get(_BOUNDARY, large)
+            matching_graph.add_edge(("d", i), ("b", i), weight=-boundary_distance)
+        # Boundary copies may pair among themselves at zero cost.
+        for i in range(len(defects)):
+            for j in range(i + 1, len(defects)):
+                matching_graph.add_edge(("b", i), ("b", j), weight=0.0)
+
+        matching = nx.max_weight_matching(matching_graph, maxcardinality=True)
+        for first, second in matching:
+            kinds = {first[0], second[0]}
+            if kinds == {"b"}:
+                continue
+            if kinds == {"d"}:
+                u = defects[first[1]]
+                v = defects[second[1]]
+                path_observables = self._path_observables[u].get(v, frozenset())
+            else:
+                defect_node = first if first[0] == "d" else second
+                u = defects[defect_node[1]]
+                path_observables = self._path_observables[u].get(_BOUNDARY, frozenset())
+            for observable in path_observables:
+                prediction[observable] ^= 1
+        return prediction

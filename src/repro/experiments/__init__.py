@@ -1,0 +1,40 @@
+"""Experiment drivers that regenerate every table and figure of the paper."""
+
+from repro.experiments.common import ExperimentBudget, render_table, write_results
+from repro.experiments.figures import (
+    run_figure7,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_figure15,
+)
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+#: Registry used by ``python -m repro.experiments <asset>``.
+EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "figure7": run_figure7,
+    "figure12": run_figure12,
+    "figure13": run_figure13,
+    "figure14": run_figure14,
+    "figure15": run_figure15,
+}
+
+__all__ = [
+    "ExperimentBudget",
+    "EXPERIMENTS",
+    "render_table",
+    "write_results",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_figure7",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure15",
+]

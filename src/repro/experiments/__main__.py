@@ -1,0 +1,60 @@
+"""Command-line entry point mirroring the paper artifact's ``artifact.py``.
+
+Usage::
+
+    python -m repro.experiments table2 [--shots N] [--iterations N] [--out DIR]
+    python -m repro.experiments all
+
+Results are written to ``results/<asset>.txt`` and ``results/<asset>.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import EXPERIMENTS, ExperimentBudget, render_table, write_results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "asset",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--shots", type=int, default=400, help="evaluation shots per basis")
+    parser.add_argument(
+        "--synthesis-shots", type=int, default=150, help="shots used inside MCTS rollouts"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=4, help="MCTS iterations per scheduling step"
+    )
+    parser.add_argument(
+        "--max-evaluations", type=int, default=24, help="cap on rollout evaluations per partition"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="results", help="output directory")
+    args = parser.parse_args(argv)
+
+    budget = ExperimentBudget(
+        shots=args.shots,
+        synthesis_shots=args.synthesis_shots,
+        iterations_per_step=args.iterations,
+        max_evaluations=args.max_evaluations,
+        seed=args.seed,
+    )
+    assets = sorted(EXPERIMENTS) if args.asset == "all" else [args.asset]
+    for asset in assets:
+        rows = EXPERIMENTS[asset](budget)
+        path = write_results(asset, rows, output_dir=args.out)
+        print(f"== {asset} ==")
+        print(render_table(rows))
+        print(f"written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""Shared plumbing for the experiment drivers.
+
+Every experiment driver is a function that returns a list of row
+dictionaries; :func:`render_table` renders rows as a fixed-width text table
+and :func:`write_results` drops both the text and the JSON next to each
+other (mirroring the paper artifact's ``/result`` folder).
+
+``ExperimentBudget`` centralises the knobs that trade fidelity for runtime:
+the defaults are sized so the complete suite of drivers finishes on a laptop
+in minutes; the paper-scale settings (thousands of MCTS iterations, millions
+of shots) are obtained by raising the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.codes import get_code
+from repro.codes.base import StabilizerCode
+from repro.core import AlphaSyndrome, MCTSConfig, SynthesisResult
+from repro.decoders import decoder_factory
+from repro.noise import NoiseModel, brisbane_noise
+from repro.scheduling import lowest_depth_schedule, trivial_schedule
+from repro.sim import LogicalErrorRates, estimate_logical_error_rates
+
+__all__ = [
+    "ExperimentBudget",
+    "compare_with_lowest_depth",
+    "evaluate_schedule",
+    "render_table",
+    "write_results",
+    "get_code",
+]
+
+
+@dataclass
+class ExperimentBudget:
+    """Compute budget shared by all experiment drivers."""
+
+    shots: int = 400
+    synthesis_shots: int = 150
+    iterations_per_step: int = 4
+    max_evaluations: int = 24
+    seed: int = 0
+
+    def mcts_config(self) -> MCTSConfig:
+        return MCTSConfig(
+            iterations_per_step=self.iterations_per_step,
+            seed=self.seed,
+            max_total_evaluations=self.max_evaluations,
+        )
+
+
+def synthesize(
+    code: StabilizerCode,
+    decoder: str,
+    noise: NoiseModel,
+    budget: ExperimentBudget,
+) -> SynthesisResult:
+    """Run AlphaSyndrome for ``code`` under ``noise`` targeting ``decoder``."""
+    alpha = AlphaSyndrome(
+        code=code,
+        noise=noise,
+        decoder_factory=decoder_factory(decoder),
+        shots=budget.synthesis_shots,
+        mcts_config=budget.mcts_config(),
+        seed=budget.seed,
+    )
+    return alpha.synthesize()
+
+
+def evaluate_schedule(
+    code: StabilizerCode,
+    schedule,
+    decoder: str,
+    noise: NoiseModel,
+    budget: ExperimentBudget,
+) -> LogicalErrorRates:
+    """Estimate the logical error rates of an explicit schedule."""
+    return estimate_logical_error_rates(
+        code,
+        schedule,
+        noise,
+        decoder_factory(decoder),
+        shots=budget.shots,
+        seed=budget.seed,
+    )
+
+
+def compare_with_lowest_depth(
+    code_name: str,
+    decoder: str,
+    budget: ExperimentBudget,
+    *,
+    noise: NoiseModel | None = None,
+) -> dict:
+    """One Table-2-style row: AlphaSyndrome vs the lowest-depth baseline."""
+    code = get_code(code_name)
+    noise = noise or brisbane_noise()
+    result = synthesize(code, decoder, noise, budget)
+    alpha_rates = evaluate_schedule(code, result.schedule, decoder, noise, budget)
+    baseline = lowest_depth_schedule(code)
+    baseline_rates = evaluate_schedule(code, baseline, decoder, noise, budget)
+    reduction = 0.0
+    if baseline_rates.overall > 0:
+        reduction = 1.0 - alpha_rates.overall / baseline_rates.overall
+    return {
+        "code": code_name,
+        "n": code.num_qubits,
+        "k": code.num_logical_qubits,
+        "d": code.declared_distance,
+        "decoder": decoder,
+        "alpha_err_x": alpha_rates.error_x,
+        "alpha_err_z": alpha_rates.error_z,
+        "alpha_overall": alpha_rates.overall,
+        "alpha_depth": result.schedule.depth,
+        "lowest_err_x": baseline_rates.error_x,
+        "lowest_err_z": baseline_rates.error_z,
+        "lowest_overall": baseline_rates.overall,
+        "lowest_depth": baseline.depth,
+        "overall_reduction": reduction,
+    }
+
+
+def baseline_rows(code_name: str, decoder: str, budget: ExperimentBudget) -> dict:
+    """Trivial vs lowest-depth comparison (no synthesis), used in sanity rows."""
+    code = get_code(code_name)
+    noise = brisbane_noise()
+    rows = {}
+    for label, schedule in (
+        ("trivial", trivial_schedule(code)),
+        ("lowest", lowest_depth_schedule(code)),
+    ):
+        rates = evaluate_schedule(code, schedule, decoder, noise, budget)
+        rows[label] = rates
+    return rows
+
+
+def render_table(rows: list[dict], *, float_format: str = "{:.3e}") -> str:
+    """Render row dictionaries as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column)
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(str(column)), max(len(r[i]) for r in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rendered_rows
+    )
+    return "\n".join([header, separator, body])
+
+
+def write_results(name: str, rows: list[dict], output_dir: str | Path = "results") -> Path:
+    """Write ``rows`` as both text and JSON under ``output_dir``; returns the txt path."""
+    directory = Path(output_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    text_path = directory / f"{name}.txt"
+    text_path.write_text(render_table(rows) + "\n")
+    (directory / f"{name}.json").write_text(json.dumps(rows, indent=2, default=str))
+    return text_path

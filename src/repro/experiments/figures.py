@@ -1,0 +1,203 @@
+"""Figure drivers: Figures 7, 12, 13, 14 and 15 of the paper.
+
+Each driver returns the data series that the corresponding figure plots
+(logical X / Z error rates per schedule); no plotting library is required —
+the rows are written as text/JSON by ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentBudget,
+    evaluate_schedule,
+    get_code,
+    synthesize,
+)
+from repro.noise import brisbane_noise, non_uniform_noise, scaled_noise
+from repro.scheduling import (
+    anticlockwise_surface_schedule,
+    clockwise_surface_schedule,
+    google_surface_schedule,
+    ibm_bb_schedule,
+    lowest_depth_schedule,
+    trivial_schedule,
+)
+
+__all__ = [
+    "run_figure7",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure15",
+    "FIGURE12_CODES",
+    "FIGURE14_SWEEP",
+]
+
+#: Rotated surface codes compared against Google's schedule in Figure 12.
+FIGURE12_CODES: list[str] = [
+    "rotated_surface_d3",
+    "rotated_surface_d5",
+    "rotated_surface_d7",
+    "rotated_surface_d9",
+    "rotated_surface_5x9",
+]
+
+#: Physical error rates swept in Figure 14.
+FIGURE14_SWEEP: list[float] = [1e-2, 1e-3, 1e-4, 1e-5]
+
+
+def run_figure7(budget: ExperimentBudget | None = None) -> list[dict]:
+    """Figure 7: clockwise vs anti-clockwise order bias on the d=3 surface code."""
+    budget = budget or ExperimentBudget()
+    code = get_code("rotated_surface_d3")
+    noise = brisbane_noise()
+    rows = []
+    for label, schedule in (
+        ("clockwise", clockwise_surface_schedule(code)),
+        ("anticlockwise", anticlockwise_surface_schedule(code)),
+        ("google", google_surface_schedule(code)),
+        ("trivial", trivial_schedule(code)),
+    ):
+        rates = evaluate_schedule(code, schedule, "mwpm", noise, budget)
+        rows.append(
+            {
+                "schedule": label,
+                "err_x": rates.error_x,
+                "err_z": rates.error_z,
+                "overall": rates.overall,
+                "depth": schedule.depth,
+            }
+        )
+    return rows
+
+
+def run_figure12(
+    budget: ExperimentBudget | None = None, *, codes: list[str] | None = None
+) -> list[dict]:
+    """Figure 12: AlphaSyndrome vs Google vs trivial on rotated surface codes."""
+    budget = budget or ExperimentBudget()
+    codes = codes or FIGURE12_CODES[:1]
+    noise = brisbane_noise()
+    rows = []
+    for code_name in codes:
+        code = get_code(code_name)
+        synthesis = synthesize(code, "mwpm", noise, budget)
+        schedules = {
+            "alphasyndrome": synthesis.schedule,
+            "google": google_surface_schedule(code),
+            "trivial": trivial_schedule(code),
+        }
+        for label, schedule in schedules.items():
+            rates = evaluate_schedule(code, schedule, "mwpm", noise, budget)
+            rows.append(
+                {
+                    "code": code_name,
+                    "schedule": label,
+                    "err_x": rates.error_x,
+                    "err_z": rates.error_z,
+                    "overall": rates.overall,
+                    "depth": schedule.depth,
+                }
+            )
+    return rows
+
+
+def run_figure13(
+    budget: ExperimentBudget | None = None, *, code_name: str = "bb_72_12_6"
+) -> list[dict]:
+    """Figure 13: AlphaSyndrome vs IBM's schedule on a bivariate bicycle code.
+
+    ``code_name`` defaults to the paper's ``[[72,12,6]]`` instance; the test
+    suite and the default benchmark budget use the smaller ``bb_18`` instance
+    because the pure-Python DEM extraction for the full code takes minutes.
+    """
+    budget = budget or ExperimentBudget()
+    code = get_code(code_name)
+    noise = brisbane_noise()
+    rows = []
+    for decoder in ("bposd", "unionfind"):
+        synthesis = synthesize(code, decoder, noise, budget)
+        for label, schedule in (
+            ("alphasyndrome", synthesis.schedule),
+            ("ibm", ibm_bb_schedule(code)),
+        ):
+            rates = evaluate_schedule(code, schedule, decoder, noise, budget)
+            rows.append(
+                {
+                    "decoder": decoder,
+                    "schedule": label,
+                    "err_x": rates.error_x,
+                    "err_z": rates.error_z,
+                    "overall": rates.overall,
+                    "depth": schedule.depth,
+                }
+            )
+    return rows
+
+
+def run_figure14(
+    budget: ExperimentBudget | None = None,
+    *,
+    codes: list[tuple[str, str]] | None = None,
+    error_rates: list[float] | None = None,
+) -> list[dict]:
+    """Figure 14: behaviour as the physical error rate is scaled down."""
+    budget = budget or ExperimentBudget()
+    codes = codes or [("hexagonal_color_d3", "unionfind")]
+    error_rates = error_rates or FIGURE14_SWEEP[:3]
+    rows = []
+    for code_name, decoder in codes:
+        code = get_code(code_name)
+        for physical_error in error_rates:
+            noise = scaled_noise(physical_error)
+            synthesis = synthesize(code, decoder, noise, budget)
+            alpha_rates = evaluate_schedule(
+                code, synthesis.schedule, decoder, noise, budget
+            )
+            baseline = lowest_depth_schedule(code)
+            baseline_rates = evaluate_schedule(code, baseline, decoder, noise, budget)
+            rows.append(
+                {
+                    "code": code_name,
+                    "decoder": decoder,
+                    "physical_error": physical_error,
+                    "alpha_overall": alpha_rates.overall,
+                    "lowest_overall": baseline_rates.overall,
+                    "reduction": (
+                        1.0 - alpha_rates.overall / baseline_rates.overall
+                        if baseline_rates.overall > 0
+                        else 0.0
+                    ),
+                }
+            )
+    return rows
+
+
+def run_figure15(
+    budget: ExperimentBudget | None = None, *, codes: list[str] | None = None
+) -> list[dict]:
+    """Figure 15: non-uniform ancilla noise, AlphaSyndrome vs Google's schedule."""
+    budget = budget or ExperimentBudget()
+    codes = codes or ["rotated_surface_d3"]
+    rows = []
+    for code_name in codes:
+        code = get_code(code_name)
+        ancillas = [code.num_qubits + s for s in range(code.num_stabilizers)]
+        noise = non_uniform_noise(ancillas, variance=0.6, seed=budget.seed + 11)
+        synthesis = synthesize(code, "mwpm", noise, budget)
+        for label, schedule in (
+            ("alphasyndrome", synthesis.schedule),
+            ("google", google_surface_schedule(code)),
+        ):
+            rates = evaluate_schedule(code, schedule, "mwpm", noise, budget)
+            rows.append(
+                {
+                    "code": code_name,
+                    "schedule": label,
+                    "err_x": rates.error_x,
+                    "err_z": rates.error_z,
+                    "overall": rates.overall,
+                    "depth": schedule.depth,
+                }
+            )
+    return rows

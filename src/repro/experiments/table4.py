@@ -1,0 +1,59 @@
+"""Table 4: cross-decoder evaluation (decoder specialisation).
+
+A schedule compiled against decoder A is tested with decoder A and with
+decoder B; the paper's hypothesis (Section 5.5) is that same-decoder
+compilation wins most instances, demonstrating that AlphaSyndrome tailors
+its schedules to the decoder's failure patterns.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentBudget, evaluate_schedule, get_code, synthesize
+from repro.noise import brisbane_noise
+
+__all__ = ["TABLE4_INSTANCES", "run_table4"]
+
+#: Colour-code instances used in the cross-decoder study.
+TABLE4_INSTANCES: list[str] = [
+    "hexagonal_color_d3",
+    "hexagonal_color_d5",
+    "square_octagonal_d3",
+    "square_octagonal_d5",
+]
+
+_DECODER_PAIR = ("bposd", "unionfind")
+
+
+def run_table4(
+    budget: ExperimentBudget | None = None,
+    *,
+    instances: list[str] | None = None,
+    decoders: tuple[str, str] = _DECODER_PAIR,
+) -> list[dict]:
+    """Regenerate Table 4: overall error rate for every compile/test decoder pair."""
+    budget = budget or ExperimentBudget()
+    instances = instances or TABLE4_INSTANCES[:2]
+    noise = brisbane_noise()
+    rows = []
+    for code_name in instances:
+        code = get_code(code_name)
+        schedules = {
+            decoder: synthesize(code, decoder, noise, budget).schedule
+            for decoder in decoders
+        }
+        row: dict = {"code": code_name}
+        for test_decoder in decoders:
+            for compile_decoder in decoders:
+                rates = evaluate_schedule(
+                    code, schedules[compile_decoder], test_decoder, noise, budget
+                )
+                row[f"test_{test_decoder}_compile_{compile_decoder}"] = rates.overall
+        for test_decoder in decoders:
+            same = row[f"test_{test_decoder}_compile_{test_decoder}"]
+            other = [d for d in decoders if d != test_decoder][0]
+            cross = row[f"test_{test_decoder}_compile_{other}"]
+            row[f"reduction_{test_decoder}"] = (
+                1.0 - same / cross if cross > 0 else 0.0
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,5 @@
+"""Serialisation helpers (artifact-compatible QECC JSON format)."""
+
+from repro.io.qecc_json import code_from_dict, code_to_dict, dump_code_json, load_code_json
+
+__all__ = ["load_code_json", "dump_code_json", "code_to_dict", "code_from_dict"]

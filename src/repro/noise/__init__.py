@@ -1,0 +1,23 @@
+"""Noise models for syndrome-measurement circuits."""
+
+from repro.noise.models import (
+    BRISBANE_IDLE_ERROR,
+    BRISBANE_MEASUREMENT_TIME_NS,
+    BRISBANE_TWO_QUBIT_ERROR,
+    BRISBANE_TWO_QUBIT_TIME_NS,
+    NoiseModel,
+    brisbane_noise,
+    non_uniform_noise,
+    scaled_noise,
+)
+
+__all__ = [
+    "NoiseModel",
+    "brisbane_noise",
+    "scaled_noise",
+    "non_uniform_noise",
+    "BRISBANE_TWO_QUBIT_ERROR",
+    "BRISBANE_IDLE_ERROR",
+    "BRISBANE_TWO_QUBIT_TIME_NS",
+    "BRISBANE_MEASUREMENT_TIME_NS",
+]

@@ -1,0 +1,38 @@
+"""Syndrome-measurement schedule representation, baselines and hand-crafted orders."""
+
+from repro.scheduling.baselines import (
+    lowest_depth_schedule,
+    random_order_schedule,
+    schedule_from_orders,
+    trivial_schedule,
+)
+from repro.scheduling.handcrafted import (
+    anticlockwise_surface_schedule,
+    clockwise_surface_schedule,
+    google_surface_schedule,
+    ibm_bb_schedule,
+)
+from repro.scheduling.partition import (
+    compatible_stabilizers,
+    partition_stabilizers,
+    validate_partition,
+)
+from repro.scheduling.schedule import PauliCheck, Schedule, ScheduleError, checks_of_code
+
+__all__ = [
+    "PauliCheck",
+    "Schedule",
+    "ScheduleError",
+    "checks_of_code",
+    "partition_stabilizers",
+    "compatible_stabilizers",
+    "validate_partition",
+    "trivial_schedule",
+    "lowest_depth_schedule",
+    "random_order_schedule",
+    "schedule_from_orders",
+    "google_surface_schedule",
+    "clockwise_surface_schedule",
+    "anticlockwise_surface_schedule",
+    "ibm_bb_schedule",
+]

@@ -1,0 +1,155 @@
+"""Industry hand-crafted schedules (Google's surface-code order, IBM's BB order).
+
+``google_surface_schedule`` reproduces the zig-zag ordering used by Google's
+surface-code experiments: X-type plaquettes touch their data qubits in
+row-major (Z-shaped) order NW, NE, SW, SE while Z-type plaquettes use
+column-major (N-shaped) order NW, SW, NE, SE.  Late checks of a Z plaquette
+are therefore vertically aligned (perpendicular to the horizontal logical Z)
+and late checks of an X plaquette horizontally aligned, which steers hook
+errors away from the logical operators; all plaquettes fit in four
+conflict-free ticks.
+
+``clockwise_surface_schedule`` / ``anticlockwise_surface_schedule`` build the
+two orders studied in Figure 7 (within the partitioned framework, X block
+followed by Z block).
+
+``ibm_bb_schedule`` approximates IBM's published schedule for bivariate
+bicycle codes by ordering each ancilla's six CNOTs by monomial label
+(A-terms before B-terms for X checks, B-terms before A-terms for Z checks)
+inside the partitioned framework; the true depth-7 interleaved schedule from
+Bravyi et al. is not reproduced exactly (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base import CSSCode, StabilizerCode
+from repro.scheduling.baselines import schedule_from_orders
+from repro.scheduling.partition import partition_stabilizers
+from repro.scheduling.schedule import PauliCheck, Schedule, ScheduleError
+
+__all__ = [
+    "google_surface_schedule",
+    "clockwise_surface_schedule",
+    "anticlockwise_surface_schedule",
+    "ibm_bb_schedule",
+]
+
+_GOOGLE_X_ORDER = ((0, 0), (0, 1), (1, 0), (1, 1))  # NW, NE, SW, SE
+_GOOGLE_Z_ORDER = ((0, 0), (1, 0), (0, 1), (1, 1))  # NW, SW, NE, SE
+_CLOCKWISE = ((0, 0), (0, 1), (1, 1), (1, 0))  # NW, NE, SE, SW
+_ANTICLOCKWISE = ((0, 0), (1, 0), (1, 1), (0, 1))  # NW, SW, SE, NE
+
+
+def _surface_plaquette_info(code: StabilizerCode) -> list[dict]:
+    plaquettes = code.metadata.get("plaquettes")
+    if plaquettes is None:
+        raise ScheduleError(
+            f"{code.name} has no plaquette metadata; hand-crafted surface "
+            "schedules only apply to rotated surface codes"
+        )
+    return plaquettes
+
+
+def _stabilizer_lookup(code: CSSCode) -> dict[tuple[str, frozenset[int]], int]:
+    """Map (type, support) to stabilizer index."""
+    lookup: dict[tuple[str, frozenset[int]], int] = {}
+    for index, stab in enumerate(code.stabilizers):
+        letters = {stab.pauli_at(q) for q in stab.support}
+        stype = "X" if letters == {"X"} else "Z"
+        lookup[(stype, frozenset(stab.support))] = index
+    return lookup
+
+
+def google_surface_schedule(code: CSSCode) -> Schedule:
+    """Google's interleaved zig-zag schedule for rotated surface codes (depth 4)."""
+    return _surface_corner_schedule(
+        code, x_order=_GOOGLE_X_ORDER, z_order=_GOOGLE_Z_ORDER, interleave=True
+    )
+
+
+def clockwise_surface_schedule(code: CSSCode) -> Schedule:
+    """Clockwise per-plaquette order of Figure 7(a), X block then Z block."""
+    return _surface_corner_schedule(
+        code, x_order=_CLOCKWISE, z_order=_CLOCKWISE, interleave=False
+    )
+
+
+def anticlockwise_surface_schedule(code: CSSCode) -> Schedule:
+    """Anti-clockwise per-plaquette order of Figure 7(b), X block then Z block."""
+    return _surface_corner_schedule(
+        code, x_order=_ANTICLOCKWISE, z_order=_ANTICLOCKWISE, interleave=False
+    )
+
+
+def _surface_corner_schedule(
+    code: CSSCode,
+    *,
+    x_order: tuple[tuple[int, int], ...],
+    z_order: tuple[tuple[int, int], ...],
+    interleave: bool,
+) -> Schedule:
+    plaquettes = _surface_plaquette_info(code)
+    rows = code.metadata["rows"]
+    cols = code.metadata["cols"]
+    lookup = _stabilizer_lookup(code)
+
+    def qubit_index(row: int, col: int) -> int:
+        return row * cols + col
+
+    if interleave:
+        schedule = Schedule(code)
+        for plaq in plaquettes:
+            corner_order = x_order if plaq["type"] == "X" else z_order
+            anchor_row = int(plaq["position"][0] - 0.5)
+            anchor_col = int(plaq["position"][1] - 0.5)
+            support = frozenset(qubit_index(r, c) for r, c in plaq["qubits"])
+            stabilizer = lookup[(plaq["type"], support)]
+            for tick_offset, (dr, dc) in enumerate(corner_order):
+                corner = (anchor_row + dr, anchor_col + dc)
+                if corner not in plaq["qubits"]:
+                    continue
+                check = PauliCheck(stabilizer, qubit_index(*corner), plaq["type"])
+                schedule.assignment[check] = tick_offset + 1
+        schedule.validate()
+        return schedule
+
+    orders: dict[int, list[int]] = {}
+    for plaq in plaquettes:
+        corner_order = x_order if plaq["type"] == "X" else z_order
+        anchor_row = int(plaq["position"][0] - 0.5)
+        anchor_col = int(plaq["position"][1] - 0.5)
+        support = frozenset(qubit_index(r, c) for r, c in plaq["qubits"])
+        stabilizer = lookup[(plaq["type"], support)]
+        ordered = [
+            qubit_index(anchor_row + dr, anchor_col + dc)
+            for dr, dc in corner_order
+            if (anchor_row + dr, anchor_col + dc) in plaq["qubits"]
+        ]
+        orders[stabilizer] = ordered
+    return schedule_from_orders(code, orders)
+
+
+def ibm_bb_schedule(code: CSSCode) -> Schedule:
+    """Monomial-ordered schedule for bivariate bicycle codes.
+
+    X-check ancillas execute their three A-monomial checks (left block)
+    before their three B-monomial checks (right block); Z-check ancillas do
+    the reverse.  Checks are placed at the earliest non-conflicting tick
+    within the X block / Z block of the partitioned framework.
+    """
+    if code.metadata.get("family") != "bivariate_bicycle":
+        raise ScheduleError("ibm_bb_schedule requires a bivariate bicycle code")
+    half = code.num_qubits // 2
+    orders: dict[int, list[int]] = {}
+    num_x = code.hx.shape[0]
+    for index, stab in enumerate(code.stabilizers):
+        support = list(stab.support)
+        left = sorted(q for q in support if q < half)
+        right = sorted(q for q in support if q >= half)
+        if index < num_x:
+            orders[index] = left + right
+        else:
+            orders[index] = right + left
+    return schedule_from_orders(code, orders)

@@ -1,0 +1,27 @@
+"""Clifford simulation substrate: fault propagation, DEMs, sampling, tableau."""
+
+from repro.sim.dem import DetectorErrorModel, ErrorMechanism, build_detector_error_model
+from repro.sim.estimator import (
+    LogicalErrorRates,
+    estimate_logical_error_rates,
+    evaluate_basis,
+)
+from repro.sim.propagation import SparsePauli, measurement_flips, propagate_fault
+from repro.sim.sampler import SampleBatch, sample_detector_error_model
+from repro.sim.tableau import TableauSimulator, simulate_circuit
+
+__all__ = [
+    "DetectorErrorModel",
+    "ErrorMechanism",
+    "build_detector_error_model",
+    "SparsePauli",
+    "propagate_fault",
+    "measurement_flips",
+    "SampleBatch",
+    "sample_detector_error_model",
+    "TableauSimulator",
+    "simulate_circuit",
+    "LogicalErrorRates",
+    "estimate_logical_error_rates",
+    "evaluate_basis",
+]

@@ -1,0 +1,174 @@
+"""Detector error model (DEM) extraction.
+
+Every stochastic Pauli noise channel in a circuit is decomposed into
+elementary *fault mechanisms* (a single Pauli applied with some
+probability).  Each mechanism is propagated through the remainder of the
+circuit to find the set of detectors and logical observables it flips; the
+resulting list of ``(probability, detectors, observables)`` triples is the
+detector error model, exactly analogous to stim's DEM.
+
+Mechanisms with identical symptoms are merged (probabilities combine as
+``p = p1 (1 - p2) + p2 (1 - p1)``), and mechanisms that flip nothing are
+dropped.  The DEM doubles as the decoding problem: ``check_matrix`` (H),
+``observable_matrix`` (L) and ``priors`` are what every decoder in
+``repro.decoders`` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.sim.propagation import SparsePauli, propagate_fault
+
+__all__ = ["ErrorMechanism", "DetectorErrorModel", "build_detector_error_model"]
+
+_ONE_QUBIT_PAULIS = ("X", "Y", "Z")
+_TWO_QUBIT_PAULIS = tuple(
+    (first, second)
+    for first in ("I", "X", "Y", "Z")
+    for second in ("I", "X", "Y", "Z")
+    if not (first == "I" and second == "I")
+)
+
+
+@dataclass(frozen=True)
+class ErrorMechanism:
+    """One independent error mechanism of the DEM."""
+
+    probability: float
+    detectors: frozenset[int]
+    observables: frozenset[int]
+
+
+@dataclass
+class DetectorErrorModel:
+    """A collection of independent error mechanisms plus decoding matrices."""
+
+    num_detectors: int
+    num_observables: int
+    mechanisms: list[ErrorMechanism] = field(default_factory=list)
+
+    @property
+    def num_mechanisms(self) -> int:
+        return len(self.mechanisms)
+
+    @property
+    def priors(self) -> np.ndarray:
+        return np.array([m.probability for m in self.mechanisms], dtype=np.float64)
+
+    @property
+    def check_matrix(self) -> np.ndarray:
+        """Detector-by-mechanism incidence matrix H (uint8)."""
+        matrix = np.zeros((self.num_detectors, self.num_mechanisms), dtype=np.uint8)
+        for column, mechanism in enumerate(self.mechanisms):
+            for detector in mechanism.detectors:
+                matrix[detector, column] = 1
+        return matrix
+
+    @property
+    def observable_matrix(self) -> np.ndarray:
+        """Observable-by-mechanism incidence matrix L (uint8)."""
+        matrix = np.zeros((self.num_observables, self.num_mechanisms), dtype=np.uint8)
+        for column, mechanism in enumerate(self.mechanisms):
+            for observable in mechanism.observables:
+                matrix[observable, column] = 1
+        return matrix
+
+    def is_graphlike(self) -> bool:
+        """True when every mechanism flips at most two detectors."""
+        return all(len(m.detectors) <= 2 for m in self.mechanisms)
+
+
+def _mechanism_paulis(instruction) -> list[tuple[float, SparsePauli]]:
+    """Decompose a noise instruction into (probability, Pauli) mechanisms."""
+    name = instruction.name
+    probability = instruction.probability
+    mechanisms: list[tuple[float, SparsePauli]] = []
+    if name in ("X_ERROR", "Z_ERROR", "Y_ERROR"):
+        letter = name[0]
+        for qubit in instruction.qubits:
+            mechanisms.append((probability, SparsePauli.single(qubit, letter)))
+    elif name == "DEPOLARIZE1":
+        share = probability / 3.0
+        for qubit in instruction.qubits:
+            for letter in _ONE_QUBIT_PAULIS:
+                mechanisms.append((share, SparsePauli.single(qubit, letter)))
+    elif name == "DEPOLARIZE2":
+        share = probability / 15.0
+        pairs = list(zip(instruction.qubits[::2], instruction.qubits[1::2]))
+        for first, second in pairs:
+            for letter_a, letter_b in _TWO_QUBIT_PAULIS:
+                pauli = SparsePauli()
+                if letter_a != "I":
+                    pauli.multiply_by(first, *_letter_bits(letter_a))
+                if letter_b != "I":
+                    pauli.multiply_by(second, *_letter_bits(letter_b))
+                mechanisms.append((share, pauli))
+    else:
+        raise ValueError(f"not a noise instruction: {name}")
+    return mechanisms
+
+
+def _letter_bits(letter: str) -> tuple[int, int]:
+    return {"X": (1, 0), "Z": (0, 1), "Y": (1, 1)}[letter]
+
+
+def build_detector_error_model(circuit: Circuit) -> DetectorErrorModel:
+    """Extract the detector error model of ``circuit``.
+
+    The circuit's detectors and observables are defined over absolute
+    measurement indices; each noise channel is expanded into elementary
+    Pauli mechanisms, propagated forward, mapped onto detector/observable
+    flips and merged by symptom.
+    """
+    detector_members = circuit.detectors()
+    observable_members = circuit.observables()
+    num_detectors = len(detector_members)
+    num_observables = circuit.num_observables
+
+    measurement_to_detectors: dict[int, list[int]] = {}
+    for detector_index, members in enumerate(detector_members):
+        for measurement in members:
+            measurement_to_detectors.setdefault(measurement, []).append(detector_index)
+    measurement_to_observables: dict[int, list[int]] = {}
+    for observable_index, members in observable_members.items():
+        for measurement in members:
+            measurement_to_observables.setdefault(measurement, []).append(
+                observable_index
+            )
+
+    merged: dict[tuple[frozenset[int], frozenset[int]], float] = {}
+    for position, instruction in enumerate(circuit.instructions):
+        if not instruction.is_noise():
+            continue
+        for probability, pauli in _mechanism_paulis(instruction):
+            if probability <= 0:
+                continue
+            flipped_measurements = propagate_fault(circuit, position, pauli)
+            detectors: set[int] = set()
+            observables: set[int] = set()
+            for measurement in flipped_measurements:
+                for detector in measurement_to_detectors.get(measurement, ()):
+                    detectors.symmetric_difference_update({detector})
+                for observable in measurement_to_observables.get(measurement, ()):
+                    observables.symmetric_difference_update({observable})
+            if not detectors and not observables:
+                continue
+            key = (frozenset(detectors), frozenset(observables))
+            existing = merged.get(key, 0.0)
+            merged[key] = existing * (1 - probability) + probability * (1 - existing)
+
+    mechanisms = [
+        ErrorMechanism(probability, detectors, observables)
+        for (detectors, observables), probability in sorted(
+            merged.items(), key=lambda item: (sorted(item[0][0]), sorted(item[0][1]))
+        )
+    ]
+    return DetectorErrorModel(
+        num_detectors=num_detectors,
+        num_observables=num_observables,
+        mechanisms=mechanisms,
+    )

@@ -1,0 +1,110 @@
+"""Decoder-in-the-loop logical error rate estimation.
+
+This is the evaluation function at the heart of AlphaSyndrome (Section 4.4):
+given a code, a schedule, a noise model and a decoder, build the Figure 10
+sampling circuits for both logical bases, sample them, decode every shot and
+report the logical X / logical Z / overall error rates.  The overall score
+used by the MCTS search is ``1 / overall`` as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.circuits.memory import build_memory_experiment
+from repro.codes.base import StabilizerCode
+from repro.noise.models import NoiseModel
+from repro.scheduling.schedule import Schedule
+from repro.sim.dem import DetectorErrorModel, build_detector_error_model
+from repro.sim.sampler import sample_detector_error_model
+
+__all__ = ["LogicalErrorRates", "estimate_logical_error_rates", "evaluate_basis"]
+
+#: A decoder factory takes a DEM and returns an object with ``decode_batch``.
+DecoderFactory = Callable[[DetectorErrorModel], "object"]
+
+
+@dataclass
+class LogicalErrorRates:
+    """Logical error rates of a schedule under a noise model and decoder."""
+
+    error_x: float
+    error_z: float
+    shots: int
+    depth: int
+
+    @property
+    def overall(self) -> float:
+        """Probability that at least one logical error (X or Z) occurred."""
+        return 1.0 - (1.0 - self.error_x) * (1.0 - self.error_z)
+
+    @property
+    def score(self) -> float:
+        """The MCTS evaluation score ``1 / overall`` (capped for zero errors)."""
+        overall = self.overall
+        if overall <= 0.0:
+            return float("inf")
+        return 1.0 / overall
+
+    def __str__(self) -> str:
+        return (
+            f"err_x={self.error_x:.3e} err_z={self.error_z:.3e} "
+            f"overall={self.overall:.3e} depth={self.depth}"
+        )
+
+
+def evaluate_basis(
+    code: StabilizerCode,
+    schedule: Schedule,
+    noise: NoiseModel,
+    decoder_factory: DecoderFactory,
+    *,
+    basis: str,
+    shots: int,
+    seed: int | None = None,
+) -> float:
+    """Return the logical error rate for one basis.
+
+    ``basis='Z'`` measures logical Z operators and therefore reports the
+    logical X error rate; ``basis='X'`` reports the logical Z error rate.
+    A shot counts as a logical error when the decoder's predicted observable
+    flip disagrees with the actual flip for at least one logical qubit.
+    """
+    experiment = build_memory_experiment(code, schedule, noise, basis=basis)
+    dem = build_detector_error_model(experiment.circuit)
+    batch = sample_detector_error_model(dem, shots, seed=seed)
+    decoder = decoder_factory(dem)
+    predictions = decoder.decode_batch(batch.detectors)
+    if predictions.shape != batch.observables.shape:
+        raise ValueError(
+            f"decoder returned predictions of shape {predictions.shape}, "
+            f"expected {batch.observables.shape}"
+        )
+    wrong = (predictions != batch.observables).any(axis=1)
+    return float(np.count_nonzero(wrong)) / shots
+
+
+def estimate_logical_error_rates(
+    code: StabilizerCode,
+    schedule: Schedule,
+    noise: NoiseModel,
+    decoder_factory: DecoderFactory,
+    *,
+    shots: int = 2000,
+    seed: int | None = None,
+) -> LogicalErrorRates:
+    """Estimate logical X, Z and overall error rates of ``schedule``."""
+    seed_x = None if seed is None else seed
+    seed_z = None if seed is None else seed + 1
+    error_x = evaluate_basis(
+        code, schedule, noise, decoder_factory, basis="Z", shots=shots, seed=seed_x
+    )
+    error_z = evaluate_basis(
+        code, schedule, noise, decoder_factory, basis="X", shots=shots, seed=seed_z
+    )
+    return LogicalErrorRates(
+        error_x=error_x, error_z=error_z, shots=shots, depth=schedule.depth
+    )

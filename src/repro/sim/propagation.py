@@ -1,0 +1,136 @@
+"""Forward propagation of Pauli faults through Clifford circuits.
+
+The detector-error-model extraction injects a single Pauli fault after a
+given instruction and asks which later measurements flip.  For stochastic
+Pauli noise on Clifford circuits this is exact and is the same machinery a
+frame simulator uses.  Signs are irrelevant for flip analysis, so the
+tracker stores only the X/Z bit of each touched qubit (sparsely).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit, Instruction
+
+__all__ = ["SparsePauli", "propagate_fault", "measurement_flips"]
+
+
+class SparsePauli:
+    """A Pauli operator stored as ``{qubit: (x_bit, z_bit)}`` (no sign)."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: dict[int, tuple[int, int]] | None = None) -> None:
+        self.components: dict[int, tuple[int, int]] = dict(components or {})
+
+    @classmethod
+    def single(cls, qubit: int, letter: str) -> "SparsePauli":
+        bits = {"X": (1, 0), "Z": (0, 1), "Y": (1, 1)}[letter]
+        return cls({qubit: bits})
+
+    def get(self, qubit: int) -> tuple[int, int]:
+        return self.components.get(qubit, (0, 0))
+
+    def set(self, qubit: int, x_bit: int, z_bit: int) -> None:
+        if x_bit == 0 and z_bit == 0:
+            self.components.pop(qubit, None)
+        else:
+            self.components[qubit] = (x_bit, z_bit)
+
+    def multiply_by(self, qubit: int, x_bit: int, z_bit: int) -> None:
+        """XOR-in a Pauli on ``qubit`` (sign discarded)."""
+        current_x, current_z = self.get(qubit)
+        self.set(qubit, current_x ^ x_bit, current_z ^ z_bit)
+
+    def is_identity(self) -> bool:
+        return not self.components
+
+    def copy(self) -> "SparsePauli":
+        return SparsePauli(self.components)
+
+
+_LETTER_BITS = {"X": (1, 0), "Z": (0, 1), "Y": (1, 1)}
+
+
+def _apply_instruction(pauli: SparsePauli, instruction: Instruction) -> int | None:
+    """Conjugate ``pauli`` through ``instruction`` in place.
+
+    Returns the number of measurement results produced by the instruction
+    (0 for non-measurements) so the caller can keep a running measurement
+    index; flip detection is done separately in :func:`propagate_fault`.
+    """
+    name = instruction.name
+    if name == "H":
+        for qubit in instruction.qubits:
+            x_bit, z_bit = pauli.get(qubit)
+            if x_bit or z_bit:
+                pauli.set(qubit, z_bit, x_bit)
+    elif name == "S":
+        for qubit in instruction.qubits:
+            x_bit, z_bit = pauli.get(qubit)
+            if x_bit:
+                pauli.set(qubit, x_bit, z_bit ^ 1)
+    elif name == "CPAULI":
+        control, target = instruction.qubits
+        target_x, target_z = _LETTER_BITS[instruction.pauli]
+        control_bits = pauli.get(control)
+        target_bits = pauli.get(target)
+        # X (or Y) on the control propagates the check Pauli onto the target.
+        if control_bits[0]:
+            pauli.multiply_by(target, target_x, target_z)
+        # A target Pauli anticommuting with the check Pauli propagates Z onto
+        # the control (phase kickback of the controlled-Pauli).
+        anticommutes = (target_bits[0] * target_z + target_bits[1] * target_x) % 2
+        if anticommutes:
+            pauli.multiply_by(control, 0, 1)
+    elif name == "SWAP":
+        for first, second in zip(instruction.qubits[::2], instruction.qubits[1::2]):
+            first_bits = pauli.get(first)
+            second_bits = pauli.get(second)
+            pauli.set(first, *second_bits)
+            pauli.set(second, *first_bits)
+    elif name in ("R", "RX"):
+        for qubit in instruction.qubits:
+            pauli.set(qubit, 0, 0)
+    elif name in ("M", "MX"):
+        return len(instruction.qubits)
+    # Pauli gates (X/Y/Z), noise channels and annotations commute with the
+    # tracked frame up to sign and are ignored.
+    return 0
+
+
+def propagate_fault(
+    circuit: Circuit,
+    start_index: int,
+    initial: SparsePauli,
+) -> set[int]:
+    """Propagate a fault injected *after* instruction ``start_index``.
+
+    Returns the set of measurement-record indices whose outcome the fault
+    flips.
+    """
+    pauli = initial.copy()
+    flipped: set[int] = set()
+    measurement_index = 0
+    for position, instruction in enumerate(circuit.instructions):
+        if instruction.name in ("M", "MX"):
+            if position <= start_index:
+                measurement_index += len(instruction.qubits)
+                continue
+            for qubit in instruction.qubits:
+                x_bit, z_bit = pauli.get(qubit)
+                anticommutes = x_bit if instruction.name == "M" else z_bit
+                if anticommutes:
+                    flipped.add(measurement_index)
+                measurement_index += 1
+            continue
+        if position <= start_index:
+            continue
+        _apply_instruction(pauli, instruction)
+    return flipped
+
+
+def measurement_flips(
+    circuit: Circuit, start_index: int, qubit: int, letter: str
+) -> set[int]:
+    """Convenience wrapper: flips caused by a single-qubit fault."""
+    return propagate_fault(circuit, start_index, SparsePauli.single(qubit, letter))

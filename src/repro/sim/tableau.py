@@ -1,0 +1,270 @@
+"""Aaronson–Gottesman stabilizer tableau simulator.
+
+A reference Clifford simulator used for verification: it executes the
+circuit IR exactly (including measurement randomness), which lets the test
+suite confirm that
+
+* detectors declared by the builders are deterministic under zero noise,
+* syndrome circuits really measure the intended stabilizers, and
+* the DEM-based sampler agrees with direct simulation when noise is
+  injected as explicit Pauli gates.
+
+The implementation follows the CHP construction: ``2n + 1`` rows of X/Z bit
+matrices plus sign bits, the first ``n`` rows being destabilizers and the
+next ``n`` rows stabilizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit, Instruction
+
+__all__ = ["TableauSimulator", "simulate_circuit"]
+
+
+class TableauSimulator:
+    """Stabilizer-state simulator over ``num_qubits`` qubits (all start in |0>)."""
+
+    def __init__(self, num_qubits: int, *, seed: int | None = None) -> None:
+        self.num_qubits = num_qubits
+        self.rng = np.random.default_rng(seed)
+        size = 2 * num_qubits
+        self.x_bits = np.zeros((size, num_qubits), dtype=np.uint8)
+        self.z_bits = np.zeros((size, num_qubits), dtype=np.uint8)
+        self.signs = np.zeros(size, dtype=np.uint8)
+        for qubit in range(num_qubits):
+            self.x_bits[qubit, qubit] = 1                # destabilizers X_i
+            self.z_bits[num_qubits + qubit, qubit] = 1   # stabilizers Z_i
+        self.measurement_record: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Elementary gates
+    # ------------------------------------------------------------------
+    def hadamard(self, qubit: int) -> None:
+        x_col = self.x_bits[:, qubit].copy()
+        z_col = self.z_bits[:, qubit].copy()
+        self.signs ^= x_col & z_col
+        self.x_bits[:, qubit] = z_col
+        self.z_bits[:, qubit] = x_col
+
+    def phase(self, qubit: int) -> None:
+        x_col = self.x_bits[:, qubit]
+        z_col = self.z_bits[:, qubit]
+        self.signs ^= x_col & z_col
+        self.z_bits[:, qubit] = z_col ^ x_col
+
+    def cnot(self, control: int, target: int) -> None:
+        x_c = self.x_bits[:, control]
+        z_c = self.z_bits[:, control]
+        x_t = self.x_bits[:, target]
+        z_t = self.z_bits[:, target]
+        self.signs ^= x_c & z_t & (x_t ^ z_c ^ 1)
+        self.x_bits[:, target] = x_t ^ x_c
+        self.z_bits[:, control] = z_c ^ z_t
+
+    def cz(self, control: int, target: int) -> None:
+        self.hadamard(target)
+        self.cnot(control, target)
+        self.hadamard(target)
+
+    def x_gate(self, qubit: int) -> None:
+        self.signs ^= self.z_bits[:, qubit]
+
+    def z_gate(self, qubit: int) -> None:
+        self.signs ^= self.x_bits[:, qubit]
+
+    def y_gate(self, qubit: int) -> None:
+        self.x_gate(qubit)
+        self.z_gate(qubit)
+
+    def cpauli(self, control: int, target: int, pauli: str) -> None:
+        if pauli == "X":
+            self.cnot(control, target)
+        elif pauli == "Z":
+            self.cz(control, target)
+        else:  # Y = S X S^dagger up to phase: use S_target^dag CX S_target
+            self.phase(target)
+            self.phase(target)
+            self.phase(target)
+            self.cnot(control, target)
+            self.phase(target)
+
+    def swap(self, first: int, second: int) -> None:
+        self.cnot(first, second)
+        self.cnot(second, first)
+        self.cnot(first, second)
+
+    # ------------------------------------------------------------------
+    # Measurement and reset
+    # ------------------------------------------------------------------
+    def _row_multiply(self, target_row: int, source_row: int) -> None:
+        """Multiply row ``target_row`` by row ``source_row`` (left multiplication)."""
+        phase = 0
+        for qubit in range(self.num_qubits):
+            x1, z1 = self.x_bits[source_row, qubit], self.z_bits[source_row, qubit]
+            x2, z2 = self.x_bits[target_row, qubit], self.z_bits[target_row, qubit]
+            phase += _g(x1, z1, x2, z2)
+        phase += 2 * (self.signs[source_row] + self.signs[target_row])
+        self.signs[target_row] = (phase % 4) // 2
+        self.x_bits[target_row] ^= self.x_bits[source_row]
+        self.z_bits[target_row] ^= self.z_bits[source_row]
+
+    def measure_z(self, qubit: int, *, forced: int | None = None) -> int:
+        n = self.num_qubits
+        stabilizer_rows = np.nonzero(self.x_bits[n:, qubit])[0]
+        if stabilizer_rows.size:
+            # Outcome is random.
+            pivot = int(stabilizer_rows[0]) + n
+            for row in range(2 * n):
+                if row != pivot and self.x_bits[row, qubit]:
+                    self._row_multiply(row, pivot)
+            # The old stabilizer becomes the destabilizer.
+            self.x_bits[pivot - n] = self.x_bits[pivot]
+            self.z_bits[pivot - n] = self.z_bits[pivot]
+            self.signs[pivot - n] = self.signs[pivot]
+            self.x_bits[pivot] = 0
+            self.z_bits[pivot] = 0
+            self.z_bits[pivot, qubit] = 1
+            outcome = int(self.rng.integers(0, 2)) if forced is None else forced
+            self.signs[pivot] = outcome
+            self.measurement_record.append(outcome)
+            return outcome
+        # Deterministic outcome: accumulate the product of stabilizers.
+        scratch = 2 * n  # virtual scratch row index handled manually
+        scratch_x = np.zeros(self.num_qubits, dtype=np.uint8)
+        scratch_z = np.zeros(self.num_qubits, dtype=np.uint8)
+        scratch_sign = 0
+        for destab_row in range(n):
+            if self.x_bits[destab_row, qubit]:
+                stab_row = destab_row + n
+                phase = 0
+                for q in range(self.num_qubits):
+                    phase += _g(
+                        self.x_bits[stab_row, q],
+                        self.z_bits[stab_row, q],
+                        scratch_x[q],
+                        scratch_z[q],
+                    )
+                phase += 2 * (self.signs[stab_row] + scratch_sign)
+                scratch_sign = (phase % 4) // 2
+                scratch_x ^= self.x_bits[stab_row]
+                scratch_z ^= self.z_bits[stab_row]
+        del scratch
+        outcome = int(scratch_sign)
+        self.measurement_record.append(outcome)
+        return outcome
+
+    def measure_x(self, qubit: int) -> int:
+        self.hadamard(qubit)
+        outcome = self.measure_z(qubit)
+        self.hadamard(qubit)
+        return outcome
+
+    def reset_z(self, qubit: int) -> None:
+        outcome = self.measure_z(qubit)
+        self.measurement_record.pop()
+        if outcome:
+            self.x_gate(qubit)
+
+    def reset_x(self, qubit: int) -> None:
+        self.reset_z(qubit)
+        self.hadamard(qubit)
+
+    # ------------------------------------------------------------------
+    # Circuit execution
+    # ------------------------------------------------------------------
+    def run_instruction(self, instruction: Instruction) -> None:
+        name = instruction.name
+        if name == "H":
+            for qubit in instruction.qubits:
+                self.hadamard(qubit)
+        elif name == "S":
+            for qubit in instruction.qubits:
+                self.phase(qubit)
+        elif name == "X":
+            for qubit in instruction.qubits:
+                self.x_gate(qubit)
+        elif name == "Y":
+            for qubit in instruction.qubits:
+                self.y_gate(qubit)
+        elif name == "Z":
+            for qubit in instruction.qubits:
+                self.z_gate(qubit)
+        elif name == "CPAULI":
+            self.cpauli(instruction.qubits[0], instruction.qubits[1], instruction.pauli)
+        elif name == "SWAP":
+            for first, second in zip(instruction.qubits[::2], instruction.qubits[1::2]):
+                self.swap(first, second)
+        elif name == "R":
+            for qubit in instruction.qubits:
+                self.reset_z(qubit)
+        elif name == "RX":
+            for qubit in instruction.qubits:
+                self.reset_x(qubit)
+        elif name == "M":
+            for qubit in instruction.qubits:
+                self.measure_z(qubit)
+        elif name == "MX":
+            for qubit in instruction.qubits:
+                self.measure_x(qubit)
+        elif name in ("X_ERROR", "Z_ERROR", "Y_ERROR"):
+            gate = {"X": self.x_gate, "Z": self.z_gate, "Y": self.y_gate}[name[0]]
+            for qubit in instruction.qubits:
+                if self.rng.random() < instruction.probability:
+                    gate(qubit)
+        elif name == "DEPOLARIZE1":
+            for qubit in instruction.qubits:
+                if self.rng.random() < instruction.probability:
+                    choice = self.rng.integers(0, 3)
+                    (self.x_gate, self.y_gate, self.z_gate)[choice](qubit)
+        elif name == "DEPOLARIZE2":
+            pairs = list(zip(instruction.qubits[::2], instruction.qubits[1::2]))
+            for first, second in pairs:
+                if self.rng.random() < instruction.probability:
+                    index = int(self.rng.integers(1, 16))
+                    self._apply_two_qubit_pauli(first, second, index)
+        # TICK / DETECTOR / OBSERVABLE are annotations.
+
+    def _apply_two_qubit_pauli(self, first: int, second: int, index: int) -> None:
+        first_letter = index // 4
+        second_letter = index % 4
+        gates = (None, self.x_gate, self.y_gate, self.z_gate)
+        if gates[first_letter] is not None:
+            gates[first_letter](first)
+        if gates[second_letter] is not None:
+            gates[second_letter](second)
+
+    def run(self, circuit: Circuit) -> list[int]:
+        """Execute the circuit; returns the measurement record (0/1 list)."""
+        for instruction in circuit.instructions:
+            self.run_instruction(instruction)
+        return list(self.measurement_record)
+
+
+def _g(x1: int, z1: int, x2: int, z2: int) -> int:
+    """Aaronson–Gottesman phase function for row multiplication."""
+    if x1 == 0 and z1 == 0:
+        return 0
+    if x1 == 1 and z1 == 1:
+        return int(z2) - int(x2)
+    if x1 == 1 and z1 == 0:
+        return int(z2) * (2 * int(x2) - 1)
+    return int(x2) * (1 - 2 * int(z2))
+
+
+def simulate_circuit(
+    circuit: Circuit, *, seed: int | None = None
+) -> tuple[list[int], list[int], dict[int, int]]:
+    """Run ``circuit`` once; return (measurements, detector values, observable values)."""
+    simulator = TableauSimulator(circuit.num_qubits, seed=seed)
+    measurements = simulator.run(circuit)
+    detector_values = [
+        int(sum(measurements[m] for m in members) % 2)
+        for members in circuit.detectors()
+    ]
+    observable_values = {
+        index: int(sum(measurements[m] for m in members) % 2)
+        for index, members in circuit.observables().items()
+    }
+    return measurements, detector_values, observable_values

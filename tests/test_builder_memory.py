@@ -1,0 +1,162 @@
+"""Tests for the syndrome-round and memory-experiment circuit builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    ancilla_qubits,
+    append_logical_measurement,
+    append_syndrome_round,
+    build_memory_experiment,
+)
+from repro.noise import NoiseModel, brisbane_noise
+from repro.scheduling import lowest_depth_schedule, trivial_schedule
+from repro.sim import simulate_circuit
+
+
+class TestSyndromeRound:
+    def test_one_measurement_per_stabilizer(self, steane):
+        circuit = Circuit()
+        schedule = lowest_depth_schedule(steane)
+        record = append_syndrome_round(circuit, steane, schedule, noise=None)
+        assert len(record.measurements) == steane.num_stabilizers
+        assert circuit.num_measurements == steane.num_stabilizers
+
+    def test_gate_count_matches_total_checks(self, steane):
+        circuit = Circuit()
+        schedule = lowest_depth_schedule(steane)
+        append_syndrome_round(circuit, steane, schedule, noise=None)
+        cpaulis = [inst for inst in circuit.instructions if inst.name == "CPAULI"]
+        assert len(cpaulis) == sum(s.weight for s in steane.stabilizers)
+
+    def test_noiseless_round_has_no_noise_channels(self, steane):
+        circuit = Circuit()
+        append_syndrome_round(circuit, steane, lowest_depth_schedule(steane), noise=None)
+        assert all(not inst.is_noise() for inst in circuit.instructions)
+
+    def test_noisy_round_attaches_two_qubit_noise_to_every_check(self, steane, brisbane):
+        circuit = Circuit()
+        append_syndrome_round(circuit, steane, lowest_depth_schedule(steane), noise=brisbane)
+        cpaulis = sum(1 for inst in circuit.instructions if inst.name == "CPAULI")
+        depolarize2 = sum(1 for inst in circuit.instructions if inst.name == "DEPOLARIZE2")
+        assert depolarize2 == cpaulis
+
+    def test_idle_noise_present_when_enabled(self, steane, brisbane):
+        circuit = Circuit()
+        append_syndrome_round(circuit, steane, lowest_depth_schedule(steane), noise=brisbane)
+        assert any(inst.name == "DEPOLARIZE1" for inst in circuit.instructions)
+
+    def test_idle_noise_absent_when_disabled(self, steane):
+        noise = NoiseModel(two_qubit_error=0.01, idle_error=0.0)
+        circuit = Circuit()
+        append_syndrome_round(circuit, steane, lowest_depth_schedule(steane), noise=noise)
+        assert not any(inst.name == "DEPOLARIZE1" for inst in circuit.instructions)
+
+    def test_tick_count_equals_depth(self, steane):
+        circuit = Circuit()
+        schedule = lowest_depth_schedule(steane)
+        append_syndrome_round(circuit, steane, schedule, noise=None)
+        assert circuit.num_ticks == schedule.depth
+
+    def test_measures_the_intended_stabilizer_values(self, steane):
+        """Measuring a state twice yields identical syndrome outcomes."""
+        circuit = Circuit()
+        circuit.reset(*range(steane.num_qubits))
+        schedule = lowest_depth_schedule(steane)
+        first = append_syndrome_round(circuit, steane, schedule, noise=None)
+        second = append_syndrome_round(circuit, steane, schedule, noise=None)
+        for seed in range(3):
+            measurements, _, _ = simulate_circuit(circuit, seed=seed)
+            for stabilizer in first.measurements:
+                assert (
+                    measurements[first.measurements[stabilizer]]
+                    == measurements[second.measurements[stabilizer]]
+                )
+
+    def test_ancilla_indices_do_not_clash_with_data(self, steane):
+        assert min(ancilla_qubits(steane)) == steane.num_qubits
+
+
+class TestLogicalMeasurement:
+    def test_repeated_logical_measurement_is_deterministic(self, steane):
+        circuit = Circuit()
+        circuit.reset(*range(steane.num_qubits))
+        ancilla = steane.num_qubits + steane.num_stabilizers
+        first = append_logical_measurement(circuit, steane, steane.logical_xs[0], ancilla)
+        second = append_logical_measurement(circuit, steane, steane.logical_xs[0], ancilla + 1)
+        for seed in range(3):
+            measurements, _, _ = simulate_circuit(circuit, seed=seed)
+            assert measurements[first] == measurements[second]
+
+    def test_logical_z_on_zero_state_reads_plus_one(self, surface_d3):
+        circuit = Circuit()
+        circuit.reset(*range(surface_d3.num_qubits))
+        ancilla = surface_d3.num_qubits + surface_d3.num_stabilizers
+        index = append_logical_measurement(circuit, surface_d3, surface_d3.logical_zs[0], ancilla)
+        measurements, _, _ = simulate_circuit(circuit, seed=0)
+        assert measurements[index] == 0
+
+
+class TestMemoryExperiment:
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    def test_detector_and_observable_counts(self, steane, brisbane, basis):
+        schedule = lowest_depth_schedule(steane)
+        experiment = build_memory_experiment(steane, schedule, brisbane, basis=basis)
+        assert experiment.circuit.num_detectors == 2 * steane.num_stabilizers
+        assert experiment.circuit.num_observables == steane.num_logical_qubits
+
+    def test_detectors_deterministic_without_noise(self, steane, surface_d3, brisbane):
+        for code in (steane, surface_d3):
+            schedule = trivial_schedule(code)
+            experiment = build_memory_experiment(code, schedule, brisbane, basis="Z")
+            noiseless = experiment.circuit.without_noise()
+            for seed in range(3):
+                _, detectors, observables = simulate_circuit(noiseless, seed=seed)
+                assert all(value == 0 for value in detectors)
+                assert all(value == 0 for value in observables.values())
+
+    def test_detectors_deterministic_for_non_css_code(self, five_qubit, brisbane):
+        schedule = trivial_schedule(five_qubit)
+        experiment = build_memory_experiment(five_qubit, schedule, brisbane, basis="X")
+        noiseless = experiment.circuit.without_noise()
+        _, detectors, observables = simulate_circuit(noiseless, seed=1)
+        assert all(value == 0 for value in detectors)
+        assert all(value == 0 for value in observables.values())
+
+    def test_multi_logical_codes_get_one_observable_each(self, toric_d3, brisbane):
+        schedule = lowest_depth_schedule(toric_d3)
+        experiment = build_memory_experiment(toric_d3, schedule, brisbane, basis="Z")
+        assert experiment.circuit.num_observables == 2
+
+    def test_multiple_noisy_rounds(self, steane, brisbane):
+        schedule = lowest_depth_schedule(steane)
+        experiment = build_memory_experiment(
+            steane, schedule, brisbane, basis="Z", noisy_rounds=3
+        )
+        assert experiment.circuit.num_detectors == 4 * steane.num_stabilizers
+
+    def test_invalid_arguments(self, steane, brisbane):
+        schedule = lowest_depth_schedule(steane)
+        with pytest.raises(ValueError):
+            build_memory_experiment(steane, schedule, brisbane, basis="Y")
+        with pytest.raises(ValueError):
+            build_memory_experiment(steane, schedule, brisbane, noisy_rounds=0)
+
+    def test_noise_only_in_noisy_rounds(self, steane, brisbane):
+        schedule = lowest_depth_schedule(steane)
+        experiment = build_memory_experiment(steane, schedule, brisbane, basis="Z")
+        noise_channels = [inst for inst in experiment.circuit.instructions if inst.is_noise()]
+        # One DEPOLARIZE2 per check plus idle channels — but only one round's worth.
+        assert len(noise_channels) > 0
+        cpaulis = sum(
+            1 for inst in experiment.circuit.instructions if inst.name == "CPAULI"
+        )
+        depolarize2 = sum(
+            1 for inst in experiment.circuit.instructions if inst.name == "DEPOLARIZE2"
+        )
+        total_checks = sum(s.weight for s in steane.stabilizers)
+        logical_weight = 2 * sum(p.weight for p in steane.logical_zs)
+        assert cpaulis == 3 * total_checks + logical_weight
+        assert depolarize2 == total_checks

@@ -1,0 +1,121 @@
+"""Tests for the Clifford circuit IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Circuit, Instruction
+
+
+class TestInstructionValidation:
+    def test_unknown_instruction_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.append(Instruction("BOGUS", (0,)))
+
+    def test_noise_needs_probability(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.append(Instruction("X_ERROR", (0,)))
+
+    def test_noise_probability_bounds(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.append(Instruction("DEPOLARIZE1", (0,), probability=1.5))
+
+    def test_cpauli_needs_two_qubits_and_letter(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.append(Instruction("CPAULI", (0,), pauli="X"))
+        with pytest.raises(ValueError):
+            circuit.append(Instruction("CPAULI", (0, 1), pauli="Q"))
+
+    def test_depolarize2_needs_pairs(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.append(Instruction("DEPOLARIZE2", (0, 1, 2), probability=0.1))
+
+
+class TestBookkeeping:
+    def test_measurement_indices_are_sequential(self):
+        circuit = Circuit()
+        first = circuit.measure(0, 1)
+        second = circuit.measure(2)
+        assert first == [0, 1]
+        assert second == [2]
+        assert circuit.num_measurements == 3
+
+    def test_detector_indices(self):
+        circuit = Circuit()
+        circuit.measure(0)
+        circuit.measure(1)
+        assert circuit.detector([0]) == 0
+        assert circuit.detector([0, 1]) == 1
+        assert circuit.num_detectors == 2
+        assert circuit.detectors() == [(0,), (0, 1)]
+
+    def test_observables_merge_by_index(self):
+        circuit = Circuit()
+        circuit.measure(0, 1, 2)
+        circuit.observable(0, [0])
+        circuit.observable(0, [1])
+        circuit.observable(1, [2])
+        merged = circuit.observables()
+        assert merged[0] == (0, 1)
+        assert merged[1] == (2,)
+        assert circuit.num_observables == 2
+
+    def test_observable_include_cancels_duplicates(self):
+        circuit = Circuit()
+        circuit.measure(0)
+        circuit.observable(0, [0])
+        circuit.observable(0, [0])
+        assert circuit.observables()[0] == ()
+
+    def test_num_qubits_from_highest_index(self):
+        circuit = Circuit()
+        circuit.h(0)
+        circuit.cx(3, 7)
+        assert circuit.num_qubits == 8
+
+    def test_num_ticks(self):
+        circuit = Circuit()
+        circuit.tick()
+        circuit.h(0)
+        circuit.tick()
+        assert circuit.num_ticks == 2
+
+    def test_zero_probability_noise_is_dropped(self):
+        circuit = Circuit()
+        circuit.depolarize1(0.0, 0)
+        circuit.depolarize2(0.0, 0, 1)
+        circuit.x_error(0.0, 0)
+        assert len(circuit) == 0
+
+    def test_without_noise_strips_channels_only(self):
+        circuit = Circuit()
+        circuit.h(0)
+        circuit.depolarize1(0.1, 0)
+        circuit.cx(0, 1)
+        circuit.depolarize2(0.1, 0, 1)
+        circuit.measure(1)
+        stripped = circuit.without_noise()
+        assert len(stripped) == 3
+        assert all(not inst.is_noise() for inst in stripped.instructions)
+        # The original circuit is untouched.
+        assert len(circuit) == 5
+
+    def test_iadd_concatenates_instructions(self):
+        first = Circuit()
+        first.h(0)
+        second = Circuit()
+        second.h(1)
+        first += second
+        assert len(first) == 2
+
+    def test_str_rendering_mentions_gates(self):
+        circuit = Circuit()
+        circuit.cpauli(0, 1, "Z")
+        circuit.depolarize2(0.01, 0, 1)
+        text = str(circuit)
+        assert "CPAULI" in text and "DEPOLARIZE2" in text

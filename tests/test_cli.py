@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro.experiments`` command-line driver."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_figure7_writes_text_and_json(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "figure7",
+                "--shots",
+                "60",
+                "--synthesis-shots",
+                "40",
+                "--iterations",
+                "1",
+                "--max-evaluations",
+                "2",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "figure7" in captured
+        assert (tmp_path / "figure7.txt").exists()
+        rows = json.loads((tmp_path / "figure7.json").read_text())
+        assert {row["schedule"] for row in rows} == {
+            "clockwise",
+            "anticlockwise",
+            "google",
+            "trivial",
+        }
+
+    def test_unknown_asset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["figure99", "--out", str(tmp_path)])
+
+    def test_all_assets_registered_as_choices(self):
+        from repro.experiments import EXPERIMENTS
+
+        # ``all`` plus one entry per paper asset.
+        assert len(EXPERIMENTS) == 8
+
+    def test_output_directory_created(self, tmp_path):
+        target = Path(tmp_path) / "nested" / "results"
+        exit_code = main(
+            [
+                "figure7",
+                "--shots",
+                "40",
+                "--iterations",
+                "1",
+                "--out",
+                str(target),
+            ]
+        )
+        assert exit_code == 0
+        assert target.exists()

@@ -1,0 +1,125 @@
+"""Tests for the StabilizerCode / CSSCode base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import CSSCode, CodeValidationError, StabilizerCode
+from repro.pauli import PauliString, commutes
+
+
+class TestValidation:
+    def test_anticommuting_generators_rejected(self):
+        with pytest.raises(CodeValidationError):
+            StabilizerCode([PauliString.from_string("XI"), PauliString.from_string("ZI")])
+
+    def test_dependent_generators_rejected(self):
+        with pytest.raises(CodeValidationError):
+            StabilizerCode(
+                [
+                    PauliString.from_string("ZZI"),
+                    PauliString.from_string("IZZ"),
+                    PauliString.from_string("ZIZ"),
+                ]
+            )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CodeValidationError):
+            StabilizerCode(
+                [PauliString.from_string("ZZ"), PauliString.from_string("ZZZ")]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(CodeValidationError):
+            StabilizerCode([])
+
+    def test_css_condition_enforced(self):
+        hx = np.array([[1, 1, 0]], dtype=np.uint8)
+        hz = np.array([[1, 0, 1]], dtype=np.uint8)
+        with pytest.raises(CodeValidationError):
+            CSSCode(hx, hz)
+
+    def test_css_redundant_rows_removed(self):
+        hx = np.array([[1, 1, 1, 1], [1, 1, 1, 1]], dtype=np.uint8)
+        hz = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=np.uint8)
+        code = CSSCode(hx, hz)
+        assert code.num_stabilizers == 3
+        assert code.num_logical_qubits == 1
+
+
+class TestLogicalDerivation:
+    def test_parameters_of_422_code(self):
+        # The [[4,2,2]] code: stabilizers XXXX and ZZZZ.
+        hx = np.array([[1, 1, 1, 1]], dtype=np.uint8)
+        hz = np.array([[1, 1, 1, 1]], dtype=np.uint8)
+        code = CSSCode(hx, hz, name="422")
+        assert code.parameters()[:2] == (4, 2)
+        assert len(code.logical_xs) == 2
+        assert len(code.logical_zs) == 2
+
+    def test_logicals_commute_with_stabilizers(self, steane, five_qubit, toric_d3):
+        for code in (steane, five_qubit, toric_d3):
+            for logical in code.logical_xs + code.logical_zs:
+                for stabilizer in code.stabilizers:
+                    assert commutes(logical, stabilizer)
+
+    def test_logicals_are_symplectically_paired(self, steane, five_qubit, toric_d3, bb_code):
+        for code in (steane, five_qubit, toric_d3, bb_code):
+            xs, zs = code.logical_xs, code.logical_zs
+            assert len(xs) == len(zs) == code.num_logical_qubits
+            for i, logical_x in enumerate(xs):
+                for j, logical_z in enumerate(zs):
+                    assert commutes(logical_x, logical_z) == (i != j)
+
+    def test_logicals_outside_stabilizer_group(self, steane):
+        from repro.pauli.gf2 import gf2_row_span_contains
+
+        matrix = steane.stabilizer_matrix()
+        for logical in steane.logical_xs + steane.logical_zs:
+            assert not gf2_row_span_contains(matrix, logical.to_symplectic())
+
+    def test_set_logicals_rejects_wrong_pairing(self, steane):
+        with pytest.raises(CodeValidationError):
+            steane_copy = type(steane)(steane.hx, steane.hz, name="copy")
+            steane_copy.set_logicals(steane.logical_zs, steane.logical_zs)
+
+
+class TestDistance:
+    def test_steane_distance(self, steane):
+        assert steane.exact_distance(max_weight=3) == 3
+        assert steane.css_exact_distance(max_weight=3) == 3
+
+    def test_five_qubit_distance(self, five_qubit):
+        assert five_qubit.exact_distance(max_weight=3) == 3
+
+    def test_422_distance(self):
+        hx = np.array([[1, 1, 1, 1]], dtype=np.uint8)
+        code = CSSCode(hx, hx)
+        assert code.css_exact_distance(max_weight=2) == 2
+
+    def test_upper_bound_at_least_matches_declared(self, steane):
+        bound = steane.logical_weight_upper_bound(trials=50, seed=1)
+        assert bound >= 3
+        assert bound <= steane.num_qubits
+
+    def test_exact_distance_returns_none_below_cutoff(self, surface_d5):
+        # The d=5 surface code has no logical operator of weight <= 2.
+        assert surface_d5.css_exact_distance(max_weight=2) is None
+
+
+class TestChecksInterface:
+    def test_checks_match_support(self, steane):
+        checks = steane.checks()
+        assert len(checks) == steane.num_stabilizers
+        for stabilizer, stab_checks in zip(steane.stabilizers, checks):
+            assert sorted(q for q, _ in stab_checks) == stabilizer.support
+            for qubit, letter in stab_checks:
+                assert stabilizer.pauli_at(qubit) == letter
+
+    def test_mixed_letters_for_non_css(self, five_qubit):
+        letters = {letter for checks in five_qubit.checks() for _, letter in checks}
+        assert letters == {"X", "Z"}
+
+    def test_repr_contains_parameters(self, steane):
+        assert "[[7,1,3]]" in repr(steane)

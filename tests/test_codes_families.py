@@ -1,0 +1,205 @@
+"""Tests for the concrete code family constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    bb_code_72_12_6,
+    bivariate_bicycle_code,
+    defect_surface_code,
+    five_qubit_code,
+    hamming_7_4_check_matrix,
+    hexagonal_color_code,
+    hypergraph_product_code,
+    planar_surface_code,
+    rectangular_surface_code,
+    repetition_check_matrix,
+    repetition_code,
+    rotated_surface_code,
+    shor_code,
+    square_octagonal_color_code,
+    steane_code,
+    toric_code,
+    xzzx_surface_code,
+)
+from repro.pauli.gf2 import gf2_rank
+
+
+class TestRotatedSurface:
+    @pytest.mark.parametrize("distance", [2, 3, 5, 7])
+    def test_parameters(self, distance):
+        code = rotated_surface_code(distance)
+        assert code.num_qubits == distance * distance
+        assert code.num_logical_qubits == 1
+        assert code.declared_distance == distance
+
+    def test_distance_d3_exact(self):
+        assert rotated_surface_code(3).css_exact_distance(max_weight=3) == 3
+
+    def test_rectangular_distances(self):
+        code = rectangular_surface_code(3, 5)
+        assert code.num_qubits == 15
+        assert code.num_logical_qubits == 1
+        # Logical Z is a horizontal row (weight = cols), X a column (weight = rows).
+        assert code.logical_zs[0].weight == 5
+        assert code.logical_xs[0].weight == 3
+
+    def test_stabilizer_weights(self):
+        code = rotated_surface_code(5)
+        weights = sorted({s.weight for s in code.stabilizers})
+        assert weights == [2, 4]
+
+    def test_plaquette_metadata_present(self):
+        code = rotated_surface_code(3)
+        assert "plaquettes" in code.metadata
+        assert len(code.metadata["plaquettes"]) == code.num_stabilizers
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            rectangular_surface_code(1, 3)
+
+
+class TestPlanarAndDefect:
+    @pytest.mark.parametrize("distance", [2, 3, 5])
+    def test_planar_parameters(self, distance):
+        code = planar_surface_code(distance)
+        assert code.num_qubits == distance**2 + (distance - 1) ** 2
+        assert code.num_logical_qubits == 1
+
+    def test_planar_distance(self):
+        assert planar_surface_code(3).css_exact_distance(max_weight=3) == 3
+
+    def test_defect_adds_one_logical(self):
+        base = rotated_surface_code(5)
+        defect = defect_surface_code(5)
+        assert defect.num_qubits == base.num_qubits
+        assert defect.num_logical_qubits == base.num_logical_qubits + 1
+        assert defect.num_stabilizers == base.num_stabilizers - 1
+
+    def test_defect_metadata_records_removed_plaquette(self):
+        defect = defect_surface_code(5)
+        assert "removed_plaquette" in defect.metadata
+
+
+class TestColorCodes:
+    @pytest.mark.parametrize(
+        "distance,expected_n", [(3, 7), (5, 19), (7, 37), (9, 61)]
+    )
+    def test_hexagonal_parameters(self, distance, expected_n):
+        code = hexagonal_color_code(distance)
+        assert code.num_qubits == expected_n
+        assert code.num_logical_qubits == 1
+
+    def test_hexagonal_d3_is_steane_shaped(self):
+        code = hexagonal_color_code(3)
+        assert all(s.weight == 4 for s in code.stabilizers)
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_hexagonal_distance(self, distance):
+        assert hexagonal_color_code(distance).css_exact_distance(max_weight=distance) == distance
+
+    def test_face_weights_bounded_by_six(self):
+        code = hexagonal_color_code(7)
+        assert all(4 <= s.weight <= 6 for s in code.stabilizers)
+
+    def test_even_distance_rejected(self):
+        with pytest.raises(ValueError):
+            hexagonal_color_code(4)
+
+    def test_square_octagonal_substitute(self):
+        code = square_octagonal_color_code(3)
+        assert code.num_logical_qubits == 1
+        assert code.metadata["family"] == "square_octagonal_substitute"
+
+    def test_steane_alias(self):
+        assert steane_code().num_qubits == 7
+
+
+class TestBivariateBicycle:
+    def test_72_12_6_parameters(self):
+        code = bb_code_72_12_6()
+        assert code.parameters()[:2] == (72, 12)
+        assert all(s.weight == 6 for s in code.stabilizers)
+
+    def test_check_matrices_are_ldpc(self):
+        code = bb_code_72_12_6()
+        assert code.hx.sum(axis=1).max() == 6
+        # Column weights stay LDPC-small.  (The construction keeps only an
+        # independent generating set, so some columns drop below the weight-3
+        # column weight of the full redundant check matrix.)
+        assert code.hx.sum(axis=0).max() <= 3
+
+    def test_css_condition_always_holds(self):
+        # A and B are both polynomials in the commuting shifts x, y, so
+        # Hx @ Hz^T = AB + BA = 0 holds for any exponent choice.
+        code = bivariate_bicycle_code(4, 3, [(1, 0), (0, 2)], [(2, 1), (0, 1)], name="bb_any")
+        assert code.num_qubits == 24
+
+    def test_custom_instance_k(self):
+        # l=m=3 with A = 1 + x + y, B = 1 + x + y gives a small valid BB code.
+        code = bivariate_bicycle_code(
+            3, 3, [(0, 0), (1, 0), (0, 1)], [(0, 0), (1, 0), (0, 1)], name="bb_small"
+        )
+        assert code.num_qubits == 18
+        assert code.num_logical_qubits >= 2
+
+
+class TestHypergraphProduct:
+    def test_toric_parameters(self):
+        code = toric_code(3)
+        assert code.parameters()[:2] == (18, 2)
+        assert code.css_exact_distance(max_weight=3) == 3
+
+    def test_hamming_product_parameters(self):
+        code = hypergraph_product_code(
+            hamming_7_4_check_matrix(), hamming_7_4_check_matrix()
+        )
+        assert code.num_qubits == 58
+        assert code.num_logical_qubits == 16
+
+    def test_repetition_product_is_surface_like(self):
+        code = hypergraph_product_code(
+            repetition_check_matrix(3), repetition_check_matrix(3)
+        )
+        assert code.num_qubits == 13
+        assert code.num_logical_qubits == 1
+
+    def test_classical_seed_shapes(self):
+        assert repetition_check_matrix(5).shape == (4, 5)
+        assert gf2_rank(hamming_7_4_check_matrix()) == 3
+
+
+class TestSmallAndXZZX:
+    def test_five_qubit(self):
+        code = five_qubit_code()
+        assert code.parameters() == (5, 1, 3)
+
+    def test_shor(self):
+        code = shor_code()
+        assert code.parameters()[:2] == (9, 1)
+        assert code.css_exact_distance(max_weight=3) == 3
+
+    def test_repetition(self):
+        code = repetition_code(5)
+        assert code.num_logical_qubits == 1
+        assert code.logical_zs[0].weight == 1
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_xzzx_parameters(self, distance):
+        code = xzzx_surface_code(distance)
+        assert code.num_qubits == distance * distance
+        assert code.num_logical_qubits == 1
+
+    def test_xzzx_stabilizers_are_mixed(self):
+        code = xzzx_surface_code(3)
+        mixed = [
+            s
+            for s in code.stabilizers
+            if {"X", "Z"} <= {s.pauli_at(q) for q in s.support}
+        ]
+        assert mixed, "expected mixed-Pauli stabilizers in the XZZX code"
+
+    def test_xzzx_distance(self):
+        assert xzzx_surface_code(3).exact_distance(max_weight=3) == 3

@@ -1,0 +1,211 @@
+"""Tests for the MWPM, union-find, BP-OSD and lookup decoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_memory_experiment
+from repro.decoders import (
+    BPOSDDecoder,
+    LookupDecoder,
+    MWPMDecoder,
+    UnionFindDecoder,
+    decoder_factory,
+)
+from repro.noise import NoiseModel
+from repro.scheduling import google_surface_schedule, lowest_depth_schedule
+from repro.sim import build_detector_error_model, sample_detector_error_model
+
+ALL_DECODERS = [MWPMDecoder, UnionFindDecoder, BPOSDDecoder, LookupDecoder]
+
+
+def _surface_dem(code, noise=None, basis="Z"):
+    noise = noise or NoiseModel(two_qubit_error=0.01, idle_error=0.005)
+    schedule = google_surface_schedule(code)
+    experiment = build_memory_experiment(code, schedule, noise, basis=basis)
+    return build_detector_error_model(experiment.circuit)
+
+
+def _steane_dem(code, noise=None, basis="Z"):
+    noise = noise or NoiseModel(two_qubit_error=0.01, idle_error=0.005)
+    schedule = lowest_depth_schedule(code)
+    experiment = build_memory_experiment(code, schedule, noise, basis=basis)
+    return build_detector_error_model(experiment.circuit)
+
+
+class TestDecoderFactory:
+    def test_known_names(self):
+        for name in ("mwpm", "unionfind", "bposd", "lookup", "union_find", "bp_osd"):
+            assert callable(decoder_factory(name))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            decoder_factory("fancy")
+
+    def test_factory_builds_decoder(self, surface_d3):
+        dem = _surface_dem(surface_d3)
+        decoder = decoder_factory("mwpm")(dem)
+        assert isinstance(decoder, MWPMDecoder)
+
+
+class TestAllDecodersBasics:
+    @pytest.mark.parametrize("decoder_cls", ALL_DECODERS)
+    def test_trivial_syndrome_predicts_no_flip(self, surface_d3, decoder_cls):
+        dem = _surface_dem(surface_d3)
+        decoder = decoder_cls(dem)
+        prediction = decoder.decode(np.zeros(dem.num_detectors, dtype=np.uint8))
+        assert prediction.shape == (dem.num_observables,)
+        assert not prediction.any()
+
+    @pytest.mark.parametrize("decoder_cls", ALL_DECODERS)
+    def test_decode_batch_matches_single_shot(self, surface_d3, decoder_cls):
+        dem = _surface_dem(surface_d3)
+        batch = sample_detector_error_model(dem, 12, seed=0)
+        decoder = decoder_cls(dem)
+        batched = decoder.decode_batch(batch.detectors)
+        for shot in range(12):
+            single = decoder.decode(batch.detectors[shot])
+            assert np.array_equal(batched[shot], single)
+
+    @pytest.mark.parametrize("decoder_cls", ALL_DECODERS)
+    def test_single_mechanism_syndromes_get_consistent_corrections(
+        self, steane, surface_d3, decoder_cls
+    ):
+        """For a single-fault syndrome the decoder must predict the observable
+        flip of *some* mechanism with exactly that detector signature (it may
+        legitimately pick a more likely degenerate explanation).
+
+        Each decoder is checked on the decoding problem it is designed for:
+        matching/union-find on the (graph-like) surface-code DEM, BP-OSD and
+        the lookup table on the colour-code (hypergraph) DEM.
+        """
+        if decoder_cls in (MWPMDecoder, UnionFindDecoder):
+            dem = _surface_dem(surface_d3)
+        else:
+            dem = _steane_dem(steane)
+        decoder = decoder_cls(dem)
+        candidates: dict[frozenset, set[tuple]] = {}
+        for mechanism in dem.mechanisms:
+            candidates.setdefault(mechanism.detectors, set()).add(
+                tuple(sorted(mechanism.observables))
+            )
+        failures = 0
+        checked = 0
+        for signature, observable_options in candidates.items():
+            if not signature:
+                continue
+            checked += 1
+            syndrome = np.zeros(dem.num_detectors, dtype=np.uint8)
+            for detector in signature:
+                syndrome[detector] = 1
+            prediction = decoder.decode(syndrome)
+            predicted = tuple(int(i) for i in np.nonzero(prediction)[0])
+            if predicted not in observable_options:
+                failures += 1
+        assert checked > 0
+        # Heuristic decoders may occasionally prefer a multi-fault explanation,
+        # but most single-fault syndromes must decode to a consistent
+        # single-fault correction.
+        assert failures <= max(1, checked // 5)
+
+
+class TestDecodingAccuracy:
+    @pytest.mark.parametrize(
+        "decoder_cls", [MWPMDecoder, UnionFindDecoder, BPOSDDecoder, LookupDecoder]
+    )
+    def test_decoders_beat_no_correction_on_surface_code(self, surface_d3, decoder_cls):
+        dem = _surface_dem(surface_d3)
+        shots = 1500
+        batch = sample_detector_error_model(dem, shots, seed=11)
+        decoder = decoder_cls(dem)
+        predictions = decoder.decode_batch(batch.detectors)
+        decoded_errors = (predictions != batch.observables).any(axis=1).mean()
+        uncorrected_errors = batch.observables.any(axis=1).mean()
+        assert decoded_errors <= uncorrected_errors
+
+    def test_lookup_is_at_least_as_good_as_unionfind_on_small_code(self, steane):
+        dem = _steane_dem(steane)
+        batch = sample_detector_error_model(dem, 1500, seed=13)
+        lookup_errors = (
+            (LookupDecoder(dem).decode_batch(batch.detectors) != batch.observables)
+            .any(axis=1)
+            .mean()
+        )
+        uf_errors = (
+            (UnionFindDecoder(dem).decode_batch(batch.detectors) != batch.observables)
+            .any(axis=1)
+            .mean()
+        )
+        assert lookup_errors <= uf_errors + 0.01
+
+    def test_bposd_handles_multi_observable_codes(self, toric_d3):
+        noise = NoiseModel(two_qubit_error=0.01, idle_error=0.005)
+        schedule = lowest_depth_schedule(toric_d3)
+        experiment = build_memory_experiment(toric_d3, schedule, noise, basis="Z")
+        dem = build_detector_error_model(experiment.circuit)
+        batch = sample_detector_error_model(dem, 300, seed=5)
+        decoder = BPOSDDecoder(dem)
+        predictions = decoder.decode_batch(batch.detectors)
+        assert predictions.shape == batch.observables.shape
+        error_rate = (predictions != batch.observables).any(axis=1).mean()
+        assert error_rate <= batch.observables.any(axis=1).mean()
+
+
+class TestMWPMInternals:
+    def test_graph_contains_boundary(self, surface_d3):
+        decoder = MWPMDecoder(_surface_dem(surface_d3))
+        assert "boundary" in decoder.graph.nodes
+
+    def test_graphlike_property_reported(self, surface_d3):
+        dem = _surface_dem(surface_d3)
+        assert isinstance(dem.is_graphlike(), bool)
+
+    def test_single_defect_matches_to_boundary(self, surface_d3):
+        dem = _surface_dem(surface_d3)
+        decoder = MWPMDecoder(dem)
+        boundary_mechanisms = [m for m in dem.mechanisms if len(m.detectors) == 1]
+        assert boundary_mechanisms
+        mechanism = boundary_mechanisms[0]
+        syndrome = np.zeros(dem.num_detectors, dtype=np.uint8)
+        syndrome[next(iter(mechanism.detectors))] = 1
+        prediction = decoder.decode(syndrome)
+        expected = np.zeros(dem.num_observables, dtype=np.uint8)
+        for observable in mechanism.observables:
+            expected[observable] = 1
+        assert np.array_equal(prediction, expected)
+
+
+class TestBPOSDInternals:
+    def test_osd_solution_reproduces_syndrome(self, steane):
+        dem = _steane_dem(steane)
+        decoder = BPOSDDecoder(dem)
+        rng = np.random.default_rng(3)
+        faults = (rng.random(dem.num_mechanisms) < dem.priors * 20).astype(np.uint8)
+        syndrome = (dem.check_matrix.astype(np.int64) @ faults.astype(np.int64)) % 2
+        error = decoder._osd_zero(syndrome.astype(np.uint8), np.log(1 / dem.priors))
+        reproduced = (dem.check_matrix.astype(np.int64) @ error.astype(np.int64)) % 2
+        assert np.array_equal(reproduced.astype(np.uint8), syndrome.astype(np.uint8))
+
+    def test_iteration_budget_respected(self, steane):
+        dem = _steane_dem(steane)
+        decoder = BPOSDDecoder(dem, max_iterations=2)
+        batch = sample_detector_error_model(dem, 30, seed=1)
+        predictions = decoder.decode_batch(batch.detectors)
+        assert predictions.shape == (30, dem.num_observables)
+
+
+class TestUnionFindInternals:
+    def test_growth_terminates_on_full_syndrome(self, steane):
+        dem = _steane_dem(steane)
+        decoder = UnionFindDecoder(dem)
+        syndrome = np.ones(dem.num_detectors, dtype=np.uint8)
+        prediction = decoder.decode(syndrome)
+        assert prediction.shape == (dem.num_observables,)
+
+    def test_respects_max_growth_rounds(self, steane):
+        dem = _steane_dem(steane)
+        decoder = UnionFindDecoder(dem, max_growth_rounds=1)
+        batch = sample_detector_error_model(dem, 20, seed=2)
+        predictions = decoder.decode_batch(batch.detectors)
+        assert predictions.shape == (20, dem.num_observables)

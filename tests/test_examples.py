@@ -1,0 +1,60 @@
+"""Smoke tests for the example scripts.
+
+The examples are user-facing entry points; these tests check that every
+example compiles, exposes a ``main`` function, and documents how to run it,
+without paying the cost of executing full synthesis runs in the test suite.
+The examples themselves are exercised end-to-end by the benchmark harness'
+experiment drivers, which share the same code paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_parses_and_documents_usage(self, path):
+        tree = ast.parse(path.read_text())
+        docstring = ast.get_docstring(tree)
+        assert docstring, f"{path.name} is missing a module docstring"
+        assert "python examples/" in docstring
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_defines_main_guard(self, path):
+        source = path.read_text()
+        assert "def main(" in source
+        assert '__name__ == "__main__"' in source
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_imports_only_public_api(self, path):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    # Examples must not reach into private modules.
+                    assert not any(part.startswith("_") for part in node.module.split("."))
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_importable(self, path, monkeypatch):
+        """Importing the module must not execute the experiment (main guard)."""
+        module = _load_module(path)
+        assert hasattr(module, "main")

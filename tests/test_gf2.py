@@ -1,0 +1,154 @@
+"""Unit and property tests for the GF(2) linear algebra kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.pauli.gf2 import (
+    gf2_inverse,
+    gf2_matmul,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_row_reduce,
+    gf2_row_span_contains,
+    gf2_solve,
+)
+
+small_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestRowReduce:
+    def test_identity_is_fixed_point(self):
+        identity = np.eye(4, dtype=np.uint8)
+        reduced, pivots = gf2_row_reduce(identity)
+        assert np.array_equal(reduced, identity)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_dependent_rows_reduce_to_zero(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        reduced, pivots = gf2_row_reduce(matrix)
+        assert len(pivots) == 2
+        assert not reduced[2].any()
+
+    def test_preserves_shape(self):
+        matrix = np.array([[1, 0, 1, 1], [1, 0, 1, 1]], dtype=np.uint8)
+        reduced, _ = gf2_row_reduce(matrix)
+        assert reduced.shape == matrix.shape
+
+    @given(small_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_row_space_preserved(self, matrix):
+        reduced, _ = gf2_row_reduce(matrix)
+        # Every original row lies in the span of the reduced rows and vice versa.
+        assert gf2_rank(np.vstack([matrix, reduced])) == gf2_rank(matrix)
+
+
+class TestRank:
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_full_rank(self):
+        assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_empty(self):
+        assert gf2_rank(np.zeros((0, 4), dtype=np.uint8)) == 0
+
+    @given(small_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_bounds(self, matrix):
+        rank = gf2_rank(matrix)
+        assert 0 <= rank <= min(matrix.shape)
+
+    @given(small_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_rank_of_transpose(self, matrix):
+        assert gf2_rank(matrix) == gf2_rank(matrix.T)
+
+
+class TestSolve:
+    def test_simple_system(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        rhs = np.array([1, 0], dtype=np.uint8)
+        solution = gf2_solve(matrix, rhs)
+        assert solution is not None
+        assert np.array_equal(gf2_matmul(matrix, solution.reshape(-1, 1)).reshape(-1), rhs)
+
+    def test_inconsistent_system(self):
+        matrix = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        rhs = np.array([0, 1], dtype=np.uint8)
+        assert gf2_solve(matrix, rhs) is None
+
+    def test_wrong_rhs_length(self):
+        with pytest.raises(ValueError):
+            gf2_solve(np.eye(2, dtype=np.uint8), np.array([1, 0, 0], dtype=np.uint8))
+
+    @given(small_matrices, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_solution_of_reachable_rhs(self, matrix, data):
+        x = data.draw(
+            arrays(np.uint8, shape=matrix.shape[1], elements=st.integers(0, 1))
+        )
+        rhs = gf2_matmul(matrix, x.reshape(-1, 1)).reshape(-1)
+        solution = gf2_solve(matrix, rhs)
+        assert solution is not None
+        assert np.array_equal(
+            gf2_matmul(matrix, solution.reshape(-1, 1)).reshape(-1), rhs
+        )
+
+
+class TestNullspace:
+    def test_identity_has_trivial_nullspace(self):
+        assert gf2_nullspace(np.eye(3, dtype=np.uint8)).shape[0] == 0
+
+    def test_dimension_theorem(self):
+        matrix = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=np.uint8)
+        null = gf2_nullspace(matrix)
+        assert null.shape[0] == 4 - gf2_rank(matrix)
+
+    @given(small_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_nullspace_vectors_annihilate(self, matrix):
+        null = gf2_nullspace(matrix)
+        assert null.shape[0] == matrix.shape[1] - gf2_rank(matrix)
+        for vector in null:
+            product = gf2_matmul(matrix, vector.reshape(-1, 1))
+            assert not product.any()
+
+
+class TestInverse:
+    def test_round_trip(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 0], [1, 0, 1]], dtype=np.uint8)
+        inverse = gf2_inverse(matrix)
+        assert np.array_equal(gf2_matmul(matrix, inverse), np.eye(3, dtype=np.uint8))
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.array([[1, 1], [1, 1]], dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf2_inverse(np.ones((2, 3), dtype=np.uint8))
+
+
+class TestRowSpan:
+    def test_membership(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        assert gf2_row_span_contains(matrix, np.array([1, 0, 1], dtype=np.uint8))
+        assert not gf2_row_span_contains(matrix, np.array([1, 0, 0], dtype=np.uint8))
+
+    def test_zero_vector_always_contained(self):
+        matrix = np.array([[1, 0]], dtype=np.uint8)
+        assert gf2_row_span_contains(matrix, np.zeros(2, dtype=np.uint8))
+
+    def test_empty_matrix(self):
+        empty = np.zeros((0, 3), dtype=np.uint8)
+        assert gf2_row_span_contains(empty, np.zeros(3, dtype=np.uint8))
+        assert not gf2_row_span_contains(empty, np.array([1, 0, 0], dtype=np.uint8))

@@ -1,0 +1,124 @@
+"""Cross-layer integration and property-based tests.
+
+These tests tie several subsystems together: random schedules must always
+produce deterministic detectors, the DEM pipeline must stay consistent with
+direct stabilizer simulation, and decoding must never *increase* the logical
+error rate relative to no correction for any valid schedule.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import build_memory_experiment
+from repro.codes import repetition_code, rotated_surface_code, steane_code
+from repro.decoders import LookupDecoder, UnionFindDecoder
+from repro.noise import NoiseModel, brisbane_noise
+from repro.scheduling import random_order_schedule
+from repro.sim import (
+    build_detector_error_model,
+    sample_detector_error_model,
+    simulate_circuit,
+)
+
+
+class TestRandomScheduleInvariants:
+    @given(st.integers(0, 10_000), st.sampled_from(["Z", "X"]))
+    @settings(max_examples=6, deadline=None)
+    def test_detectors_deterministic_for_random_schedules(self, seed, basis):
+        """Every valid schedule must give noiseless-deterministic detectors."""
+        code = steane_code()
+        schedule = random_order_schedule(code, rng=random.Random(seed))
+        experiment = build_memory_experiment(code, schedule, brisbane_noise(), basis=basis)
+        noiseless = experiment.circuit.without_noise()
+        _, detectors, observables = simulate_circuit(noiseless, seed=seed % 7)
+        assert all(value == 0 for value in detectors)
+        assert all(value == 0 for value in observables.values())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_dem_mechanism_count_scales_with_depth(self, seed):
+        """Deeper schedules contain at least as many idle-error mechanisms."""
+        code = repetition_code(3)
+        noise = NoiseModel(two_qubit_error=0.01, idle_error=0.005)
+        schedule = random_order_schedule(code, rng=random.Random(seed))
+        experiment = build_memory_experiment(code, schedule, noise, basis="Z")
+        dem = build_detector_error_model(experiment.circuit)
+        assert dem.num_mechanisms > 0
+        assert dem.num_detectors == 2 * code.num_stabilizers
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=4, deadline=None)
+    def test_decoding_never_hurts_for_random_schedules(self, seed):
+        code = steane_code()
+        noise = NoiseModel(two_qubit_error=0.01, idle_error=0.002)
+        schedule = random_order_schedule(code, rng=random.Random(seed))
+        experiment = build_memory_experiment(code, schedule, noise, basis="Z")
+        dem = build_detector_error_model(experiment.circuit)
+        batch = sample_detector_error_model(dem, 600, seed=seed % 17)
+        decoder = LookupDecoder(dem)
+        predictions = decoder.decode_batch(batch.detectors)
+        decoded = (predictions != batch.observables).any(axis=1).mean()
+        raw = batch.observables.any(axis=1).mean()
+        assert decoded <= raw + 1e-9
+
+
+class TestSchedulesChangeErrorProfile:
+    def test_different_orders_give_different_dems(self):
+        """The whole premise of the paper: ordering changes the error model."""
+        code = rotated_surface_code(3)
+        noise = brisbane_noise()
+        first = random_order_schedule(code, rng=random.Random(1))
+        second = random_order_schedule(code, rng=random.Random(2))
+        dem_first = build_detector_error_model(
+            build_memory_experiment(code, first, noise, basis="Z").circuit
+        )
+        dem_second = build_detector_error_model(
+            build_memory_experiment(code, second, noise, basis="Z").circuit
+        )
+        signatures_first = {(m.detectors, m.observables) for m in dem_first.mechanisms}
+        signatures_second = {(m.detectors, m.observables) for m in dem_second.mechanisms}
+        assert signatures_first != signatures_second
+
+    def test_hook_error_direction_depends_on_order(self):
+        """Clockwise vs anti-clockwise orders bias logical X vs logical Z errors
+        in opposite directions (the Figure 7 effect)."""
+        from repro.scheduling import anticlockwise_surface_schedule, clockwise_surface_schedule
+
+        code = rotated_surface_code(3)
+        noise = brisbane_noise()
+        rates = {}
+        for label, schedule in (
+            ("cw", clockwise_surface_schedule(code)),
+            ("acw", anticlockwise_surface_schedule(code)),
+        ):
+            experiment = build_memory_experiment(code, schedule, noise, basis="Z")
+            dem = build_detector_error_model(experiment.circuit)
+            batch = sample_detector_error_model(dem, 4000, seed=3)
+            decoder = UnionFindDecoder(dem)
+            predictions = decoder.decode_batch(batch.detectors)
+            rates[label] = (predictions != batch.observables).any(axis=1).mean()
+        # The two orders must not produce identical logical X error rates; the
+        # bias direction itself is asserted at the aggregate level in the
+        # figure-7 experiment test.
+        assert rates["cw"] != rates["acw"]
+
+    def test_noise_scaling_monotonicity(self):
+        code = steane_code()
+        from repro.scheduling import lowest_depth_schedule
+
+        schedule = lowest_depth_schedule(code)
+        overall = []
+        for p in (0.002, 0.01, 0.03):
+            noise = NoiseModel(two_qubit_error=p, idle_error=p / 2)
+            experiment = build_memory_experiment(code, schedule, noise, basis="Z")
+            dem = build_detector_error_model(experiment.circuit)
+            batch = sample_detector_error_model(dem, 2500, seed=5)
+            decoder = LookupDecoder(dem)
+            predictions = decoder.decode_batch(batch.detectors)
+            overall.append((predictions != batch.observables).any(axis=1).mean())
+        assert overall[0] <= overall[1] <= overall[2]

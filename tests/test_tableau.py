@@ -1,0 +1,176 @@
+"""Tests for the stabilizer tableau simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Instruction
+from repro.sim import TableauSimulator, simulate_circuit
+
+
+class TestSingleQubit:
+    def test_zero_state_measures_zero(self):
+        simulator = TableauSimulator(1, seed=0)
+        assert simulator.measure_z(0) == 0
+
+    def test_x_gate_flips_measurement(self):
+        simulator = TableauSimulator(1, seed=0)
+        simulator.x_gate(0)
+        assert simulator.measure_z(0) == 1
+
+    def test_plus_state_measures_randomly_but_repeatably(self):
+        outcomes = set()
+        for seed in range(8):
+            simulator = TableauSimulator(1, seed=seed)
+            simulator.hadamard(0)
+            first = simulator.measure_z(0)
+            second = simulator.measure_z(0)
+            outcomes.add(first)
+            assert first == second  # collapse
+        assert outcomes == {0, 1}
+
+    def test_x_basis_measurement_of_plus_state(self):
+        simulator = TableauSimulator(1, seed=0)
+        simulator.hadamard(0)
+        assert simulator.measure_x(0) == 0
+
+    def test_phase_gate_turns_x_into_y(self):
+        # S H |0> = S|+> = |+i>; measuring X is then random, measuring Z random,
+        # but S^2 H |0> = Z|+> = |->, measuring X gives 1 deterministically.
+        simulator = TableauSimulator(1, seed=3)
+        simulator.hadamard(0)
+        simulator.phase(0)
+        simulator.phase(0)
+        assert simulator.measure_x(0) == 1
+
+    def test_reset_returns_to_zero(self):
+        simulator = TableauSimulator(1, seed=5)
+        simulator.hadamard(0)
+        simulator.reset_z(0)
+        assert simulator.measure_z(0) == 0
+
+
+class TestEntanglement:
+    def test_bell_pair_correlations(self):
+        for seed in range(6):
+            simulator = TableauSimulator(2, seed=seed)
+            simulator.hadamard(0)
+            simulator.cnot(0, 1)
+            assert simulator.measure_z(0) == simulator.measure_z(1)
+
+    def test_ghz_parity(self):
+        for seed in range(6):
+            simulator = TableauSimulator(3, seed=seed)
+            simulator.hadamard(0)
+            simulator.cnot(0, 1)
+            simulator.cnot(0, 2)
+            outcomes = [simulator.measure_z(q) for q in range(3)]
+            assert len(set(outcomes)) == 1
+
+    def test_cz_is_symmetric(self):
+        for seed in range(4):
+            first = TableauSimulator(2, seed=seed)
+            first.hadamard(0)
+            first.hadamard(1)
+            first.cz(0, 1)
+            second = TableauSimulator(2, seed=seed)
+            second.hadamard(0)
+            second.hadamard(1)
+            second.cz(1, 0)
+            assert first.measure_x(0) == second.measure_x(0)
+
+    def test_swap(self):
+        simulator = TableauSimulator(2, seed=0)
+        simulator.x_gate(0)
+        simulator.swap(0, 1)
+        assert simulator.measure_z(0) == 0
+        assert simulator.measure_z(1) == 1
+
+
+class TestAncillaStabilizerMeasurement:
+    def test_zz_measurement_via_phase_kickback(self):
+        """RX + CZ + CZ + MX measures Z0 Z1 (deterministic +1 on |00>)."""
+        circuit = Circuit()
+        circuit.reset(0, 1)
+        circuit.reset(2, basis="X")
+        circuit.cz(2, 0)
+        circuit.cz(2, 1)
+        circuit.measure(2, basis="X")
+        measurements, _, _ = simulate_circuit(circuit, seed=0)
+        assert measurements[0] == 0
+
+    def test_zz_measurement_detects_x_error(self):
+        circuit = Circuit()
+        circuit.reset(0, 1)
+        circuit.append(Instruction("X", (0,)))
+        circuit.reset(2, basis="X")
+        circuit.cz(2, 0)
+        circuit.cz(2, 1)
+        circuit.measure(2, basis="X")
+        measurements, _, _ = simulate_circuit(circuit, seed=0)
+        assert measurements[0] == 1
+
+    def test_xx_measurement_on_bell_state(self):
+        # |Phi+> is a +1 eigenstate of XX.
+        circuit = Circuit()
+        circuit.reset(0, 1)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.reset(2, basis="X")
+        circuit.cpauli(2, 0, "X")
+        circuit.cpauli(2, 1, "X")
+        circuit.measure(2, basis="X")
+        measurements, _, _ = simulate_circuit(circuit, seed=0)
+        assert measurements[0] == 0
+
+    def test_controlled_y_measures_y_stabilizer(self):
+        # S H |0> = |+i> is the +1 eigenstate of Y.
+        circuit = Circuit()
+        circuit.reset(0)
+        circuit.h(0)
+        circuit.s(0)
+        circuit.reset(1, basis="X")
+        circuit.cpauli(1, 0, "Y")
+        circuit.measure(1, basis="X")
+        measurements, _, _ = simulate_circuit(circuit, seed=0)
+        assert measurements[0] == 0
+
+
+class TestNoiseInjection:
+    def test_deterministic_error_probability_one(self):
+        circuit = Circuit()
+        circuit.reset(0)
+        circuit.x_error(1.0, 0)
+        circuit.measure(0)
+        for seed in range(4):
+            measurements, _, _ = simulate_circuit(circuit, seed=seed)
+            assert measurements[0] == 1
+
+    def test_error_probability_zero_never_fires(self):
+        circuit = Circuit()
+        circuit.reset(0)
+        circuit.measure(0)
+        circuit.x_error(1e-30, 0)
+        measurements, _, _ = simulate_circuit(circuit, seed=7)
+        assert measurements[0] == 0
+
+    def test_depolarize_statistics_roughly_correct(self):
+        flips = 0
+        shots = 300
+        for seed in range(shots):
+            circuit = Circuit()
+            circuit.reset(0)
+            circuit.x_error(0.5, 0)
+            circuit.measure(0)
+            measurements, _, _ = simulate_circuit(circuit, seed=seed)
+            flips += measurements[0]
+        assert 0.3 < flips / shots < 0.7
+
+    def test_run_returns_full_record(self):
+        circuit = Circuit()
+        circuit.reset(0, 1)
+        circuit.measure(0, 1)
+        simulator = TableauSimulator(circuit.num_qubits, seed=0)
+        record = simulator.run(circuit)
+        assert record == [0, 0]
