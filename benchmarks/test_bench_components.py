@@ -8,12 +8,12 @@ rollout shot budget.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+from repro.api import codes, decoders
 from repro.circuits import build_memory_experiment
-from repro.codes import get_code
 from repro.core import MCTSConfig, PartitionMCTS, ScheduleEvaluator
-from repro.decoders import decoder_factory
 from repro.noise import brisbane_noise
 from repro.scheduling import checks_of_code, google_surface_schedule, lowest_depth_schedule
 from repro.sim import build_detector_error_model, sample_detector_error_model
@@ -21,7 +21,7 @@ from repro.sim import build_detector_error_model, sample_detector_error_model
 
 @pytest.fixture(scope="module")
 def surface_dem():
-    code = get_code("rotated_surface_d3")
+    code = codes.build("surface:d=3")
     experiment = build_memory_experiment(
         code, google_surface_schedule(code), brisbane_noise(), basis="Z"
     )
@@ -30,7 +30,7 @@ def surface_dem():
 
 class TestComponentThroughput:
     def test_dem_extraction_surface_d3(self, benchmark):
-        code = get_code("rotated_surface_d3")
+        code = codes.build("surface:d=3")
         experiment = build_memory_experiment(
             code, google_surface_schedule(code), brisbane_noise(), basis="Z"
         )
@@ -38,7 +38,7 @@ class TestComponentThroughput:
         assert dem.num_mechanisms > 0
 
     def test_dem_extraction_color_d5(self, benchmark):
-        code = get_code("hexagonal_color_d5")
+        code = codes.build("color:d=5")
         experiment = build_memory_experiment(
             code, lowest_depth_schedule(code), brisbane_noise(), basis="Z"
         )
@@ -53,21 +53,36 @@ class TestComponentThroughput:
 
     @pytest.mark.parametrize("decoder_name", ["mwpm", "unionfind", "bposd", "lookup"])
     def test_decoder_throughput(self, benchmark, surface_dem, decoder_name):
-        decoder = decoder_factory(decoder_name)(surface_dem)
+        decoder = decoders.build(decoder_name)(surface_dem)
         batch = sample_detector_error_model(surface_dem, 200, seed=1)
         predictions = benchmark.pedantic(
             decoder.decode_batch, args=(batch.detectors,), rounds=1, iterations=1
         )
         assert predictions.shape == batch.observables.shape
 
+    def test_lookup_decode_batch_vectorized(self, benchmark, surface_dem):
+        """Micro-benchmark of the NumPy-indexed LookupDecoder.decode_batch.
+
+        The vectorised path packs syndromes into uint64 keys and resolves
+        the whole batch with one searchsorted; the assertion pins it to the
+        per-shot reference on a slice of the batch.
+        """
+        decoder = decoders.build("lookup")(surface_dem)
+        batch = sample_detector_error_model(surface_dem, 20000, seed=2)
+        predictions = benchmark(decoder.decode_batch, batch.detectors)
+        reference = np.array(
+            [decoder.decode(syndrome) for syndrome in batch.detectors[:200]], dtype=np.uint8
+        )
+        assert np.array_equal(predictions[:200], reference)
+
 
 class TestAblations:
     def _search(self, *, reuse: bool, objective: str = "inverse", shots: int = 80) -> tuple:
-        code = get_code("steane")
+        code = codes.build("steane")
         evaluator = ScheduleEvaluator(
             code=code,
             noise=brisbane_noise(),
-            decoder_factory=decoder_factory("lookup"),
+            decoder_factory=decoders.build("lookup"),
             shots=shots,
             seed=0,
             objective=objective,

@@ -1,9 +1,12 @@
 """Decoder-aware compilation of a colour-code syndrome schedule.
 
-Demonstrates the paper's cross-decoder observation (Section 5.5 / Table 4):
-compiling the hexagonal colour code's schedule against BP-OSD versus the
-hypergraph union-find decoder yields different schedules, and each performs
-best with the decoder it was compiled for.
+Demonstrates the paper's cross-decoder observation (Section 5.5 / Table 4)
+through ``repro.api``: compiling the hexagonal colour code's schedule
+against BP-OSD versus the hypergraph union-find decoder yields different
+schedules, and each performs best with the decoder it was compiled for.
+Each compile is one :class:`~repro.api.RunSpec` with the
+``"alphasyndrome"`` scheduler; cross-testing reuses the synthesised
+schedule through the pipeline's staged artifacts.
 
 Run with::
 
@@ -14,10 +17,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.codes import hexagonal_color_code
-from repro.core import AlphaSyndrome, MCTSConfig
-from repro.decoders import decoder_factory
-from repro.noise import brisbane_noise
+from repro.api import Budget, Pipeline, RunSpec
 from repro.sim import estimate_logical_error_rates
 
 
@@ -30,32 +30,34 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    code = hexagonal_color_code(args.distance)
-    noise = brisbane_noise()
     decoders = ("bposd", "unionfind")
-    print(f"code: {code!r}")
+    base = RunSpec(
+        code=f"color:d={args.distance}",
+        scheduler="alphasyndrome",
+        seed=args.seed,
+        budget=Budget(
+            shots=args.shots,
+            synthesis_shots=args.synthesis_shots,
+            iterations_per_step=args.iterations,
+        ),
+    )
 
-    schedules = {}
+    pipelines = {}
     for decoder in decoders:
         print(f"compiling against {decoder} ...")
-        alpha = AlphaSyndrome(
-            code=code,
-            noise=noise,
-            decoder_factory=decoder_factory(decoder),
-            shots=args.synthesis_shots,
-            mcts_config=MCTSConfig(iterations_per_step=args.iterations, seed=args.seed),
-            seed=args.seed,
-        )
-        schedules[decoder] = alpha.synthesize().schedule
+        pipelines[decoder] = Pipeline(base.replace(decoder=decoder))
+        pipelines[decoder].schedule  # force the synthesis stage
 
+    reference = pipelines[decoders[0]]
+    print(f"code: {reference.code!r}")
     print(f"\n{'compiled for':<14} {'tested with':<12} {'overall logical error':>22}")
     for test_decoder in decoders:
-        factory = decoder_factory(test_decoder)
+        factory = Pipeline(base.replace(decoder=test_decoder)).decoder_factory
         for compile_decoder in decoders:
             rates = estimate_logical_error_rates(
-                code,
-                schedules[compile_decoder],
-                noise,
+                reference.code,
+                pipelines[compile_decoder].schedule,
+                reference.noise,
                 factory,
                 shots=args.shots,
                 seed=args.seed,

@@ -1,9 +1,12 @@
 """Scheduling a user-supplied QEC code loaded from the artifact JSON format.
 
-Shows the full "bring your own code" path: serialise a code to the paper
-artifact's JSON format, load it back, partition its stabilizers, build the
-baseline schedules, and synthesise an optimised schedule for the decoder of
-choice.  Point ``--json`` at your own file to schedule a custom code.
+Shows the full "bring your own code" path on top of ``repro.api``:
+serialise a code to the paper artifact's JSON format, load it back,
+register it under a name with the ``repro.api.codes`` registry (exactly
+what a downstream package would do with ``@register_code``), and then run
+it through the declarative pipeline like any built-in code — including
+AlphaSyndrome synthesis for the decoder of choice.  Point ``--json`` at
+your own file to schedule a custom code.
 
 Run with::
 
@@ -16,13 +19,10 @@ import argparse
 import tempfile
 from pathlib import Path
 
+from repro.api import Budget, Pipeline, RunSpec, codes
 from repro.codes import five_qubit_code
-from repro.core import AlphaSyndrome, MCTSConfig
-from repro.decoders import decoder_factory
 from repro.io import dump_code_json, load_code_json
-from repro.noise import brisbane_noise
-from repro.scheduling import lowest_depth_schedule, partition_stabilizers, trivial_schedule
-from repro.sim import estimate_logical_error_rates
+from repro.scheduling import partition_stabilizers
 
 
 def main() -> None:
@@ -44,34 +44,35 @@ def main() -> None:
     code = load_code_json(path)
     print(f"loaded {code!r}")
 
+    # Register the loaded code so spec strings (and the CLI) can name it.
+    if "custom" not in codes:
+        codes.add("custom", lambda: load_code_json(path), help="user-supplied JSON code")
+
     partitions = partition_stabilizers(code)
     print(f"stabilizer partitions (Algorithm 1): {partitions}")
 
-    noise = brisbane_noise()
-    factory = decoder_factory(args.decoder)
-    alpha = AlphaSyndrome(
-        code=code,
-        noise=noise,
-        decoder_factory=factory,
-        shots=max(100, args.shots // 5),
-        mcts_config=MCTSConfig(iterations_per_step=args.iterations, seed=args.seed),
+    base = RunSpec(
+        code="custom",
+        decoder=args.decoder,
+        scheduler="alphasyndrome",
         seed=args.seed,
+        budget=Budget(
+            shots=args.shots,
+            synthesis_shots=max(100, args.shots // 5),
+            iterations_per_step=args.iterations,
+        ),
     )
-    result = alpha.synthesize()
+    synthesis_run = Pipeline(base)
 
     print(f"\n{'schedule':<14} {'depth':>5} {'overall logical error':>22}")
-    for label, schedule in (
-        ("alphasyndrome", result.schedule),
-        ("lowest_depth", lowest_depth_schedule(code)),
-        ("trivial", trivial_schedule(code)),
-    ):
-        rates = estimate_logical_error_rates(
-            code, schedule, noise, factory, shots=args.shots, seed=args.seed
+    for scheduler in ("alphasyndrome", "lowest_depth", "trivial"):
+        run = synthesis_run if scheduler == "alphasyndrome" else Pipeline(
+            base.replace(scheduler=scheduler)
         )
-        print(f"{label:<14} {schedule.depth:>5} {rates.overall:>22.3e}")
+        print(f"{scheduler:<14} {run.schedule.depth:>5} {run.rates.overall:>22.3e}")
 
     print("\nfinal schedule (tick -> checks):")
-    for tick, checks in result.schedule.ticks().items():
+    for tick, checks in synthesis_run.schedule.ticks().items():
         rendered = ", ".join(
             f"S{c.stabilizer}:{c.pauli}@q{c.data_qubit}" for c in checks
         )

@@ -2,8 +2,10 @@
 
 Google's zig-zag schedule is designed for a uniform error model; when the
 ancilla qubits have unequal error rates the best ordering changes.  This
-example draws a per-ancilla noise profile, synthesises a schedule tailored
-to it with AlphaSyndrome, and compares against Google's schedule and the
+example uses the registry's ``"nonuniform"`` noise spec (which draws a
+per-ancilla profile for the code it is built against), synthesises a
+schedule tailored to it with the ``"alphasyndrome"`` scheduler, and sweeps
+the scheduler field to compare against Google's schedule and the
 lowest-depth baseline under the same profile.
 
 Run with::
@@ -15,12 +17,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.codes import rotated_surface_code
-from repro.core import AlphaSyndrome, MCTSConfig
-from repro.decoders import decoder_factory
-from repro.noise import non_uniform_noise
-from repro.scheduling import google_surface_schedule, lowest_depth_schedule
-from repro.sim import estimate_logical_error_rates
+from repro.api import Budget, Pipeline, RunSpec
+from repro.seeding import named_stream, stream_to_int
 
 
 def main() -> None:
@@ -33,39 +31,38 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    code = rotated_surface_code(args.distance)
-    ancillas = [code.num_qubits + s for s in range(code.num_stabilizers)]
-    noise = non_uniform_noise(ancillas, variance=args.variance, seed=args.seed + 11)
-    factory = decoder_factory("mwpm")
+    spec = RunSpec(
+        code=f"surface:d={args.distance}",
+        noise=f"nonuniform:variance={args.variance},"
+        f"seed={stream_to_int(named_stream(args.seed, 'noise'))}",
+        decoder="mwpm",
+        scheduler="alphasyndrome",
+        seed=args.seed,
+        budget=Budget(
+            shots=args.shots,
+            synthesis_shots=args.synthesis_shots,
+            iterations_per_step=args.iterations,
+        ),
+    )
+    pipeline = Pipeline(spec)
 
+    code = pipeline.code
+    ancillas = [code.num_qubits + s for s in range(code.num_stabilizers)]
     print(f"code: {code!r}")
     print("per-ancilla two-qubit error rates:")
     for ancilla in ancillas:
-        print(f"  ancilla {ancilla}: {noise.two_qubit_rate(ancilla, 0):.5f}")
+        print(f"  ancilla {ancilla}: {pipeline.noise.two_qubit_rate(ancilla, 0):.5f}")
 
     print("\nsynthesising noise-aware schedule ...")
-    alpha = AlphaSyndrome(
-        code=code,
-        noise=noise,
-        decoder_factory=factory,
-        shots=args.synthesis_shots,
-        mcts_config=MCTSConfig(iterations_per_step=args.iterations, seed=args.seed),
-        seed=args.seed,
-    )
-    result = alpha.synthesize()
+    runs = {"alphasyndrome": pipeline}
+    for scheduler in ("google", "lowest_depth"):
+        runs[scheduler] = Pipeline(spec.replace(scheduler=scheduler))
 
-    schedules = {
-        "alphasyndrome": result.schedule,
-        "google": google_surface_schedule(code),
-        "lowest_depth": lowest_depth_schedule(code),
-    }
     print(f"\n{'schedule':<14} {'depth':>5} {'err_X':>10} {'err_Z':>10} {'overall':>10}")
-    for label, schedule in schedules.items():
-        rates = estimate_logical_error_rates(
-            code, schedule, noise, factory, shots=args.shots, seed=args.seed
-        )
+    for label, run in runs.items():
+        rates = run.rates
         print(
-            f"{label:<14} {schedule.depth:>5} {rates.error_x:>10.3e} "
+            f"{label:<14} {run.schedule.depth:>5} {rates.error_x:>10.3e} "
             f"{rates.error_z:>10.3e} {rates.overall:>10.3e}"
         )
 

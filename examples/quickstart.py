@@ -1,9 +1,15 @@
 """Quickstart: synthesise a syndrome-measurement schedule for one code.
 
 Reproduces the paper's headline workflow end to end on the distance-3
-rotated surface code: build the code, pick a decoder and a noise model,
-synthesise a schedule with AlphaSyndrome, and compare its logical error rate
-against the trivial, lowest-depth and Google hand-crafted schedules.
+rotated surface code through the ``repro.api`` pipeline: declare a
+:class:`~repro.api.RunSpec`, let the ``"alphasyndrome"`` scheduler
+synthesise a schedule, then sweep the scheduler field to compare against
+the trivial, lowest-depth and Google hand-crafted baselines — each
+comparison is one ``spec.replace(scheduler=...)`` away.
+
+The equivalent shell one-liner is::
+
+    repro synth --code surface:d=3 --decoder mwpm --shots 2000
 
 Run with::
 
@@ -14,17 +20,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.codes import get_code
-from repro.core import AlphaSyndrome, MCTSConfig
-from repro.decoders import decoder_factory
-from repro.noise import brisbane_noise
-from repro.scheduling import google_surface_schedule, lowest_depth_schedule, trivial_schedule
-from repro.sim import estimate_logical_error_rates
+from repro.api import Pipeline, RunSpec
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--code", default="rotated_surface_d3")
+    parser.add_argument("--code", default="surface:d=3", help="registry spec, e.g. surface:d=5")
     parser.add_argument("--decoder", default="mwpm")
     parser.add_argument("--shots", type=int, default=2000)
     parser.add_argument("--synthesis-shots", type=int, default=300)
@@ -32,38 +33,38 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    code = get_code(args.code)
-    noise = brisbane_noise()
-    factory = decoder_factory(args.decoder)
-    print(f"code: {code!r}, decoder: {args.decoder}")
-
-    print("synthesising schedule with AlphaSyndrome ...")
-    alpha = AlphaSyndrome(
-        code=code,
-        noise=noise,
-        decoder_factory=factory,
-        shots=args.synthesis_shots,
-        mcts_config=MCTSConfig(iterations_per_step=args.iterations, seed=args.seed),
+    spec = RunSpec(
+        code=args.code,
+        decoder=args.decoder,
+        scheduler="alphasyndrome",
         seed=args.seed,
     )
-    result = alpha.synthesize()
-    print(f"  used {result.evaluations} rollout evaluations, depth {result.schedule.depth}")
+    spec = spec.replace(
+        budget=spec.budget.replace(
+            shots=args.shots,
+            synthesis_shots=args.synthesis_shots,
+            iterations_per_step=args.iterations,
+        )
+    )
 
-    schedules = {
-        "alphasyndrome": result.schedule,
-        "trivial": trivial_schedule(code),
-        "lowest_depth": lowest_depth_schedule(code),
-    }
-    if code.metadata.get("family") == "rotated_surface":
-        schedules["google"] = google_surface_schedule(code)
+    print("synthesising schedule with AlphaSyndrome ...")
+    pipeline = Pipeline(spec)
+    synthesis = pipeline.synthesis
+    print(f"code: {pipeline.code!r}, decoder: {spec.decoder}")
+    print(
+        f"  used {synthesis.evaluations} rollout evaluations, depth {pipeline.schedule.depth}"
+    )
+
+    schedulers = ["alphasyndrome", "trivial", "lowest_depth"]
+    if pipeline.code.metadata.get("family") == "rotated_surface":
+        schedulers.append("google")
 
     print(f"\n{'schedule':<14} {'depth':>5} {'err_X':>10} {'err_Z':>10} {'overall':>10}")
-    for label, schedule in schedules.items():
-        rates = estimate_logical_error_rates(
-            code, schedule, noise, factory, shots=args.shots, seed=args.seed
-        )
+    for scheduler in schedulers:
+        run = pipeline if scheduler == "alphasyndrome" else Pipeline(spec.replace(scheduler=scheduler))
+        rates = run.rates
         print(
-            f"{label:<14} {schedule.depth:>5} {rates.error_x:>10.3e} "
+            f"{scheduler:<14} {run.schedule.depth:>5} {rates.error_x:>10.3e} "
             f"{rates.error_z:>10.3e} {rates.overall:>10.3e}"
         )
 

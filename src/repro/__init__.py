@@ -2,6 +2,7 @@
 
 The package layers:
 
+``repro.api``        The front door: registries, RunSpec/Pipeline, the CLI.
 ``repro.pauli``      Pauli algebra and GF(2) linear algebra.
 ``repro.codes``      Stabilizer / CSS code library (surface, colour, BB, HGP, ...).
 ``repro.circuits``   Tick-based Clifford circuit IR and experiment builders.
@@ -11,20 +12,26 @@ The package layers:
 ``repro.scheduling`` Schedule representation, partitioning, baselines, hand-crafted orders.
 ``repro.core``       The AlphaSyndrome MCTS synthesiser and evaluation function.
 ``repro.analysis``   Space-time volume model and statistics helpers.
+``repro.seeding``    SeedSequence-based derivation of per-stage random streams.
 ``repro.experiments``Drivers regenerating every table and figure of the paper.
 
 Quickstart::
 
-    from repro.codes import get_code
-    from repro.noise import brisbane_noise
-    from repro.decoders import decoder_factory
-    from repro.core import synthesize_schedule
+    from repro.api import Pipeline, RunSpec
 
-    code = get_code("rotated_surface_d3")
-    result = synthesize_schedule(code, brisbane_noise(), decoder_factory("mwpm"))
-    print(result.rates, result.schedule.depth)
+    spec = RunSpec(code="surface:d=3", decoder="mwpm", scheduler="alphasyndrome")
+    result = Pipeline(spec).result
+    print(result.rates, result.depth)
+
+The same run from the shell::
+
+    repro run --code surface:d=3 --decoder mwpm --scheduler alphasyndrome
+
+``get_code`` and ``decoder_factory`` below are deprecated shims over the
+``repro.api`` registries, kept so pre-1.1 imports keep working.
 """
 
+from repro.api import Budget, Pipeline, RunResult, RunSpec
 from repro.codes import get_code
 from repro.core import AlphaSyndrome, MCTSConfig, SynthesisResult, synthesize_schedule
 from repro.decoders import decoder_factory
@@ -37,9 +44,13 @@ from repro.scheduling import (
 )
 from repro.sim import estimate_logical_error_rates
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Budget",
+    "Pipeline",
+    "RunResult",
+    "RunSpec",
     "get_code",
     "AlphaSyndrome",
     "MCTSConfig",

@@ -1,0 +1,280 @@
+"""The ``repro`` command-line interface.
+
+Subcommands::
+
+    repro run [spec.json] [overrides]   execute a full RunSpec end to end
+    repro synth [overrides]             AlphaSyndrome synthesis + comparison
+    repro eval [overrides]              evaluate a named scheduler (no search)
+    repro list {codes,decoders,noise,schedulers,all}
+    repro tables {table2,...,all}       regenerate the paper's tables/figures
+
+``run``/``synth``/``eval`` all build a :class:`repro.api.Pipeline`; flags
+override fields of the JSON spec when both are given.  ``tables`` wraps the
+experiment drivers historically reached via ``python -m repro.experiments``
+(which now shares this implementation).
+
+Installed as a console script via the ``[project.scripts]`` table in
+``pyproject.toml``; also runnable as ``python -m repro.api.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.api.pipeline import Pipeline
+from repro.api.registries import codes, decoders, noise, schedulers
+from repro.api.registry import parse_spec
+from repro.api.spec import RunSpec
+
+__all__ = ["main", "add_budget_flags"]
+
+_REGISTRIES = {
+    "codes": codes,
+    "decoders": decoders,
+    "noise": noise,
+    "schedulers": schedulers,
+}
+
+
+def add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    """Add the shared compute-budget flags (used by ``run``/``synth``/``eval``/``tables``)."""
+    parser.add_argument("--shots", type=int, default=None, help="evaluation shots per basis")
+    parser.add_argument(
+        "--synthesis-shots", type=int, default=None, help="shots used inside MCTS rollouts"
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None, help="MCTS iterations per scheduling step"
+    )
+    parser.add_argument(
+        "--max-evaluations",
+        type=int,
+        default=None,
+        help="cap on rollout evaluations per partition",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+
+
+def _add_component_flags(parser: argparse.ArgumentParser, *, scheduler: bool = True) -> None:
+    parser.add_argument("--code", default=None, help='code spec, e.g. "surface:d=5"')
+    parser.add_argument("--noise", default=None, help='noise spec, e.g. "scaled:p=0.001"')
+    parser.add_argument("--decoder", default=None, help='decoder spec, e.g. "mwpm"')
+    if scheduler:
+        parser.add_argument(
+            "--scheduler", default=None, help='scheduler spec, e.g. "lowest_depth"'
+        )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process-pool shards for sampling/decoding"
+    )
+
+
+def _spec_from_args(args: argparse.Namespace, *, base: RunSpec | None = None) -> RunSpec:
+    """Assemble the RunSpec: JSON file (if given) overridden by explicit flags."""
+    spec_path = getattr(args, "spec", None)
+    spec = RunSpec.load(spec_path) if spec_path else (base or RunSpec())
+    overrides = {
+        field: getattr(args, field)
+        for field in ("code", "noise", "scheduler", "decoder", "seed", "workers")
+        if getattr(args, field, None) is not None
+    }
+    if overrides:
+        spec = spec.replace(**overrides)
+    budget_overrides = {
+        name: value
+        for name, value in (
+            ("shots", args.shots),
+            ("synthesis_shots", args.synthesis_shots),
+            ("iterations_per_step", args.iterations),
+            ("max_evaluations", args.max_evaluations),
+        )
+        if value is not None
+    }
+    if budget_overrides:
+        spec = spec.replace(budget=spec.budget.replace(**budget_overrides))
+    return spec
+
+
+def _print_rates(pipeline: Pipeline) -> None:
+    rates = pipeline.rates
+    print(
+        f"{pipeline.spec.code} | scheduler={pipeline.spec.scheduler} "
+        f"decoder={pipeline.spec.decoder} noise={pipeline.spec.noise}"
+    )
+    print(
+        f"  depth={pipeline.schedule.depth} shots={rates.shots} "
+        f"err_x={rates.error_x:.3e} err_z={rates.error_z:.3e} overall={rates.overall:.3e}"
+    )
+
+
+def _write_result(pipeline: Pipeline, out: str | None) -> None:
+    if out is None:
+        return
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(pipeline.result.to_dict(), indent=2) + "\n")
+    print(f"result written to {path}")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    pipeline = Pipeline(_spec_from_args(args))
+    _print_rates(pipeline)
+    synthesis = pipeline.synthesis
+    if synthesis is not None:
+        print(
+            f"  synthesis: {synthesis.evaluations} rollout evaluations, "
+            f"baseline overall {synthesis.baseline_rates.overall:.3e} "
+            f"(reduction {synthesis.overall_reduction:.1%})"
+        )
+    _write_result(pipeline, args.out)
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args, base=RunSpec(scheduler="alphasyndrome"))
+    pipeline = Pipeline(spec)
+    _print_rates(pipeline)
+    synthesis = pipeline.synthesis
+    if synthesis is not None:
+        print(
+            f"  synthesis: {synthesis.evaluations} rollout evaluations, "
+            f"baseline overall {synthesis.baseline_rates.overall:.3e} "
+            f"(reduction {synthesis.overall_reduction:.1%})"
+        )
+    print("schedule (tick -> checks):")
+    for tick, check_list in sorted(pipeline.schedule.ticks().items()):
+        rendered = ", ".join(
+            f"S{check.stabilizer}:{check.pauli}@q{check.data_qubit}" for check in check_list
+        )
+        print(f"  tick {tick:>2}: {rendered}")
+    _write_result(pipeline, args.out)
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    scheduler_name = parse_spec(spec.scheduler)[0]
+    if scheduler_name in schedulers and schedulers.entry(scheduler_name).name == "alphasyndrome":
+        print("eval is for fixed schedulers; use 'repro synth' for AlphaSyndrome", file=sys.stderr)
+        return 2
+    pipeline = Pipeline(spec)
+    _print_rates(pipeline)
+    _write_result(pipeline, args.out)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    categories = list(_REGISTRIES) if args.category == "all" else [args.category]
+    for category in categories:
+        registry = _REGISTRIES[category]
+        print(f"{category} ({len(registry)}):")
+        for name, aliases, help_text in registry.describe():
+            alias_note = f" (aliases: {aliases})" if aliases and args.aliases else ""
+            help_note = f" - {help_text}" if help_text else ""
+            print(f"  {name}{alias_note}{help_note}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    # Imported lazily so `repro list` / `repro run` never pay for the
+    # experiment-driver imports.
+    from repro.experiments import EXPERIMENTS, ExperimentBudget
+    from repro.experiments.__main__ import run_assets
+
+    budget = ExperimentBudget()
+    if args.shots is not None:
+        budget.shots = args.shots
+    if args.synthesis_shots is not None:
+        budget.synthesis_shots = args.synthesis_shots
+    if args.iterations is not None:
+        budget.iterations_per_step = args.iterations
+    if args.max_evaluations is not None:
+        budget.max_evaluations = args.max_evaluations
+    if args.seed is not None:
+        budget.seed = args.seed
+    if args.asset != "all" and args.asset not in EXPERIMENTS:
+        print(
+            f"unknown asset {args.asset!r}; available: {', '.join(sorted(EXPERIMENTS))}, all",
+            file=sys.stderr,
+        )
+        return 2
+    assets = sorted(EXPERIMENTS) if args.asset == "all" else [args.asset]
+    run_assets(assets, budget, args.out)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser assembly
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AlphaSyndrome reproduction: schedule synthesis, evaluation and discovery.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="execute a full RunSpec end to end")
+    run_parser.add_argument("spec", nargs="?", default=None, help="path to a RunSpec JSON file")
+    _add_component_flags(run_parser)
+    add_budget_flags(run_parser)
+    run_parser.add_argument("--out", default=None, help="write the RunResult JSON here")
+    run_parser.set_defaults(func=_cmd_run)
+
+    synth_parser = subparsers.add_parser("synth", help="synthesise a schedule with AlphaSyndrome")
+    synth_parser.add_argument("spec", nargs="?", default=None, help="path to a RunSpec JSON file")
+    _add_component_flags(synth_parser, scheduler=False)
+    synth_parser.set_defaults(scheduler=None)
+    add_budget_flags(synth_parser)
+    synth_parser.add_argument("--out", default=None, help="write the RunResult JSON here")
+    synth_parser.set_defaults(func=_cmd_synth)
+
+    eval_parser = subparsers.add_parser("eval", help="evaluate a fixed scheduler (no search)")
+    eval_parser.add_argument("spec", nargs="?", default=None, help="path to a RunSpec JSON file")
+    _add_component_flags(eval_parser)
+    add_budget_flags(eval_parser)
+    eval_parser.add_argument("--out", default=None, help="write the RunResult JSON here")
+    eval_parser.set_defaults(func=_cmd_eval)
+
+    list_parser = subparsers.add_parser("list", help="list registered components")
+    list_parser.add_argument(
+        "category", choices=sorted(_REGISTRIES) + ["all"], help="which registry to list"
+    )
+    list_parser.add_argument("--aliases", action="store_true", help="also show aliases")
+    list_parser.set_defaults(func=_cmd_list)
+
+    tables_parser = subparsers.add_parser(
+        "tables", help="regenerate the paper's tables and figures"
+    )
+    # Asset names are validated against the experiment registry at run time
+    # (lazy import keeps `repro --help` fast); `all` regenerates everything.
+    tables_parser.add_argument("asset", help="table2|table3|table4|figure7|figure12|...|all")
+    add_budget_flags(tables_parser)
+    tables_parser.add_argument("--out", default="results", help="output directory")
+    tables_parser.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, TypeError) as error:
+        # Registry lookups raise KeyError with the available names; spec
+        # parsing raises ValueError; builders raise TypeError on arguments
+        # they cannot accept (e.g. a positional arg to a keyword-only
+        # builder).  All are user errors, not crashes.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,255 @@
+"""Staged execution of a :class:`~repro.api.spec.RunSpec`.
+
+A :class:`Pipeline` walks the paper's end-to-end flow
+
+    code -> noise -> schedule -> circuit -> DEM -> syndromes -> rates
+
+exposing every intermediate product as a lazily computed, cached attribute.
+Asking for a late stage (``pipeline.rates``) computes and caches everything
+before it; asking for an early stage (``pipeline.dem``) never pays for the
+later ones.  Per-basis artifacts (circuit, DEM, syndromes, predictions) are
+dicts keyed by measurement basis ``"Z"`` / ``"X"``.
+
+With ``workers=1`` (the default) the pipeline reproduces the legacy
+:func:`repro.sim.estimate_logical_error_rates` path bit for bit — same
+SeedSequence streams, same sampling, same decode — which the test suite
+pins.  With ``workers > 1`` the sampling/decoding hot path is shot-sharded
+across a process pool: each shard draws from its own spawned child stream
+and decodes independently, so results are statistically equivalent (and
+deterministic for a fixed worker count) but not bit-identical to the serial
+reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from functools import cached_property
+
+import numpy as np
+
+from repro.api import registries
+from repro.api.spec import Budget, RunSpec
+from repro.circuits.memory import build_memory_experiment
+from repro.core.alphasyndrome import SynthesisResult
+from repro.seeding import spawn_streams
+from repro.sim.dem import build_detector_error_model
+from repro.sim.estimator import LogicalErrorRates, fraction_wrong
+from repro.sim.sampler import SampleBatch, sample_detector_error_model
+
+__all__ = ["Pipeline", "RunResult"]
+
+#: Basis execution order.  Matches the stream-spawn order of
+#: ``estimate_logical_error_rates`` (basis Z reports the logical X error
+#: rate and consumes the first child stream).
+_BASES = ("Z", "X")
+
+
+def _shard_sizes(shots: int, workers: int) -> list[int]:
+    """Split ``shots`` into at most ``workers`` balanced, non-empty shards."""
+    shards = max(1, min(workers, shots))
+    base, remainder = divmod(shots, shards)
+    return [base + (1 if i < remainder else 0) for i in range(shards)]
+
+
+def _run_shard(dem, decoder_spec: str, shots: int, stream) -> tuple[SampleBatch, np.ndarray]:
+    """Sample and decode one shot shard (runs inside pool workers).
+
+    The decoder is rebuilt from its registry spec in every worker because
+    decoder instances (matching graphs, lookup tables) are not guaranteed to
+    be picklable; the DEM is.
+    """
+    batch = sample_detector_error_model(dem, shots, seed=stream)
+    decoder = registries.decoders.build(decoder_spec)(dem)
+    predictions = decoder.decode_batch(batch.detectors)
+    return batch, predictions
+
+
+def _merge_shards(results: list[tuple[SampleBatch, np.ndarray]]) -> tuple[SampleBatch, np.ndarray]:
+    batches, predictions = zip(*results)
+    merged = SampleBatch(
+        detectors=np.concatenate([b.detectors for b in batches]),
+        observables=np.concatenate([b.observables for b in batches]),
+        faults=np.concatenate([b.faults for b in batches]),
+    )
+    return merged, np.concatenate(predictions)
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Terminal artifact of a pipeline run: the spec plus its measured rates."""
+
+    spec: RunSpec
+    rates: LogicalErrorRates
+    depth: int
+    synthesis_evaluations: int | None = None
+    baseline_overall: float | None = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "spec": self.spec.to_dict(),
+            "error_x": self.rates.error_x,
+            "error_z": self.rates.error_z,
+            "overall": self.rates.overall,
+            "shots": self.rates.shots,
+            "depth": self.depth,
+        }
+        if self.synthesis_evaluations is not None:
+            payload["synthesis_evaluations"] = self.synthesis_evaluations
+        if self.baseline_overall is not None:
+            payload["baseline_overall"] = self.baseline_overall
+        return payload
+
+
+class Pipeline:
+    """Lazily executed, stage-cached run of one :class:`RunSpec`.
+
+    Construct from a spec, or directly from field overrides (budget fields
+    may be passed flat)::
+
+        Pipeline(RunSpec(code="surface:d=5"))
+        Pipeline(code="surface:d=5", decoder="unionfind", shots=5000, workers=4)
+    """
+
+    def __init__(self, spec: RunSpec | None = None, **overrides) -> None:
+        budget_fields = {f.name for f in dataclasses.fields(Budget)}
+        flat_budget = {k: overrides.pop(k) for k in list(overrides) if k in budget_fields}
+        if spec is None:
+            spec = RunSpec(**overrides)
+        elif overrides:
+            spec = spec.replace(**overrides)
+        if flat_budget:
+            spec = spec.replace(budget=spec.budget.replace(**flat_budget))
+        self.spec = spec
+
+    def __repr__(self) -> str:
+        return f"Pipeline({self.spec!r})"
+
+    # ------------------------------------------------------------------
+    # Staged artifacts (each cached after first access)
+    # ------------------------------------------------------------------
+    @cached_property
+    def code(self):
+        """The constructed :class:`~repro.codes.base.StabilizerCode`."""
+        return registries.codes.build(self.spec.code)
+
+    @cached_property
+    def noise(self):
+        """The :class:`~repro.noise.NoiseModel` (built with code context)."""
+        return registries.noise.build(self.spec.noise, code=self.code)
+
+    @cached_property
+    def decoder_factory(self):
+        """``DetectorErrorModel -> Decoder`` factory from the decoder spec."""
+        return registries.decoders.build(self.spec.decoder)
+
+    @cached_property
+    def _scheduled(self):
+        """Raw scheduler output: a Schedule or a SynthesisResult."""
+        return registries.schedulers.build(
+            self.spec.scheduler,
+            code=self.code,
+            noise=self.noise,
+            decoder_factory=self.decoder_factory,
+            budget=self.spec.budget,
+            seed=self.spec.seed,
+        )
+
+    @property
+    def synthesis(self) -> SynthesisResult | None:
+        """The full :class:`SynthesisResult` when the scheduler synthesised one."""
+        scheduled = self._scheduled
+        return scheduled if isinstance(scheduled, SynthesisResult) else None
+
+    @cached_property
+    def schedule(self):
+        """The syndrome-measurement :class:`~repro.scheduling.Schedule`."""
+        scheduled = self._scheduled
+        return scheduled.schedule if isinstance(scheduled, SynthesisResult) else scheduled
+
+    @cached_property
+    def experiment(self) -> dict:
+        """Per-basis memory experiments (Figure 10 sampling circuits)."""
+        return {
+            basis: build_memory_experiment(self.code, self.schedule, self.noise, basis=basis)
+            for basis in _BASES
+        }
+
+    @cached_property
+    def circuit(self) -> dict:
+        """Per-basis noisy Clifford circuits."""
+        return {basis: experiment.circuit for basis, experiment in self.experiment.items()}
+
+    @cached_property
+    def dem(self) -> dict:
+        """Per-basis detector error models."""
+        return {
+            basis: build_detector_error_model(circuit) for basis, circuit in self.circuit.items()
+        }
+
+    @cached_property
+    def _executed(self) -> dict:
+        """Per-basis ``(SampleBatch, predictions)`` from the sampling/decoding hot path."""
+        shots = self.spec.budget.shots
+        streams = spawn_streams(self.spec.seed, len(_BASES))
+        executed: dict = {}
+        if self.spec.workers <= 1:
+            for basis, stream in zip(_BASES, streams):
+                dem = self.dem[basis]
+                batch = sample_detector_error_model(dem, shots, seed=stream)
+                decoder = self.decoder_factory(dem)
+                executed[basis] = (batch, decoder.decode_batch(batch.detectors))
+            return executed
+        with ProcessPoolExecutor(max_workers=self.spec.workers) as pool:
+            futures = {}
+            for basis, stream in zip(_BASES, streams):
+                sizes = _shard_sizes(shots, self.spec.workers)
+                shard_streams = (
+                    stream.spawn(len(sizes)) if stream is not None else [None] * len(sizes)
+                )
+                futures[basis] = [
+                    pool.submit(_run_shard, self.dem[basis], self.spec.decoder, size, shard)
+                    for size, shard in zip(sizes, shard_streams)
+                ]
+            for basis, basis_futures in futures.items():
+                executed[basis] = _merge_shards([future.result() for future in basis_futures])
+        return executed
+
+    @property
+    def syndromes(self) -> dict:
+        """Per-basis sampled :class:`~repro.sim.SampleBatch` (detectors + observables)."""
+        return {basis: batch for basis, (batch, _) in self._executed.items()}
+
+    @property
+    def predictions(self) -> dict:
+        """Per-basis decoder predictions for the sampled syndromes."""
+        return {basis: predictions for basis, (_, predictions) in self._executed.items()}
+
+    @cached_property
+    def rates(self) -> LogicalErrorRates:
+        """Logical error rates; equals the legacy estimator for ``workers=1``."""
+        batch_z, predictions_z = self._executed["Z"]
+        batch_x, predictions_x = self._executed["X"]
+        return LogicalErrorRates(
+            error_x=fraction_wrong(predictions_z, batch_z),
+            error_z=fraction_wrong(predictions_x, batch_x),
+            shots=self.spec.budget.shots,
+            depth=self.schedule.depth,
+        )
+
+    @cached_property
+    def result(self) -> RunResult:
+        """Terminal :class:`RunResult` summarising the run."""
+        synthesis = self.synthesis
+        return RunResult(
+            spec=self.spec,
+            rates=self.rates,
+            depth=self.schedule.depth,
+            synthesis_evaluations=synthesis.evaluations if synthesis else None,
+            baseline_overall=synthesis.baseline_rates.overall if synthesis else None,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute every stage and return the :class:`RunResult`."""
+        return self.result

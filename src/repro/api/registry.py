@@ -1,0 +1,210 @@
+"""Generic named-builder registry with decorator registration and spec strings.
+
+A :class:`Registry` maps short names to builder callables and is the single
+dispatch mechanism behind ``repro.api.codes``, ``.decoders``, ``.noise`` and
+``.schedulers`` (replacing the hand-rolled ``CODE_BUILDERS`` dict and
+``decoder_factory`` string dispatcher of earlier versions).
+
+Builders are registered with a decorator::
+
+    @codes.register("surface", aliases=("rotated_surface",))
+    def _surface(d: int = 3) -> StabilizerCode:
+        return rotated_surface_code(d)
+
+and looked up with *spec strings* that may carry arguments::
+
+    codes.build("surface")          # -> rotated_surface_code(3)
+    codes.build("surface:d=5")      # -> rotated_surface_code(5)
+    codes.build("surface:5")        # positional form, same thing
+    codes.available()               # sorted canonical names
+
+Argument values are coerced ``int`` → ``float`` → ``bool`` → ``str`` in that
+order, so ``"lookup:max_order=3"`` builds ``LookupDecoder(max_order=3)``
+without any per-registry parsing code.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+__all__ = ["Registry", "RegistryEntry", "parse_spec"]
+
+
+def _coerce(token: str):
+    """Coerce a spec-string argument token to int/float/bool, else keep str."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    return token
+
+
+def parse_spec(spec: str) -> tuple[str, list, dict]:
+    """Split ``"name:a,k=v"`` into ``("name", [a], {"k": v})``.
+
+    The name may itself contain no ``:``; everything after the first ``:``
+    is a comma-separated argument list where ``key=value`` tokens become
+    keyword arguments and bare tokens positional ones.
+    """
+    name, _, argument_part = spec.partition(":")
+    name = name.strip()
+    positional: list = []
+    keyword: dict = {}
+    if argument_part.strip():
+        for token in argument_part.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, separator, value = token.partition("=")
+            if separator:
+                keyword[key.strip()] = _coerce(value.strip())
+            else:
+                positional.append(_coerce(token))
+    return name, positional, keyword
+
+
+@dataclass
+class RegistryEntry:
+    """One registered builder plus its discovery metadata."""
+
+    name: str
+    builder: Callable
+    aliases: tuple[str, ...] = ()
+    help: str = ""
+
+
+@dataclass
+class Registry:
+    """Name -> builder mapping with aliases, spec parsing and discovery."""
+
+    kind: str
+    _entries: dict[str, RegistryEntry] = field(default_factory=dict, repr=False)
+    _aliases: dict[str, str] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str | None = None,
+        *,
+        aliases: tuple[str, ...] | list[str] = (),
+        help: str = "",
+    ) -> Callable:
+        """Decorator registering a builder under ``name`` (default: its ``__name__``)."""
+
+        def decorator(builder: Callable) -> Callable:
+            self.add(name or builder.__name__.lstrip("_"), builder, aliases=aliases, help=help)
+            return builder
+
+        return decorator
+
+    def add(
+        self,
+        name: str,
+        builder: Callable,
+        *,
+        aliases: tuple[str, ...] | list[str] = (),
+        help: str = "",
+    ) -> None:
+        """Imperatively register ``builder`` under ``name`` (used for bulk tables)."""
+        if name in self._entries or name in self._aliases:
+            raise ValueError(f"duplicate {self.kind} name {name!r}")
+        entry = RegistryEntry(
+            name=name,
+            builder=builder,
+            aliases=tuple(aliases),
+            help=help or (inspect.getdoc(builder) or "").split("\n", 1)[0],
+        )
+        self._entries[name] = entry
+        for alias in entry.aliases:
+            if alias in self._entries or alias in self._aliases:
+                raise ValueError(f"duplicate {self.kind} alias {alias!r}")
+            self._aliases[alias] = name
+
+    # ------------------------------------------------------------------
+    # Lookup / construction
+    # ------------------------------------------------------------------
+    def entry(self, name: str) -> RegistryEntry:
+        """Resolve ``name`` (canonical or alias) to its entry; KeyError otherwise."""
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.available())}"
+            ) from None
+
+    def get(self, name: str) -> Callable:
+        """Return the builder registered under ``name`` (aliases resolve)."""
+        return self.entry(name).builder
+
+    def build(self, spec: str, **extra):
+        """Parse ``spec`` and call the builder with its arguments plus ``extra``.
+
+        ``extra`` keyword arguments are *contextual* (e.g. the code object a
+        noise model is being built for) and are silently dropped when the
+        builder does not accept them, so callers can offer context
+        unconditionally.
+        """
+        name, positional, keyword = parse_spec(spec)
+        builder = self.get(name)
+        merged = self._accepted(builder, extra)
+        merged.update(keyword)  # explicit spec arguments beat contextual extras
+        return builder(*positional, **merged)
+
+    @staticmethod
+    def _accepted(builder: Callable, extra: dict) -> dict:
+        """Filter ``extra`` down to the kwargs ``builder`` can accept."""
+        if not extra:
+            return {}
+        try:
+            parameters = inspect.signature(builder).parameters
+        except (TypeError, ValueError):
+            return extra
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+            return extra
+        accepted = {
+            name
+            for name, p in parameters.items()
+            if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        }
+        return {key: value for key, value in extra.items() if key in accepted}
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def available(self, *, include_aliases: bool = False) -> list[str]:
+        """Sorted canonical names (optionally including aliases)."""
+        names = list(self._entries)
+        if include_aliases:
+            names += list(self._aliases)
+        return sorted(names)
+
+    def describe(self) -> list[tuple[str, str, str]]:
+        """``(name, aliases, help)`` rows for CLI listings."""
+        rows = []
+        for name in self.available():
+            entry = self._entries[name]
+            rows.append((name, ", ".join(entry.aliases), entry.help))
+        return rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        return len(self._entries)

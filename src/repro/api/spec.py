@@ -1,0 +1,121 @@
+"""Declarative run configuration: :class:`Budget` and :class:`RunSpec`.
+
+A :class:`RunSpec` is a frozen, JSON/dict-round-trippable description of one
+end-to-end run — which code, noise model, scheduler and decoder (all as
+registry spec strings), the compute budget, the master seed and the worker
+count.  It is the unit of configuration everywhere: the ``repro`` CLI reads
+one from flags or a JSON file, :class:`repro.api.Pipeline` executes one, and
+experiment sweeps are lists of them.
+
+Because every field that names a component is a registry spec string, a
+RunSpec is trivially serialisable and hashable, and sweeping a parameter is
+just ``spec.replace(code="surface:d=5")``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Budget", "RunSpec"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Compute budget of one run (evaluation and synthesis knobs).
+
+    ``shots`` is the Monte-Carlo budget per logical basis for the final
+    evaluation; the remaining knobs only matter when the scheduler is
+    ``"alphasyndrome"`` (they bound the MCTS search).
+    """
+
+    shots: int = 2000
+    synthesis_shots: int = 300
+    iterations_per_step: int = 4
+    max_evaluations: int | None = None
+
+    def replace(self, **changes) -> "Budget":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Budget":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown Budget fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Frozen description of one code/noise/scheduler/decoder run.
+
+    All component fields are registry spec strings (see
+    :mod:`repro.api.registry`), e.g. ``code="surface:d=5"`` or
+    ``decoder="lookup:max_order=3"``.  ``workers`` > 1 shards the
+    sampling/decoding hot path across a process pool (statistically
+    equivalent but not bit-identical to the serial path, which is the
+    reference).
+    """
+
+    code: str = "surface:d=3"
+    noise: str = "brisbane"
+    scheduler: str = "lowest_depth"
+    decoder: str = "mwpm"
+    budget: Budget = Budget()
+    seed: int | None = 0
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.budget, dict):
+            object.__setattr__(self, "budget", Budget.from_dict(self.budget))
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "RunSpec":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["budget"] = self.budget.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSpec":
+        payload = dict(payload)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown RunSpec fields: {sorted(unknown)}")
+        budget = payload.get("budget")
+        if isinstance(budget, dict):
+            payload["budget"] = Budget.from_dict(budget)
+        return cls(**payload)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunSpec":
+        return cls.from_json(Path(path).read_text())

@@ -1,95 +1,57 @@
-"""Named registry of the QEC codes used across the experiments.
+"""Deprecated code lookup shims (superseded by :mod:`repro.api`).
 
-The registry lets experiment drivers and examples request codes by a short
-string (e.g. ``"hexagonal_color_d5"``) without importing individual
-construction modules, and mirrors the ``/qecc`` folder role of the paper's
-artifact.
+The named code table that used to live here as ``CODE_BUILDERS`` moved to
+the ``repro.api.codes`` registry, which adds parametric spec strings
+(``"surface:d=5"``), aliases and decorator registration.  ``get_code`` /
+``available_codes`` remain as thin deprecation shims so existing imports
+keep working; they forward to the registry and return identical objects.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import warnings
 
 from repro.codes.base import StabilizerCode
-from repro.codes.bivariate_bicycle import bb_code_72_12_6, bivariate_bicycle_code
-from repro.codes.color import hexagonal_color_code, square_octagonal_color_code, steane_code
-from repro.codes.hypergraph_product import (
-    hyperbolic_color_substitute,
-    hyperbolic_surface_substitute,
-    toric_code,
-)
-from repro.codes.small import five_qubit_code, repetition_code, shor_code
-from repro.codes.surface import (
-    defect_surface_code,
-    planar_surface_code,
-    rectangular_surface_code,
-    rotated_surface_code,
-)
-from repro.codes.xzzx import xzzx_surface_code
 
 __all__ = ["CODE_BUILDERS", "get_code", "available_codes"]
 
 
-CODE_BUILDERS: dict[str, Callable[[], StabilizerCode]] = {
-    # Surface-code family (Figure 12, Figure 15).
-    "rotated_surface_d3": lambda: rotated_surface_code(3),
-    "rotated_surface_d5": lambda: rotated_surface_code(5),
-    "rotated_surface_d7": lambda: rotated_surface_code(7),
-    "rotated_surface_d9": lambda: rotated_surface_code(9),
-    "rotated_surface_5x9": lambda: rectangular_surface_code(5, 9),
-    "planar_surface_d3": lambda: planar_surface_code(3),
-    "planar_surface_d5": lambda: planar_surface_code(5),
-    # Defect surface codes (Table 2).
-    "defect_surface_d5": lambda: defect_surface_code(5),
-    "defect_surface_d7": lambda: defect_surface_code(7),
-    # Hexagonal colour codes (Table 2, Table 4).
-    "hexagonal_color_d3": lambda: hexagonal_color_code(3),
-    "hexagonal_color_d5": lambda: hexagonal_color_code(5),
-    "hexagonal_color_d7": lambda: hexagonal_color_code(7),
-    "hexagonal_color_d9": lambda: hexagonal_color_code(9),
-    # Square-octagonal colour codes (substituted; see DESIGN.md).
-    "square_octagonal_d3": lambda: square_octagonal_color_code(3),
-    "square_octagonal_d5": lambda: square_octagonal_color_code(5),
-    "square_octagonal_d7": lambda: square_octagonal_color_code(7),
-    # Hyperbolic substitutes (Table 2).
-    "hyperbolic_surface_k4": lambda: hyperbolic_surface_substitute("small_k4"),
-    "hyperbolic_surface_toric3": lambda: hyperbolic_surface_substitute("toric_3"),
-    "hyperbolic_surface_toric4": lambda: hyperbolic_surface_substitute("toric_4"),
-    "hyperbolic_surface_k16": lambda: hyperbolic_surface_substitute("medium_k16"),
-    "hyperbolic_color_k4": lambda: hyperbolic_color_substitute("k4"),
-    "hyperbolic_color_k8": lambda: hyperbolic_color_substitute("k8"),
-    "hyperbolic_color_k16": lambda: hyperbolic_color_substitute("k16"),
-    # Bivariate bicycle (Figure 13).  "bb_18" is a small instance of the same
-    # construction used where the full [[72,12,6]] code would be too slow.
-    "bb_72_12_6": bb_code_72_12_6,
-    "bb_18": lambda: bivariate_bicycle_code(
-        3, 3, [(0, 0), (1, 0), (0, 1)], [(0, 0), (1, 0), (0, 1)], name="bb_18"
-    ),
-    # XZZX code mentioned in Section 5.3.1.
-    "xzzx_d3": lambda: xzzx_surface_code(3),
-    "xzzx_d5": lambda: xzzx_surface_code(5),
-    # Small reference codes.
-    "steane": steane_code,
-    "five_qubit": five_qubit_code,
-    "shor": shor_code,
-    "repetition_3": lambda: repetition_code(3),
-    "repetition_5": lambda: repetition_code(5),
-    "toric_d3": lambda: toric_code(3),
-    "toric_d4": lambda: toric_code(4),
-}
+def _registry():
+    # Imported lazily: repro.api.registries imports the code-construction
+    # modules, which would cycle through ``repro.codes`` at package-import
+    # time if pulled in here eagerly.
+    from repro.api.registries import codes
+
+    return codes
 
 
 def available_codes() -> list[str]:
-    """Return the sorted list of registered code names."""
-    return sorted(CODE_BUILDERS)
+    """Deprecated: use ``repro.api.codes.available()``."""
+    warnings.warn(
+        "available_codes() is deprecated; use repro.api.codes.available()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _registry().available()
 
 
 def get_code(name: str) -> StabilizerCode:
-    """Construct and return the registered code named ``name``."""
-    try:
-        builder = CODE_BUILDERS[name]
-    except KeyError as error:
-        raise KeyError(
-            f"unknown code {name!r}; available: {', '.join(available_codes())}"
-        ) from error
-    return builder()
+    """Deprecated: use ``repro.api.codes.build(name)``."""
+    warnings.warn(
+        "get_code() is deprecated; use repro.api.codes.build(name)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _registry().build(name)
+
+
+def __getattr__(name: str):
+    if name == "CODE_BUILDERS":
+        warnings.warn(
+            "CODE_BUILDERS is deprecated; use the repro.api.codes registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        registry = _registry()
+        return {entry: registry.get(entry) for entry in registry.available()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

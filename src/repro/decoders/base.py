@@ -47,28 +47,19 @@ class Decoder(ABC):
 
 
 def decoder_factory(name: str, **kwargs):
-    """Return a ``DetectorErrorModel -> Decoder`` factory by decoder name.
+    """Deprecated: use ``repro.api.decoders.build(name, **kwargs)``.
 
-    Recognised names: ``"mwpm"``, ``"unionfind"``, ``"bposd"``, ``"lookup"``.
+    Thin shim over the ``repro.api.decoders`` registry, kept so existing
+    imports keep working.  Returns the identical
+    ``DetectorErrorModel -> Decoder`` factory the registry builds.
     """
-    from repro.decoders.bposd import BPOSDDecoder
-    from repro.decoders.lookup import LookupDecoder
-    from repro.decoders.matching import MWPMDecoder
-    from repro.decoders.union_find import UnionFindDecoder
+    import warnings
 
-    registry = {
-        "mwpm": MWPMDecoder,
-        "matching": MWPMDecoder,
-        "unionfind": UnionFindDecoder,
-        "union_find": UnionFindDecoder,
-        "bposd": BPOSDDecoder,
-        "bp_osd": BPOSDDecoder,
-        "lookup": LookupDecoder,
-    }
-    try:
-        cls = registry[name.lower()]
-    except KeyError as error:
-        raise KeyError(
-            f"unknown decoder {name!r}; available: mwpm, unionfind, bposd, lookup"
-        ) from error
-    return lambda dem: cls(dem, **kwargs)
+    from repro.api.registries import decoders
+
+    warnings.warn(
+        "decoder_factory() is deprecated; use repro.api.decoders.build(name)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return decoders.build(name.lower(), **kwargs)

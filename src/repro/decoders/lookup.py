@@ -27,6 +27,38 @@ class LookupDecoder(Decoder):
         self.max_order = max_order
         self._table: dict[bytes, tuple[float, np.ndarray]] = {}
         self._build_table()
+        self._build_packed_table()
+
+    def _build_packed_table(self) -> None:
+        """Precompute the sorted packed-key form of the table for decode_batch.
+
+        Each syndrome bit-string packs into one ``uint64`` key (the table is
+        only built for DEMs with <= 64 detectors; beyond that decode_batch
+        falls back to the per-shot dict lookup).  Keys are sorted once here
+        so every batch decode is a single ``searchsorted`` + gather.
+        """
+        self._packed_keys: np.ndarray | None = None
+        self._packed_corrections: np.ndarray | None = None
+        if self.dem.num_detectors > 64 or not self._table:
+            return
+        syndromes = np.array(
+            [np.frombuffer(key, dtype=np.uint8) for key in self._table], dtype=np.uint8
+        ).reshape(len(self._table), self.dem.num_detectors)
+        corrections = np.array(
+            [entry[1] for entry in self._table.values()], dtype=np.uint8
+        ).reshape(len(self._table), self.dem.num_observables)
+        keys = self._pack(syndromes)
+        order = np.argsort(keys)
+        self._packed_keys = keys[order]
+        self._packed_corrections = corrections[order]
+
+    @staticmethod
+    def _pack(rows: np.ndarray) -> np.ndarray:
+        """Pack ``(n, num_detectors <= 64)`` bit rows into ``(n,)`` uint64 keys."""
+        packed = np.packbits(rows, axis=1)
+        padded = np.zeros((rows.shape[0], 8), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        return padded.view(np.uint64).ravel()
 
     def _build_table(self) -> None:
         num = self.dem.num_mechanisms
@@ -54,3 +86,28 @@ class LookupDecoder(Decoder):
         if entry is None:
             return np.zeros(self.dem.num_observables, dtype=np.uint8)
         return entry[1].copy()
+
+    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        """Vectorised table lookup for a ``(shots, num_detectors)`` batch.
+
+        Packs every syndrome into a ``uint64`` key and resolves the whole
+        batch against the pre-sorted table with one ``searchsorted`` +
+        gather, replacing the per-shot Python loop inherited from
+        :meth:`Decoder.decode_batch`.  Unseen syndromes keep the "no logical
+        flip" fallback of :meth:`decode`.  DEMs with more than 64 detectors
+        (where the table would be impractically large anyway) fall back to
+        the per-shot path.
+        """
+        syndromes = np.ascontiguousarray(syndromes, dtype=np.uint8)
+        if self._packed_keys is None:
+            return super().decode_batch(syndromes)
+        num_shots = syndromes.shape[0]
+        result = np.zeros((num_shots, self.dem.num_observables), dtype=np.uint8)
+        if num_shots == 0:
+            return result
+        keys = self._pack(syndromes)
+        positions = np.searchsorted(self._packed_keys, keys)
+        positions = np.minimum(positions, len(self._packed_keys) - 1)
+        hits = self._packed_keys[positions] == keys
+        result[hits] = self._packed_corrections[positions[hits]]
+        return result

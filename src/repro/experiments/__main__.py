@@ -6,13 +6,33 @@ Usage::
     python -m repro.experiments all
 
 Results are written to ``results/<asset>.txt`` and ``results/<asset>.json``.
+This module is the legacy spelling of ``repro tables`` — both share
+:func:`run_assets`.
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, ExperimentBudget, render_table, write_results
+
+__all__ = ["main", "run_assets"]
+
+
+def run_assets(
+    assets: list[str], budget: ExperimentBudget, out_dir: str | Path = "results"
+) -> list[Path]:
+    """Regenerate ``assets``, print each table and return the written paths."""
+    paths = []
+    for asset in assets:
+        rows = EXPERIMENTS[asset](budget)
+        path = write_results(asset, rows, output_dir=out_dir)
+        print(f"== {asset} ==")
+        print(render_table(rows))
+        print(f"written to {path}")
+        paths.append(path)
+    return paths
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,12 +67,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
     )
     assets = sorted(EXPERIMENTS) if args.asset == "all" else [args.asset]
-    for asset in assets:
-        rows = EXPERIMENTS[asset](budget)
-        path = write_results(asset, rows, output_dir=args.out)
-        print(f"== {asset} ==")
-        print(render_table(rows))
-        print(f"written to {path}")
+    run_assets(assets, budget, args.out)
     return 0
 
 

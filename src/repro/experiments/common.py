@@ -17,13 +17,17 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.codes import get_code
+from repro.api.registries import codes, decoders
 from repro.codes.base import StabilizerCode
 from repro.core import AlphaSyndrome, MCTSConfig, SynthesisResult
-from repro.decoders import decoder_factory
 from repro.noise import NoiseModel, brisbane_noise
 from repro.scheduling import lowest_depth_schedule, trivial_schedule
+from repro.seeding import named_stream, stream_to_int
 from repro.sim import LogicalErrorRates, estimate_logical_error_rates
+
+#: Registry-backed code lookup shared by the drivers (same call shape as the
+#: deprecated ``repro.codes.get_code`` but without the deprecation warning).
+get_code = codes.build
 
 __all__ = [
     "ExperimentBudget",
@@ -45,10 +49,23 @@ class ExperimentBudget:
     max_evaluations: int = 24
     seed: int = 0
 
+    def stage_stream(self, stage: str):
+        """Independent ``SeedSequence`` stream for a named stage of a driver.
+
+        Replaces the historical ``seed``, ``seed + 1``, ``seed + 11``
+        offsets: streams for distinct stage names are independent by
+        construction and stable under the addition of new stages.
+        """
+        return named_stream(self.seed, stage)
+
+    def stage_seed(self, stage: str) -> int:
+        """Integer form of :meth:`stage_stream` for ``seed: int`` APIs."""
+        return stream_to_int(self.stage_stream(stage))
+
     def mcts_config(self) -> MCTSConfig:
         return MCTSConfig(
             iterations_per_step=self.iterations_per_step,
-            seed=self.seed,
+            seed=self.stage_seed("synthesis"),
             max_total_evaluations=self.max_evaluations,
         )
 
@@ -63,10 +80,10 @@ def synthesize(
     alpha = AlphaSyndrome(
         code=code,
         noise=noise,
-        decoder_factory=decoder_factory(decoder),
+        decoder_factory=decoders.build(decoder),
         shots=budget.synthesis_shots,
         mcts_config=budget.mcts_config(),
-        seed=budget.seed,
+        seed=budget.stage_seed("synthesis"),
     )
     return alpha.synthesize()
 
@@ -83,9 +100,9 @@ def evaluate_schedule(
         code,
         schedule,
         noise,
-        decoder_factory(decoder),
+        decoders.build(decoder),
         shots=budget.shots,
-        seed=budget.seed,
+        seed=budget.stage_stream("evaluation"),
     )
 
 

@@ -183,7 +183,7 @@ def run_figure15(
     for code_name in codes:
         code = get_code(code_name)
         ancillas = [code.num_qubits + s for s in range(code.num_stabilizers)]
-        noise = non_uniform_noise(ancillas, variance=0.6, seed=budget.seed + 11)
+        noise = non_uniform_noise(ancillas, variance=0.6, seed=budget.stage_seed("noise"))
         synthesis = synthesize(code, "mwpm", noise, budget)
         for label, schedule in (
             ("alphasyndrome", synthesis.schedule),

@@ -3,6 +3,7 @@
 from repro.sim.dem import DetectorErrorModel, ErrorMechanism, build_detector_error_model
 from repro.sim.estimator import (
     LogicalErrorRates,
+    decode_error_rate,
     estimate_logical_error_rates,
     evaluate_basis,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "TableauSimulator",
     "simulate_circuit",
     "LogicalErrorRates",
+    "decode_error_rate",
     "estimate_logical_error_rates",
     "evaluate_basis",
 ]

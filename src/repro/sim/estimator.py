@@ -18,10 +18,17 @@ from repro.circuits.memory import build_memory_experiment
 from repro.codes.base import StabilizerCode
 from repro.noise.models import NoiseModel
 from repro.scheduling.schedule import Schedule
+from repro.seeding import spawn_streams
 from repro.sim.dem import DetectorErrorModel, build_detector_error_model
-from repro.sim.sampler import sample_detector_error_model
+from repro.sim.sampler import SampleBatch, sample_detector_error_model
 
-__all__ = ["LogicalErrorRates", "estimate_logical_error_rates", "evaluate_basis"]
+__all__ = [
+    "LogicalErrorRates",
+    "decode_error_rate",
+    "estimate_logical_error_rates",
+    "evaluate_basis",
+    "fraction_wrong",
+]
 
 #: A decoder factory takes a DEM and returns an object with ``decode_batch``.
 DecoderFactory = Callable[[DetectorErrorModel], "object"]
@@ -56,6 +63,34 @@ class LogicalErrorRates:
         )
 
 
+def fraction_wrong(predictions: np.ndarray, batch: SampleBatch) -> float:
+    """Fraction of shots where a prediction misses at least one observable.
+
+    A shot counts as a logical error when the decoder's predicted observable
+    flip disagrees with the actual flip for at least one logical qubit.  This
+    is the single scoring kernel shared by :func:`evaluate_basis` and the
+    staged :class:`repro.api.Pipeline`, which guarantees the two paths report
+    identical rates for identical samples.
+    """
+    if predictions.shape != batch.observables.shape:
+        raise ValueError(
+            f"decoder returned predictions of shape {predictions.shape}, "
+            f"expected {batch.observables.shape}"
+        )
+    wrong = (predictions != batch.observables).any(axis=1)
+    return float(np.count_nonzero(wrong)) / batch.num_shots
+
+
+def decode_error_rate(
+    dem: DetectorErrorModel,
+    batch: SampleBatch,
+    decoder_factory: DecoderFactory,
+) -> float:
+    """Decode a sampled batch and return the fraction of logically wrong shots."""
+    decoder = decoder_factory(dem)
+    return fraction_wrong(decoder.decode_batch(batch.detectors), batch)
+
+
 def evaluate_basis(
     code: StabilizerCode,
     schedule: Schedule,
@@ -64,27 +99,17 @@ def evaluate_basis(
     *,
     basis: str,
     shots: int,
-    seed: int | None = None,
+    seed: "int | np.random.SeedSequence | None" = None,
 ) -> float:
     """Return the logical error rate for one basis.
 
     ``basis='Z'`` measures logical Z operators and therefore reports the
     logical X error rate; ``basis='X'`` reports the logical Z error rate.
-    A shot counts as a logical error when the decoder's predicted observable
-    flip disagrees with the actual flip for at least one logical qubit.
     """
     experiment = build_memory_experiment(code, schedule, noise, basis=basis)
     dem = build_detector_error_model(experiment.circuit)
     batch = sample_detector_error_model(dem, shots, seed=seed)
-    decoder = decoder_factory(dem)
-    predictions = decoder.decode_batch(batch.detectors)
-    if predictions.shape != batch.observables.shape:
-        raise ValueError(
-            f"decoder returned predictions of shape {predictions.shape}, "
-            f"expected {batch.observables.shape}"
-        )
-    wrong = (predictions != batch.observables).any(axis=1)
-    return float(np.count_nonzero(wrong)) / shots
+    return decode_error_rate(dem, batch, decoder_factory)
 
 
 def estimate_logical_error_rates(
@@ -94,16 +119,21 @@ def estimate_logical_error_rates(
     decoder_factory: DecoderFactory,
     *,
     shots: int = 2000,
-    seed: int | None = None,
+    seed: "int | np.random.SeedSequence | None" = None,
 ) -> LogicalErrorRates:
-    """Estimate logical X, Z and overall error rates of ``schedule``."""
-    seed_x = None if seed is None else seed
-    seed_z = None if seed is None else seed + 1
+    """Estimate logical X, Z and overall error rates of ``schedule``.
+
+    The two per-basis sampling streams are independent ``SeedSequence``
+    children of ``seed`` (basis Z first, then basis X), replacing the old
+    ``seed`` / ``seed + 1`` convention that correlated streams across call
+    sites.
+    """
+    stream_x, stream_z = spawn_streams(seed, 2)
     error_x = evaluate_basis(
-        code, schedule, noise, decoder_factory, basis="Z", shots=shots, seed=seed_x
+        code, schedule, noise, decoder_factory, basis="Z", shots=shots, seed=stream_x
     )
     error_z = evaluate_basis(
-        code, schedule, noise, decoder_factory, basis="X", shots=shots, seed=seed_z
+        code, schedule, noise, decoder_factory, basis="X", shots=shots, seed=stream_z
     )
     return LogicalErrorRates(
         error_x=error_x, error_z=error_z, shots=shots, depth=schedule.depth

@@ -41,9 +41,16 @@ def sample_detector_error_model(
     dem: DetectorErrorModel,
     shots: int,
     *,
-    seed: int | None = None,
+    seed: "int | np.random.SeedSequence | None" = None,
 ) -> SampleBatch:
-    """Draw ``shots`` independent samples from the DEM."""
+    """Draw ``shots`` independent samples from the DEM.
+
+    ``seed`` may be an integer, ``None`` (fresh OS entropy), or a
+    :class:`numpy.random.SeedSequence` stream derived with
+    :mod:`repro.seeding` — the latter is what the estimator and the
+    ``repro.api`` pipeline pass so that every stage draws from an
+    independent stream.
+    """
     rng = np.random.default_rng(seed)
     priors = dem.priors
     if dem.num_mechanisms == 0:

@@ -1,0 +1,168 @@
+"""Tests for the ``repro`` console CLI (repro.api.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RunSpec
+from repro.api.cli import main
+
+
+class TestList:
+    def test_list_decoders_shows_all_four(self, capsys):
+        assert main(["list", "decoders"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mwpm", "unionfind", "bposd", "lookup"):
+            assert name in out
+
+    def test_list_all_categories(self, capsys):
+        assert main(["list", "all"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("codes (", "decoders (", "noise (", "schedulers ("):
+            assert heading in out
+
+    def test_list_aliases_flag(self, capsys):
+        assert main(["list", "decoders", "--aliases"]) == 0
+        assert "matching" in capsys.readouterr().out
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["list", "widgets"])
+
+
+class TestRun:
+    def test_run_from_spec_json_end_to_end(self, tmp_path, capsys):
+        """Acceptance: `repro run` executes a full surface-code RunSpec from JSON."""
+        spec = RunSpec(
+            code="surface:d=3",
+            decoder="mwpm",
+            scheduler="google",
+            seed=1,
+        )
+        spec = spec.replace(budget=spec.budget.replace(shots=120))
+        spec_path = spec.save(tmp_path / "spec.json")
+        out_path = tmp_path / "result.json"
+        assert main(["run", str(spec_path), "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "overall=" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["spec"]["code"] == "surface:d=3"
+        assert payload["shots"] == 120
+        assert 0.0 <= payload["overall"] <= 1.0
+
+    def test_flags_override_spec_file(self, tmp_path):
+        spec_path = RunSpec(code="surface:d=3", scheduler="google").save(tmp_path / "s.json")
+        out_path = tmp_path / "r.json"
+        assert (
+            main(
+                [
+                    "run",
+                    str(spec_path),
+                    "--code",
+                    "steane",
+                    "--decoder",
+                    "lookup",
+                    "--scheduler",
+                    "lowest_depth",
+                    "--shots",
+                    "60",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["spec"]["code"] == "steane"
+        assert payload["spec"]["decoder"] == "lookup"
+        assert payload["shots"] == 60
+
+    def test_run_from_flags_only(self, capsys):
+        assert (
+            main(["run", "--code", "steane", "--decoder", "lookup", "--shots", "40"]) == 0
+        )
+        assert "steane" in capsys.readouterr().out
+
+
+class TestEval:
+    def test_eval_fixed_scheduler(self, capsys):
+        assert (
+            main(
+                [
+                    "eval",
+                    "--code",
+                    "surface:d=3",
+                    "--scheduler",
+                    "google",
+                    "--decoder",
+                    "lookup",
+                    "--shots",
+                    "40",
+                ]
+            )
+            == 0
+        )
+        assert "scheduler=google" in capsys.readouterr().out
+
+    def test_eval_rejects_synthesis_scheduler(self, capsys):
+        assert main(["eval", "--scheduler", "alphasyndrome", "--shots", "10"]) == 2
+        assert "repro synth" in capsys.readouterr().err
+
+
+class TestSynth:
+    def test_synth_prints_schedule_and_reduction(self, capsys):
+        assert (
+            main(
+                [
+                    "synth",
+                    "--code",
+                    "steane",
+                    "--decoder",
+                    "lookup",
+                    "--shots",
+                    "60",
+                    "--synthesis-shots",
+                    "30",
+                    "--iterations",
+                    "1",
+                    "--max-evaluations",
+                    "2",
+                    "--seed",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "synthesis:" in out
+        assert "tick" in out
+
+
+class TestTables:
+    def test_tables_wraps_experiment_drivers(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "tables",
+                    "figure7",
+                    "--shots",
+                    "40",
+                    "--iterations",
+                    "1",
+                    "--max-evaluations",
+                    "2",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "figure7.txt").exists()
+        assert (tmp_path / "figure7.json").exists()
+        assert "figure7" in capsys.readouterr().out
+
+    def test_tables_unknown_asset(self, capsys):
+        assert main(["tables", "figure99"]) == 2
+        assert "unknown asset" in capsys.readouterr().err

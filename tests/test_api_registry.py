@@ -1,0 +1,234 @@
+"""Tests for the generic Registry, spec parsing and the concrete registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import codes, decoders, noise, schedulers
+from repro.api.registry import Registry, parse_spec
+from repro.codes.surface import rotated_surface_code
+from repro.decoders import BPOSDDecoder, LookupDecoder, MWPMDecoder, UnionFindDecoder
+
+
+class TestParseSpec:
+    def test_bare_name(self):
+        assert parse_spec("surface") == ("surface", [], {})
+
+    def test_keyword_arguments(self):
+        assert parse_spec("surface:d=5") == ("surface", [], {"d": 5})
+
+    def test_positional_arguments(self):
+        assert parse_spec("surface:5") == ("surface", [5], {})
+
+    def test_mixed_and_coerced(self):
+        name, positional, keyword = parse_spec("thing:3,rate=0.5,label=abc,flag=true,x=none")
+        assert name == "thing"
+        assert positional == [3]
+        assert keyword == {"rate": 0.5, "label": "abc", "flag": True, "x": None}
+
+    def test_whitespace_tolerated(self):
+        assert parse_spec(" surface : d=5 , rows=2 ") == ("surface", [], {"d": 5, "rows": 2})
+
+
+class TestRegistry:
+    def _fresh(self) -> Registry:
+        registry = Registry("widget")
+
+        @registry.register("alpha", aliases=("a",), help="first")
+        def _alpha(size: int = 1):
+            return ("alpha", size)
+
+        return registry
+
+    def test_register_and_build(self):
+        registry = self._fresh()
+        assert registry.build("alpha") == ("alpha", 1)
+        assert registry.build("alpha:size=3") == ("alpha", 3)
+        assert registry.build("alpha:7") == ("alpha", 7)
+
+    def test_alias_resolves(self):
+        registry = self._fresh()
+        assert registry.build("a:size=2") == ("alpha", 2)
+        assert "a" in registry
+        assert registry.available() == ["alpha"]
+        assert registry.available(include_aliases=True) == ["a", "alpha"]
+
+    def test_duplicate_name_rejected(self):
+        registry = self._fresh()
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add("alpha", lambda: None)
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add("a", lambda: None)
+
+    def test_unknown_name_raises_with_available(self):
+        registry = self._fresh()
+        with pytest.raises(KeyError, match="available"):
+            registry.build("missing")
+
+    def test_contextual_extras_filtered_by_signature(self):
+        registry = self._fresh()
+
+        @registry.register("context_free")
+        def _context_free():
+            return "bare"
+
+        @registry.register("context_aware")
+        def _context_aware(code=None):
+            return ("aware", code)
+
+        # Builders that cannot accept the context silently ignore it ...
+        assert registry.build("context_free", code="CODE") == "bare"
+        # ... and builders that can, receive it.
+        assert registry.build("context_aware", code="CODE") == ("aware", "CODE")
+
+    def test_spec_arguments_beat_contextual_extras(self):
+        registry = self._fresh()
+
+        @registry.register("seeded")
+        def _seeded(seed=0):
+            return seed
+
+        assert registry.build("seeded:seed=9", seed=1) == 9
+
+    def test_describe_rows(self):
+        registry = self._fresh()
+        rows = registry.describe()
+        assert rows == [("alpha", "a", "first")]
+
+
+class TestCodeRegistry:
+    def test_parametric_spec_matches_direct_construction(self):
+        built = codes.build("surface:d=5")
+        direct = rotated_surface_code(5)
+        assert built.num_qubits == direct.num_qubits
+        assert built.num_stabilizers == direct.num_stabilizers
+
+    def test_parametric_and_legacy_name_agree(self):
+        assert codes.build("surface:d=5").num_qubits == codes.build("rotated_surface_d5").num_qubits
+
+    def test_legacy_names_still_registered(self):
+        for name in ("rotated_surface_d3", "hexagonal_color_d5", "bb_72_12_6", "steane"):
+            assert name in codes
+
+    def test_alias(self):
+        assert codes.build("rotated_surface:d=3").num_qubits == 9
+
+    def test_at_least_as_many_names_as_seed(self):
+        assert len(codes) >= 25
+
+
+class TestDecoderRegistry:
+    def test_all_four_decoders_available(self):
+        assert decoders.available() == ["bposd", "lookup", "mwpm", "unionfind"]
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("mwpm", MWPMDecoder),
+            ("matching", MWPMDecoder),
+            ("unionfind", UnionFindDecoder),
+            ("union_find", UnionFindDecoder),
+            ("bposd", BPOSDDecoder),
+            ("lookup", LookupDecoder),
+        ],
+    )
+    def test_factory_builds_expected_class(self, name, cls, steane, brisbane):
+        from repro.circuits import build_memory_experiment
+        from repro.scheduling import lowest_depth_schedule
+        from repro.sim import build_detector_error_model
+
+        experiment = build_memory_experiment(
+            steane, lowest_depth_schedule(steane), brisbane, basis="Z"
+        )
+        dem = build_detector_error_model(experiment.circuit)
+        assert isinstance(decoders.build(name)(dem), cls)
+
+    def test_spec_arguments_bind_constructor_kwargs(self, steane, brisbane):
+        from repro.circuits import build_memory_experiment
+        from repro.scheduling import lowest_depth_schedule
+        from repro.sim import build_detector_error_model
+
+        experiment = build_memory_experiment(
+            steane, lowest_depth_schedule(steane), brisbane, basis="Z"
+        )
+        dem = build_detector_error_model(experiment.circuit)
+        decoder = decoders.build("lookup:max_order=1")(dem)
+        assert decoder.max_order == 1
+
+
+class TestNoiseRegistry:
+    def test_brisbane_default(self):
+        model = noise.build("brisbane")
+        assert model.two_qubit_error == pytest.approx(0.0074)
+
+    def test_scaled_spec(self):
+        model = noise.build("scaled:p=0.001")
+        assert model.two_qubit_error == pytest.approx(0.001)
+        assert model.idle_error == pytest.approx(0.001)
+
+    def test_nonuniform_requires_code(self, surface_d3):
+        with pytest.raises(ValueError, match="code"):
+            noise.build("nonuniform")
+        model = noise.build("nonuniform:variance=0.4,seed=3", code=surface_d3)
+        assert len(model.per_qubit_two_qubit) == surface_d3.num_stabilizers
+
+
+class TestSchedulerRegistry:
+    def test_baselines_registered(self):
+        for name in ("trivial", "lowest_depth", "google", "alphasyndrome"):
+            assert name in schedulers
+
+    def test_baseline_build(self, surface_d3):
+        schedule = schedulers.build("lowest_depth", code=surface_d3)
+        schedule.validate()
+        assert schedule.depth > 0
+
+
+class TestDeprecationShims:
+    def test_get_code_warns_and_matches_registry(self):
+        from repro.codes import get_code
+
+        with pytest.warns(DeprecationWarning):
+            legacy = get_code("steane")
+        fresh = codes.build("steane")
+        assert legacy.num_qubits == fresh.num_qubits
+        assert legacy.num_stabilizers == fresh.num_stabilizers
+
+    def test_get_code_unknown_name_message_unchanged(self):
+        from repro.codes import get_code
+
+        with pytest.warns(DeprecationWarning), pytest.raises(KeyError, match="available"):
+            get_code("not_a_code")
+
+    def test_available_codes_warns_and_matches_registry(self):
+        from repro.codes import available_codes
+
+        with pytest.warns(DeprecationWarning):
+            names = available_codes()
+        assert names == codes.available()
+
+    def test_code_builders_dict_still_importable(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.codes.library import CODE_BUILDERS
+        assert "steane" in CODE_BUILDERS
+        assert CODE_BUILDERS["steane"]().num_qubits == 7
+
+    def test_decoder_factory_warns_and_builds_identical_decoder(self, steane, brisbane):
+        from repro.circuits import build_memory_experiment
+        from repro.decoders import decoder_factory
+        from repro.scheduling import lowest_depth_schedule
+        from repro.sim import build_detector_error_model
+
+        experiment = build_memory_experiment(
+            steane, lowest_depth_schedule(steane), brisbane, basis="Z"
+        )
+        dem = build_detector_error_model(experiment.circuit)
+        with pytest.warns(DeprecationWarning):
+            factory = decoder_factory("mwpm")
+        assert isinstance(factory(dem), MWPMDecoder)
+
+    def test_decoder_factory_unknown_name(self):
+        from repro.decoders import decoder_factory
+
+        with pytest.warns(DeprecationWarning), pytest.raises(KeyError, match="available"):
+            decoder_factory("not_a_decoder")
