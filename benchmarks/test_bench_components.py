@@ -8,6 +8,9 @@ rollout shot budget.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -24,6 +27,17 @@ def surface_dem():
     code = codes.build("surface:d=3")
     experiment = build_memory_experiment(
         code, google_surface_schedule(code), brisbane_noise(), basis="Z"
+    )
+    return build_detector_error_model(experiment.circuit)
+
+
+@pytest.fixture(scope="module")
+def surface_d5_dem():
+    """d=5 surface code with d noisy rounds — the standard memory-experiment
+    scale the paper's evaluation loop pays for on every MCTS rollout."""
+    code = codes.build("surface:d=5")
+    experiment = build_memory_experiment(
+        code, lowest_depth_schedule(code), brisbane_noise(), basis="Z", noisy_rounds=5
     )
     return build_detector_error_model(experiment.circuit)
 
@@ -50,6 +64,52 @@ class TestComponentThroughput:
     def test_sampler_throughput(self, benchmark, surface_dem):
         batch = benchmark(sample_detector_error_model, surface_dem, 2000, seed=0)
         assert batch.num_shots == 2000
+
+    def test_sampler_packed_throughput_d5(self, benchmark, surface_d5_dem):
+        batch = benchmark(
+            sample_detector_error_model, surface_d5_dem, 2048, seed=0, backend="packed"
+        )
+        assert batch.num_shots == 2048
+
+    def test_sampler_packed_vs_dense_speedup_d5(self, surface_d5_dem):
+        """Acceptance: the bit-packed sampler is >= 5x the dense int64 path
+        at a d=5-scale DEM while remaining bit-identical for a fixed stream.
+
+        Timed with a best-of-N ``perf_counter`` loop (not the ``benchmark``
+        fixture) so the check also executes under ``--benchmark-disable``
+        quick mode in CI.  The full >=5x gate only arms when
+        ``REPRO_BENCH_ASSERT_SPEEDUP`` is set (the dedicated bench-quick CI
+        job); in the ordinary test matrix, where a noisy shared runner could
+        compress a wall-clock ratio, it relaxes to "packed is faster".
+        Locally the measured ratio is ~15x.
+        """
+        shots = 2048
+
+        dense = sample_detector_error_model(surface_d5_dem, shots, seed=11, backend="dense")
+        packed = sample_detector_error_model(surface_d5_dem, shots, seed=11, backend="packed")
+        assert np.array_equal(dense.faults, packed.faults)
+        assert np.array_equal(dense.detectors, packed.detectors)
+        assert np.array_equal(dense.observables, packed.observables)
+
+        def best_of(func, repeats=9):
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                func()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        dense_time = best_of(
+            lambda: sample_detector_error_model(surface_d5_dem, shots, seed=11, backend="dense")
+        )
+        packed_time = best_of(
+            lambda: sample_detector_error_model(surface_d5_dem, shots, seed=11, backend="packed")
+        )
+        speedup = dense_time / packed_time
+        print(f"\nsampler d=5: dense {dense_time * 1e3:.1f}ms "
+              f"packed {packed_time * 1e3:.1f}ms speedup {speedup:.1f}x")
+        required = 5.0 if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") else 1.0
+        assert speedup >= required
 
     @pytest.mark.parametrize("decoder_name", ["mwpm", "unionfind", "bposd", "lookup"])
     def test_decoder_throughput(self, benchmark, surface_dem, decoder_name):

@@ -5,6 +5,7 @@ Subcommands::
     repro run [spec.json] [overrides]   execute a full RunSpec end to end
     repro synth [overrides]             AlphaSyndrome synthesis + comparison
     repro eval [overrides]              evaluate a named scheduler (no search)
+    repro sweep [--grid f=v1,v2 ...]    run a spec grid, resumable JSONL output
     repro list {codes,decoders,noise,schedulers,all}
     repro tables {table2,...,all}       regenerate the paper's tables/figures
 
@@ -167,6 +168,99 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Budget fields addressable by ``--grid`` (mapped into ``spec.budget``).
+_GRID_BUDGET_FIELDS = ("shots", "synthesis_shots", "iterations_per_step", "max_evaluations")
+#: Integer-valued top-level RunSpec fields.
+_GRID_INT_FIELDS = ("seed", "workers")
+#: String-valued component spec fields.
+_GRID_COMPONENT_FIELDS = ("code", "noise", "scheduler", "decoder")
+
+
+def _parse_grid_axis(text: str) -> tuple[str, list[str]]:
+    """Parse one ``--grid field=v1,v2`` axis.
+
+    Values are split on ``|`` when present, otherwise on ``,`` — the pipe
+    form exists for registry specs that themselves contain commas
+    (``--grid 'code=bb:l=3,m=3|surface:d=5'``).
+    """
+    name, separator, values_text = text.partition("=")
+    name = name.strip()
+    split_on = "|" if "|" in values_text else ","
+    values = [value.strip() for value in values_text.split(split_on) if value.strip()]
+    if not separator or not name or not values:
+        raise ValueError(f"--grid expects FIELD=V1,V2[,...], got {text!r}")
+    return name, values
+
+
+def _apply_grid_value(spec: RunSpec, name: str, value: str) -> RunSpec:
+    if name in _GRID_COMPONENT_FIELDS:
+        return spec.replace(**{name: value})
+    if name in _GRID_INT_FIELDS:
+        return spec.replace(**{name: int(value)})
+    if name in _GRID_BUDGET_FIELDS:
+        return spec.replace(budget=spec.budget.replace(**{name: int(value)}))
+    valid = ", ".join(_GRID_COMPONENT_FIELDS + _GRID_INT_FIELDS + _GRID_BUDGET_FIELDS)
+    raise ValueError(f"unknown --grid field {name!r}; expected one of: {valid}")
+
+
+def _spec_fingerprint(payload: dict) -> str:
+    """Canonical JSON of a spec dict — the resume key of one sweep entry.
+
+    ``workers`` is dropped: it is an execution detail that never changes
+    results (the worker-invariance guarantee), so a sweep interrupted on an
+    8-core server resumes cleanly on a 1-core laptop instead of re-running
+    every spec.
+    """
+    payload = {key: value for key, value in payload.items() if key != "workers"}
+    return json.dumps(payload, sort_keys=True)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run the cartesian grid of specs, appending one JSONL row per run.
+
+    Completed specs already present in ``--out`` are skipped, so an
+    interrupted sweep resumes where it stopped (re-running with the same
+    flags is idempotent).
+    """
+    base = _spec_from_args(args)
+    specs = [base]
+    for axis in args.grid or []:
+        name, values = _parse_grid_axis(axis)
+        specs = [_apply_grid_value(spec, name, value) for spec in specs for value in values]
+    out = Path(args.out)
+    done: set[str] = set()
+    if out.exists():
+        for line in out.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from an interrupted run; re-run that spec
+            if isinstance(payload, dict) and "spec" in payload:
+                done.add(_spec_fingerprint(payload["spec"]))
+    out.parent.mkdir(parents=True, exist_ok=True)
+    ran = skipped = 0
+    with out.open("a") as handle:
+        for index, spec in enumerate(specs, start=1):
+            if _spec_fingerprint(spec.to_dict()) in done:
+                skipped += 1
+                continue
+            pipeline = Pipeline(spec)
+            result = pipeline.result
+            handle.write(json.dumps(result.to_dict()) + "\n")
+            handle.flush()
+            ran += 1
+            print(
+                f"[{index}/{len(specs)}] {spec.code} scheduler={spec.scheduler} "
+                f"decoder={spec.decoder} noise={spec.noise} "
+                f"overall={result.rates.overall:.3e}"
+            )
+    print(f"sweep done: {ran} run, {skipped} already in {out}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     categories = list(_REGISTRIES) if args.category == "all" else [args.category]
     for category in categories:
@@ -238,6 +332,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_budget_flags(eval_parser)
     eval_parser.add_argument("--out", default=None, help="write the RunResult JSON here")
     eval_parser.set_defaults(func=_cmd_eval)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a grid of RunSpecs with resumable JSONL output"
+    )
+    sweep_parser.add_argument("spec", nargs="?", default=None, help="base RunSpec JSON file")
+    _add_component_flags(sweep_parser)
+    add_budget_flags(sweep_parser)
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        metavar="FIELD=V1,V2",
+        help="sweep axis (repeatable; axes combine as a cartesian product); "
+        "values split on ',' or on '|' for specs containing commas",
+    )
+    sweep_parser.add_argument(
+        "--out", default="results/sweep.jsonl", help="JSONL output (appended; resumable)"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     list_parser = subparsers.add_parser("list", help="list registered components")
     list_parser.add_argument(

@@ -10,14 +10,15 @@ before it; asking for an early stage (``pipeline.dem``) never pays for the
 later ones.  Per-basis artifacts (circuit, DEM, syndromes, predictions) are
 dicts keyed by measurement basis ``"Z"`` / ``"X"``.
 
-With ``workers=1`` (the default) the pipeline reproduces the legacy
-:func:`repro.sim.estimate_logical_error_rates` path bit for bit — same
-SeedSequence streams, same sampling, same decode — which the test suite
-pins.  With ``workers > 1`` the sampling/decoding hot path is shot-sharded
-across a process pool: each shard draws from its own spawned child stream
-and decodes independently, so results are statistically equivalent (and
-deterministic for a fixed worker count) but not bit-identical to the serial
-reference.
+The sampling/decoding hot path is sharded into fixed-size chunks
+(:mod:`repro.parallel`), so its output is **worker-count invariant**:
+``Pipeline(workers=1)`` and ``Pipeline(workers=8)`` produce bit-identical
+samples, predictions and rates for a fixed seed — ``workers`` only decides
+whether the chunks run in process or on a process pool.  Runs that fit in a
+single chunk (``shots <= repro.parallel.DEFAULT_CHUNK_SHOTS``) additionally
+reproduce the legacy :func:`repro.sim.estimate_logical_error_rates` path
+bit for bit — same SeedSequence streams, same sampling, same decode — which
+the test suite pins.
 """
 
 from __future__ import annotations
@@ -26,53 +27,20 @@ import dataclasses
 from concurrent.futures import ProcessPoolExecutor
 from functools import cached_property
 
-import numpy as np
-
 from repro.api import registries
 from repro.api.spec import Budget, RunSpec
 from repro.circuits.memory import build_memory_experiment
 from repro.core.alphasyndrome import SynthesisResult
-from repro.seeding import spawn_streams
+from repro.parallel import merge_chunks, sample_and_decode, submit_chunks
 from repro.sim.dem import build_detector_error_model
-from repro.sim.estimator import LogicalErrorRates, fraction_wrong
-from repro.sim.sampler import SampleBatch, sample_detector_error_model
+from repro.sim.estimator import LogicalErrorRates, basis_streams, fraction_wrong
 
 __all__ = ["Pipeline", "RunResult"]
 
-#: Basis execution order.  Matches the stream-spawn order of
-#: ``estimate_logical_error_rates`` (basis Z reports the logical X error
-#: rate and consumes the first child stream).
+#: Basis artifact order; execution streams come from
+#: :func:`repro.sim.estimator.basis_streams` (basis Z reports the logical X
+#: error rate and consumes the first child stream).
 _BASES = ("Z", "X")
-
-
-def _shard_sizes(shots: int, workers: int) -> list[int]:
-    """Split ``shots`` into at most ``workers`` balanced, non-empty shards."""
-    shards = max(1, min(workers, shots))
-    base, remainder = divmod(shots, shards)
-    return [base + (1 if i < remainder else 0) for i in range(shards)]
-
-
-def _run_shard(dem, decoder_spec: str, shots: int, stream) -> tuple[SampleBatch, np.ndarray]:
-    """Sample and decode one shot shard (runs inside pool workers).
-
-    The decoder is rebuilt from its registry spec in every worker because
-    decoder instances (matching graphs, lookup tables) are not guaranteed to
-    be picklable; the DEM is.
-    """
-    batch = sample_detector_error_model(dem, shots, seed=stream)
-    decoder = registries.decoders.build(decoder_spec)(dem)
-    predictions = decoder.decode_batch(batch.detectors)
-    return batch, predictions
-
-
-def _merge_shards(results: list[tuple[SampleBatch, np.ndarray]]) -> tuple[SampleBatch, np.ndarray]:
-    batches, predictions = zip(*results)
-    merged = SampleBatch(
-        detectors=np.concatenate([b.detectors for b in batches]),
-        observables=np.concatenate([b.observables for b in batches]),
-        faults=np.concatenate([b.faults for b in batches]),
-    )
-    return merged, np.concatenate(predictions)
 
 
 @dataclasses.dataclass
@@ -145,7 +113,12 @@ class Pipeline:
 
     @cached_property
     def _scheduled(self):
-        """Raw scheduler output: a Schedule or a SynthesisResult."""
+        """Raw scheduler output: a Schedule or a SynthesisResult.
+
+        ``workers`` is offered as context so synthesising schedulers
+        (``"alphasyndrome"``) can parallelise rollout scoring; fixed
+        schedulers simply ignore it (registry extras are signature-filtered).
+        """
         return registries.schedulers.build(
             self.spec.scheduler,
             code=self.code,
@@ -153,6 +126,7 @@ class Pipeline:
             decoder_factory=self.decoder_factory,
             budget=self.spec.budget,
             seed=self.spec.seed,
+            workers=self.spec.workers,
         )
 
     @property
@@ -189,30 +163,32 @@ class Pipeline:
 
     @cached_property
     def _executed(self) -> dict:
-        """Per-basis ``(SampleBatch, predictions)`` from the sampling/decoding hot path."""
+        """Per-basis ``(SampleBatch, predictions)`` from the sampling/decoding hot path.
+
+        Chunk layout and per-chunk seed streams come from
+        :mod:`repro.parallel` and depend only on the shot count, so the
+        result is bit-identical for every ``workers`` value; the pool is
+        purely an execution detail.
+        """
         shots = self.spec.budget.shots
-        streams = spawn_streams(self.spec.seed, len(_BASES))
         executed: dict = {}
-        if self.spec.workers <= 1:
-            for basis, stream in zip(_BASES, streams):
-                dem = self.dem[basis]
-                batch = sample_detector_error_model(dem, shots, seed=stream)
-                decoder = self.decoder_factory(dem)
-                executed[basis] = (batch, decoder.decode_batch(batch.detectors))
+        if self.spec.workers <= 1 or shots <= 0:
+            for basis, stream in basis_streams(self.spec.seed):
+                executed[basis] = sample_and_decode(
+                    self.dem[basis], self.decoder_factory, shots, stream
+                )
             return executed
         with ProcessPoolExecutor(max_workers=self.spec.workers) as pool:
-            futures = {}
-            for basis, stream in zip(_BASES, streams):
-                sizes = _shard_sizes(shots, self.spec.workers)
-                shard_streams = (
-                    stream.spawn(len(sizes)) if stream is not None else [None] * len(sizes)
+            futures = {
+                basis: submit_chunks(
+                    pool, self.dem[basis], self.decoder_factory, shots, stream
                 )
-                futures[basis] = [
-                    pool.submit(_run_shard, self.dem[basis], self.spec.decoder, size, shard)
-                    for size, shard in zip(sizes, shard_streams)
-                ]
+                for basis, stream in basis_streams(self.spec.seed)
+            }
             for basis, basis_futures in futures.items():
-                executed[basis] = _merge_shards([future.result() for future in basis_futures])
+                executed[basis] = merge_chunks(
+                    [future.result() for future in basis_futures], self.dem[basis]
+                )
         return executed
 
     @property

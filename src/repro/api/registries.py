@@ -27,6 +27,8 @@ Registered builders follow per-registry conventions:
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.api.registry import Registry
 from repro.codes.bivariate_bicycle import bb_code_72_12_6, bivariate_bicycle_code
 from repro.codes.color import hexagonal_color_code, square_octagonal_color_code, steane_code
@@ -204,26 +206,29 @@ for _name, _builder in _FIXED_CODES.items():
 
 
 # ----------------------------------------------------------------------
-# Decoders (builders return a DetectorErrorModel -> Decoder factory)
+# Decoders (builders return a DetectorErrorModel -> Decoder factory).
+# The factories are ``functools.partial`` objects rather than lambdas so
+# they pickle into process-pool workers — the sharded hot path
+# (repro.parallel) ships the factory, not the decoder instance.
 # ----------------------------------------------------------------------
 @register_decoder("mwpm", aliases=("matching",), help="Minimum-weight perfect matching")
 def _mwpm(**kwargs):
-    return lambda dem: MWPMDecoder(dem, **kwargs)
+    return partial(MWPMDecoder, **kwargs)
 
 
 @register_decoder("unionfind", aliases=("union_find", "uf"), help="(Hypergraph) union-find")
 def _unionfind(**kwargs):
-    return lambda dem: UnionFindDecoder(dem, **kwargs)
+    return partial(UnionFindDecoder, **kwargs)
 
 
 @register_decoder("bposd", aliases=("bp_osd",), help="Belief propagation + ordered statistics")
 def _bposd(**kwargs):
-    return lambda dem: BPOSDDecoder(dem, **kwargs)
+    return partial(BPOSDDecoder, **kwargs)
 
 
 @register_decoder("lookup", help="Most-likely-error table (exact, small DEMs only)")
 def _lookup(**kwargs):
-    return lambda dem: LookupDecoder(dem, **kwargs)
+    return partial(LookupDecoder, **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -323,6 +328,8 @@ def _alphasyndrome(
     decoder_factory=None,
     budget=None,
     seed=0,
+    workers=1,
+    rollout_batch=1,
     iterations_per_step=None,
     max_evaluations=None,
     synthesis_shots=None,
@@ -355,7 +362,12 @@ def _alphasyndrome(
             iterations_per_step=budget.iterations_per_step,
             seed=0 if synthesis_seed is None else synthesis_seed,
             max_total_evaluations=budget.max_evaluations,
+            # An explicit search hyper-parameter ("alphasyndrome:rollout_batch=8"),
+            # deliberately NOT derived from `workers` — worker count must never
+            # change the search trajectory (bit-identical results per seed).
+            rollout_batch=int(rollout_batch),
         ),
         seed=0 if synthesis_seed is None else synthesis_seed,
+        workers=int(workers),
     )
     return alpha.synthesize()

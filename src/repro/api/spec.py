@@ -57,10 +57,10 @@ class RunSpec:
 
     All component fields are registry spec strings (see
     :mod:`repro.api.registry`), e.g. ``code="surface:d=5"`` or
-    ``decoder="lookup:max_order=3"``.  ``workers`` > 1 shards the
-    sampling/decoding hot path across a process pool (statistically
-    equivalent but not bit-identical to the serial path, which is the
-    reference).
+    ``decoder="lookup:max_order=3"``.  ``workers`` > 1 runs the
+    sampling/decoding hot path on a process pool; because shards are
+    fixed-size chunks with their own seed streams (:mod:`repro.parallel`),
+    the results are bit-identical for every worker count.
     """
 
     code: str = "surface:d=3"

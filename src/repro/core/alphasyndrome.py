@@ -55,7 +55,14 @@ class AlphaSyndrome:
     Parameters mirror the paper's framework; ``shots`` and
     ``mcts_config.iterations_per_step`` trade synthesis time for schedule
     quality (the paper used 4000-8000 iterations per step on a 144-core
-    server; the defaults here are laptop-sized).
+    server; the defaults here are laptop-sized).  ``workers > 1`` backs the
+    evaluator with a process pool; it never changes the search itself, so
+    synthesis output stays bit-identical for every worker count.  The
+    paper's many-core rollout parallelism is the *search hyper-parameter*
+    ``mcts_config.rollout_batch``: setting it above 1 scores that many
+    rollouts per round through the pooled evaluator — deterministic for a
+    fixed config, but a different (batched) search trajectory than
+    ``rollout_batch=1``.
     """
 
     code: StabilizerCode
@@ -65,6 +72,7 @@ class AlphaSyndrome:
     mcts_config: MCTSConfig = field(default_factory=MCTSConfig)
     objective: str = "inverse"
     seed: int = 0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         self.evaluator = ScheduleEvaluator(
@@ -74,11 +82,18 @@ class AlphaSyndrome:
             shots=self.shots,
             seed=self.seed,
             objective=self.objective,
+            workers=self.workers,
         )
 
     # ------------------------------------------------------------------
     def synthesize(self) -> SynthesisResult:
         """Run the full synthesis and return the optimised schedule with metrics."""
+        try:
+            return self._synthesize()
+        finally:
+            self.evaluator.close()
+
+    def _synthesize(self) -> SynthesisResult:
         partitions = partition_stabilizers(self.code)
         defaults = self._default_partition_schedules(partitions)
         chosen: dict[int, Schedule] = {}

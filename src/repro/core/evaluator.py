@@ -5,22 +5,55 @@ into a cached, deterministic scoring function used by the MCTS search: a
 complete schedule is mapped to ``score = 1 / overall logical error rate``
 (the paper's evaluation), with an optional ``-log`` variant kept for the
 ablation study.
+
+Evaluation is batch-capable and optionally pool-backed: ``evaluate_many``
+/ ``score_many`` accept a list of candidate schedules and, with
+``workers > 1``, fan the per-basis estimations of every cache miss out to a
+process pool (two tasks per schedule — both logical bases and all
+candidates run concurrently).  Results are bit-identical to the serial path
+for any worker count: each task derives the same ``SeedSequence`` streams
+:func:`repro.sim.estimate_logical_error_rates` would, so the pool is purely
+an execution detail.  This is what lets
+:class:`~repro.core.mcts.PartitionMCTS` score a whole batch of rollouts
+across cores.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.codes.base import StabilizerCode
 from repro.noise.models import NoiseModel
 from repro.scheduling.schedule import Schedule
-from repro.sim.estimator import DecoderFactory, LogicalErrorRates, estimate_logical_error_rates
+from repro.sim.estimator import (
+    DecoderFactory,
+    LogicalErrorRates,
+    basis_streams,
+    estimate_logical_error_rates,
+    evaluate_basis,
+)
 
 __all__ = ["ScheduleEvaluator"]
 
 #: Score assigned when no logical error is observed in the sample budget.
 _PERFECT_SCORE_CAP = 1e6
+
+
+def _basis_error_rate(
+    code: StabilizerCode,
+    schedule: Schedule,
+    noise: NoiseModel,
+    decoder_factory: DecoderFactory,
+    basis: str,
+    shots: int,
+    stream,
+) -> float:
+    """One (schedule, basis) estimation — module-level so it pickles to pool workers."""
+    return evaluate_basis(
+        code, schedule, noise, decoder_factory, basis=basis, shots=shots, seed=stream
+    )
 
 
 @dataclass
@@ -30,17 +63,25 @@ class ScheduleEvaluator:
     Parameters
     ----------
     code, noise, decoder_factory:
-        The decoding context the schedule is optimised for.
+        The decoding context the schedule is optimised for.  With
+        ``workers > 1`` the factory crosses a process-pool boundary and must
+        be picklable (everything built by ``repro.api.registries.decoders``
+        is; ad-hoc lambdas are not).
     shots:
         Monte-Carlo shots per logical basis per evaluation.  The paper uses
         large parallel stim batches; here the default is laptop-sized and
         should be raised for final measurements.
     seed:
         Base RNG seed.  Evaluations are deterministic given the seed and the
-        schedule, which keeps MCTS runs reproducible.
+        schedule — for *any* ``workers`` value — which keeps MCTS runs
+        reproducible.
     objective:
         ``"inverse"`` (paper: ``1 / overall``) or ``"neg_log"``
         (``-log(overall)``, ablation variant).
+    workers:
+        Process-pool width used by :meth:`evaluate_many` /
+        :meth:`score_many` for cache misses.  ``1`` (the default) evaluates
+        in process.
     """
 
     code: StabilizerCode
@@ -49,14 +90,21 @@ class ScheduleEvaluator:
     shots: int = 500
     seed: int = 0
     objective: str = "inverse"
+    workers: int = 1
     _cache: dict[tuple, LogicalErrorRates] = field(default_factory=dict, repr=False)
+    _pool: ProcessPoolExecutor | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.objective not in ("inverse", "neg_log"):
             raise ValueError("objective must be 'inverse' or 'neg_log'")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     # ------------------------------------------------------------------
     def schedule_key(self, schedule: Schedule) -> tuple:
+        """Canonical cache key: sorted check/tick tuples, so permuting the
+        ``assignment`` insertion order of an otherwise identical schedule
+        still hits the cache."""
         return tuple(
             sorted(
                 (check.stabilizer, check.data_qubit, check.pauli, tick)
@@ -81,9 +129,57 @@ class ScheduleEvaluator:
         self._cache[key] = rates
         return rates
 
-    def score(self, schedule: Schedule) -> float:
-        """Scalar score of a complete schedule (higher is better)."""
-        rates = self.evaluate(schedule)
+    def evaluate_many(self, schedules: "list[Schedule]") -> list[LogicalErrorRates]:
+        """Evaluate a batch of schedules, fanning cache misses out to the pool.
+
+        Duplicate schedules within the batch (and anything already cached)
+        are estimated once.  The returned list is ordered like the input and
+        bit-identical to calling :meth:`evaluate` serially.
+        """
+        keys = [self.schedule_key(schedule) for schedule in schedules]
+        misses: dict[tuple, Schedule] = {}
+        for key, schedule in zip(keys, schedules):
+            if key not in self._cache and key not in misses:
+                misses[key] = schedule
+        if misses:
+            if self.workers <= 1:
+                for schedule in misses.values():
+                    self.evaluate(schedule)
+            else:
+                self._evaluate_pooled(misses)
+        return [self._cache[key] for key in keys]
+
+    def _evaluate_pooled(self, misses: "dict[tuple, Schedule]") -> None:
+        """Submit two basis tasks per miss, via the serial path's own
+        :func:`repro.sim.estimator.basis_streams` plan — one shared
+        derivation, so the pooled results cannot drift from serial."""
+        pool = self._ensure_pool()
+        submitted = []
+        for key, schedule in misses.items():
+            futures = {
+                basis: pool.submit(
+                    _basis_error_rate,
+                    self.code,
+                    schedule,
+                    self.noise,
+                    self.decoder_factory,
+                    basis,
+                    self.shots,
+                    stream,
+                )
+                for basis, stream in basis_streams(self.seed)
+            }
+            submitted.append((key, schedule, futures))
+        for key, schedule, futures in submitted:
+            self._cache[key] = LogicalErrorRates(
+                error_x=futures["Z"].result(),
+                error_z=futures["X"].result(),
+                shots=self.shots,
+                depth=schedule.depth,
+            )
+
+    # ------------------------------------------------------------------
+    def _score_of(self, rates: LogicalErrorRates) -> float:
         overall = rates.overall
         if self.objective == "neg_log":
             if overall <= 0:
@@ -92,6 +188,34 @@ class ScheduleEvaluator:
         if overall <= 0:
             return _PERFECT_SCORE_CAP
         return min(1.0 / overall, _PERFECT_SCORE_CAP)
+
+    def score(self, schedule: Schedule) -> float:
+        """Scalar score of a complete schedule (higher is better)."""
+        return self._score_of(self.evaluate(schedule))
+
+    def score_many(self, schedules: "list[Schedule]") -> list[float]:
+        """Batch variant of :meth:`score` (shares the pool fan-out)."""
+        return [self._score_of(rates) for rates in self.evaluate_many(schedules)]
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the process pool down (recreated lazily on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ScheduleEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def cache_size(self) -> int:

@@ -34,6 +34,11 @@ class MCTSConfig:
     paper scale; laptop defaults are much smaller).  ``exploration`` is the
     UCT constant ``c``.  ``reuse_subtree`` toggles the continuous-search
     optimisation of Section 4.5 (kept as a switch for the ablation study).
+    ``rollout_batch`` collects that many leaves per round (diversified by a
+    virtual-visit count on the selection path) and scores them in one
+    :meth:`~repro.core.evaluator.ScheduleEvaluator.score_many` call, so a
+    pool-backed evaluator spreads rollout scoring across cores;  ``1``
+    reproduces the classic serial iteration exactly.
     """
 
     iterations_per_step: int = 32
@@ -41,6 +46,7 @@ class MCTSConfig:
     reuse_subtree: bool = True
     seed: int = 0
     max_total_evaluations: int | None = None
+    rollout_batch: int = 1
 
 
 class MCTSNode:
@@ -121,10 +127,15 @@ class PartitionMCTS:
             budget = self.config.iterations_per_step
             if self.config.reuse_subtree:
                 budget = max(budget - root.visits, 1)
-            for _ in range(budget):
-                if self._budget_exhausted():
+            remaining = budget
+            while remaining > 0:
+                requested = min(max(1, self.config.rollout_batch), remaining)
+                completed = self._iterate_batch(root, requested)
+                if completed == 0:
                     break
-                self._iterate(root)
+                remaining -= completed
+                if completed < requested:
+                    break
             best = self._best_child(root)
             moves.append(best.move)
             if self.config.reuse_subtree:
@@ -139,13 +150,45 @@ class PartitionMCTS:
         return self._evaluations
 
     # ------------------------------------------------------------------
-    # The four MCTS phases
+    # The four MCTS phases (selection/expansion/rollout collected per batch,
+    # evaluation dispatched through the evaluator's batch API, then one
+    # backpropagation pass per leaf)
     # ------------------------------------------------------------------
-    def _iterate(self, root: MCTSNode) -> None:
-        leaf = self._select(root)
-        expanded = self._expand(leaf)
-        score = self._simulate(expanded)
-        self._backpropagate(expanded, score)
+    def _iterate_batch(self, root: MCTSNode, count: int) -> int:
+        """Collect up to ``count`` leaves, score them as one batch, backpropagate.
+
+        Visits are incremented along each selection path as soon as the leaf
+        is collected (a virtual-visit count), so later selections within the
+        same batch are steered away from already-pending leaves; scores are
+        added after the whole batch is evaluated.  With ``count == 1`` the
+        visit/score updates collapse to the classic single-iteration MCTS,
+        consuming the RNG in exactly the same order.
+
+        Returns how many rollouts actually ran (less than ``count`` when
+        ``max_total_evaluations`` cut the batch short).
+        """
+        pending: list[tuple[MCTSNode, Schedule]] = []
+        for _ in range(count):
+            if self._budget_exhausted(len(pending)):
+                break
+            leaf = self._select(root)
+            expanded = self._expand(leaf)
+            candidate = self._rollout(expanded)
+            node: MCTSNode | None = expanded
+            while node is not None:
+                node.visits += 1
+                node = node.parent
+            pending.append((expanded, candidate))
+        if not pending:
+            return 0
+        scores = self.evaluator.score_many([candidate for _, candidate in pending])
+        self._evaluations += len(pending)
+        for (expanded, _), score in zip(pending, scores):
+            node = expanded
+            while node is not None:
+                node.total_score += score
+                node = node.parent
+        return len(pending)
 
     def _select(self, node: MCTSNode) -> MCTSNode:
         current = node
@@ -165,22 +208,14 @@ class PartitionMCTS:
         node.children.append(child)
         return child
 
-    def _simulate(self, node: MCTSNode) -> float:
+    def _rollout(self, node: MCTSNode) -> Schedule:
+        """Randomly complete ``node``'s partial schedule and compose it for scoring."""
         schedule = node.schedule.copy()
         remaining = list(node.remaining)
         self._rng.shuffle(remaining)
         for check in remaining:
             schedule.assign(check, schedule.earliest_valid_tick(check))
-        self._evaluations += 1
-        return self.evaluator.score(self.compose(schedule))
-
-    @staticmethod
-    def _backpropagate(node: MCTSNode, score: float) -> None:
-        current = node
-        while current is not None:
-            current.visits += 1
-            current.total_score += score
-            current = current.parent
+        return self.compose(schedule)
 
     # ------------------------------------------------------------------
     def _best_child(self, node: MCTSNode) -> MCTSNode:
@@ -192,6 +227,6 @@ class PartitionMCTS:
             return child
         return max(node.children, key=lambda child: child.expectation)
 
-    def _budget_exhausted(self) -> bool:
+    def _budget_exhausted(self, pending: int = 0) -> bool:
         limit = self.config.max_total_evaluations
-        return limit is not None and self._evaluations >= limit
+        return limit is not None and self._evaluations + pending >= limit

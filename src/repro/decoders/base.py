@@ -37,6 +37,34 @@ class Decoder(ABC):
             [self.decode(syndrome) for syndrome in syndromes], dtype=np.uint8
         )
 
+    @property
+    def has_packed_fast_path(self) -> bool:
+        """True when :meth:`decode_batch_packed` consumes packed words natively.
+
+        The hot path (:func:`repro.sim.estimator.decode_predictions`) only
+        routes packed syndromes to decoders that advertise this; everything
+        else receives the dense batch directly, skipping a pointless
+        unpack.  Subclasses overriding :meth:`decode_batch_packed` with a
+        real fast path should override this too.
+        """
+        return False
+
+    def decode_batch_packed(self, packed: np.ndarray) -> np.ndarray:
+        """Decode syndromes given in bit-packed form.
+
+        ``packed`` has shape ``(shots, ceil(num_detectors / 64))`` with the
+        little-endian word layout of :func:`repro.sim.bitops.pack_rows`
+        (what the packed sampler emits as ``SampleBatch.packed_detectors``).
+        The default implementation unpacks once and defers to
+        :meth:`decode_batch`; decoders that can consume packed words
+        directly (e.g. the lookup decoder's key table) override it to skip
+        the round trip.
+        """
+        from repro.sim.bitops import unpack_rows
+
+        syndromes = unpack_rows(np.asarray(packed), self.dem.num_detectors)
+        return self.decode_batch(syndromes)
+
     def predicted_observables(self, error_vector: np.ndarray) -> np.ndarray:
         """Map a mechanism-indicator vector to observable flips."""
         if self.dem.num_observables == 0:

@@ -14,6 +14,7 @@ import itertools
 import numpy as np
 
 from repro.decoders.base import Decoder
+from repro.sim.bitops import pack_rows
 from repro.sim.dem import DetectorErrorModel
 
 __all__ = ["LookupDecoder"]
@@ -39,7 +40,7 @@ class LookupDecoder(Decoder):
         """
         self._packed_keys: np.ndarray | None = None
         self._packed_corrections: np.ndarray | None = None
-        if self.dem.num_detectors > 64 or not self._table:
+        if not 0 < self.dem.num_detectors <= 64 or not self._table:
             return
         syndromes = np.array(
             [np.frombuffer(key, dtype=np.uint8) for key in self._table], dtype=np.uint8
@@ -54,11 +55,15 @@ class LookupDecoder(Decoder):
 
     @staticmethod
     def _pack(rows: np.ndarray) -> np.ndarray:
-        """Pack ``(n, num_detectors <= 64)`` bit rows into ``(n,)`` uint64 keys."""
-        packed = np.packbits(rows, axis=1)
-        padded = np.zeros((rows.shape[0], 8), dtype=np.uint8)
-        padded[:, : packed.shape[1]] = packed
-        return padded.view(np.uint64).ravel()
+        """Pack ``(n, num_detectors <= 64)`` bit rows into ``(n,)`` uint64 keys.
+
+        Delegates to :func:`repro.sim.bitops.pack_rows`, whose explicit
+        little-endian word dtype (``np.dtype('<u8')``) makes the keys
+        platform-independent (a bare ``.view(np.uint64)`` of the padded
+        bytes would flip them on big-endian hosts) and identical to the
+        packed syndromes the sampler emits.
+        """
+        return pack_rows(rows).reshape(-1)
 
     def _build_table(self) -> None:
         num = self.dem.num_mechanisms
@@ -101,11 +106,32 @@ class LookupDecoder(Decoder):
         syndromes = np.ascontiguousarray(syndromes, dtype=np.uint8)
         if self._packed_keys is None:
             return super().decode_batch(syndromes)
-        num_shots = syndromes.shape[0]
-        result = np.zeros((num_shots, self.dem.num_observables), dtype=np.uint8)
-        if num_shots == 0:
-            return result
-        keys = self._pack(syndromes)
+        if syndromes.shape[0] == 0:
+            return np.zeros((0, self.dem.num_observables), dtype=np.uint8)
+        return self._lookup_keys(self._pack(syndromes))
+
+    @property
+    def has_packed_fast_path(self) -> bool:
+        """Packed input pays off exactly when the single-word key table applies."""
+        return self._packed_keys is not None
+
+    def decode_batch_packed(self, packed: np.ndarray) -> np.ndarray:
+        """Decode bit-packed syndromes without re-packing.
+
+        The sampler's ``packed_detectors`` words use the same little-endian
+        layout as the table keys, so for DEMs with <= 64 detectors the
+        packed column *is* the key and decoding is a single ``searchsorted``
+        straight off the packed batch.  Larger DEMs (or an empty table) fall
+        back to the generic unpack-then-decode path.
+        """
+        packed = np.asarray(packed)
+        if self._packed_keys is None or packed.shape[1] != 1 or packed.shape[0] == 0:
+            return super().decode_batch_packed(packed)
+        return self._lookup_keys(packed.reshape(-1))
+
+    def _lookup_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Resolve uint64 syndrome keys against the pre-sorted table."""
+        result = np.zeros((keys.shape[0], self.dem.num_observables), dtype=np.uint8)
         positions = np.searchsorted(self._packed_keys, keys)
         positions = np.minimum(positions, len(self._packed_keys) - 1)
         hits = self._packed_keys[positions] == keys

@@ -1,0 +1,200 @@
+"""Worker-count-invariant shot sharding for the sampling/decoding hot path.
+
+The hot path is split into *chunks of fixed size*
+(:data:`DEFAULT_CHUNK_SHOTS`), never into per-worker shards: the chunk
+layout — and the per-chunk ``SeedSequence.spawn`` stream each chunk draws
+from — depends only on the shot count, so the sampled rates are **bit
+identical for every worker count** (``workers=1`` executes the same chunks
+in process, ``workers=8`` farms them to a pool).  Deriving shards from the
+worker count instead (the original ``Pipeline`` behaviour) silently changed
+the seed streams, and therefore the measured rates, whenever a run moved to
+a machine with a different core count — exactly the reproducibility trap
+parallel-benchmarking folklore warns about.
+
+:class:`repro.api.Pipeline` runs its per-basis sampling/decoding through
+these chunks.  The pooled :class:`repro.core.ScheduleEvaluator` fans out at
+(schedule, basis) granularity instead — rollout budgets are far below one
+chunk — but derives its streams from the same
+:func:`repro.sim.estimator.basis_streams` plan, so both parallel paths stay
+bit-identical to their serial references.
+
+Single-chunk runs (``shots <= chunk_shots``) pass the caller's stream
+through *unspawned*, which keeps them bit-identical to the legacy serial
+estimator path the test suite pins.
+
+The helpers here are deliberately free functions so they pickle into
+:class:`~concurrent.futures.ProcessPoolExecutor` workers; decoder factories
+crossing the pool boundary must be picklable (everything built by
+``repro.api.registries.decoders`` is).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.bitops import pack_rows
+from repro.sim.estimator import decode_predictions
+from repro.sim.sampler import SampleBatch, sample_detector_error_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor
+
+    from repro.sim.dem import DetectorErrorModel
+    from repro.sim.estimator import DecoderFactory
+
+__all__ = [
+    "DEFAULT_CHUNK_SHOTS",
+    "chunk_sizes",
+    "chunk_streams",
+    "run_chunk",
+    "merge_chunks",
+    "submit_chunks",
+    "sample_and_decode",
+]
+
+#: Fixed shard granularity of the hot path.  The worker-invariance
+#: guarantee only requires that it never depend on the worker count; the
+#: value trades per-chunk overhead (stream spawn, pool dispatch, DEM
+#: pickling) against intra-basis parallelism — a run only spreads across
+#: more than ``ceil(shots / 1024)`` workers per basis once it spans that
+#: many chunks (both bases always run concurrently on a pool regardless).
+DEFAULT_CHUNK_SHOTS = 1024
+
+
+def chunk_sizes(shots: int, chunk_shots: int | None = None) -> list[int]:
+    """Split ``shots`` into balanced chunks of at most ``chunk_shots``.
+
+    The result depends only on ``shots`` (and the fixed chunk size), never
+    on the worker count — the foundation of the invariance guarantee.
+    ``shots <= 0`` yields no chunks.
+    """
+    if chunk_shots is None:
+        chunk_shots = DEFAULT_CHUNK_SHOTS
+    if shots <= 0:
+        return []
+    chunks = -(-shots // max(1, chunk_shots))
+    base, remainder = divmod(shots, chunks)
+    return [base + (1 if index < remainder else 0) for index in range(chunks)]
+
+
+def chunk_streams(
+    stream: "np.random.SeedSequence | None", count: int
+) -> "list[np.random.SeedSequence | None]":
+    """One independent seed stream per chunk.
+
+    A single chunk receives ``stream`` itself (bit-compatible with the
+    unchunked legacy path); multiple chunks each receive a spawned child.
+    """
+    if count <= 1:
+        return [stream]
+    if stream is None:
+        return [None] * count
+    return stream.spawn(count)
+
+
+def run_chunk(
+    dem: "DetectorErrorModel",
+    decoder_factory: "DecoderFactory",
+    shots: int,
+    stream: "np.random.SeedSequence | None",
+) -> tuple[SampleBatch, np.ndarray]:
+    """Sample and decode one chunk (also the unit shipped to pool workers).
+
+    The decoder is rebuilt from its factory inside the worker because
+    decoder *instances* (matching graphs, lookup tables) need not be
+    picklable; the factory and the DEM are.
+    """
+    batch = sample_detector_error_model(dem, shots, seed=stream)
+    decoder = decoder_factory(dem)
+    return batch, decode_predictions(decoder, batch)
+
+
+def merge_chunks(
+    results: "list[tuple[SampleBatch, np.ndarray]]", dem: "DetectorErrorModel"
+) -> tuple[SampleBatch, np.ndarray]:
+    """Concatenate chunk results in chunk order.
+
+    An empty result list (``shots=0``) returns a well-formed empty batch
+    instead of crashing in ``zip(*[])``.
+    """
+    if not results:
+        detectors = np.zeros((0, dem.num_detectors), dtype=np.uint8)
+        empty = SampleBatch(
+            detectors=detectors,
+            observables=np.zeros((0, dem.num_observables), dtype=np.uint8),
+            faults=np.zeros((0, dem.num_mechanisms), dtype=np.uint8),
+            packed_detectors=pack_rows(detectors),
+        )
+        return empty, np.zeros((0, dem.num_observables), dtype=np.uint8)
+    batches, predictions = zip(*results)
+    packed = [batch.packed_detectors for batch in batches]
+    merged = SampleBatch(
+        detectors=np.concatenate([batch.detectors for batch in batches]),
+        observables=np.concatenate([batch.observables for batch in batches]),
+        faults=np.concatenate([batch.faults for batch in batches]),
+        packed_detectors=(
+            np.concatenate(packed) if all(p is not None for p in packed) else None
+        ),
+    )
+    return merged, np.concatenate(predictions)
+
+
+def submit_chunks(
+    pool: "Executor",
+    dem: "DetectorErrorModel",
+    decoder_factory: "DecoderFactory",
+    shots: int,
+    stream: "np.random.SeedSequence | None",
+    *,
+    chunk_shots: int | None = None,
+) -> "list[Future]":
+    """Submit every chunk of one sampling/decoding task to ``pool``.
+
+    Returns the chunk futures in chunk order; gather with
+    ``merge_chunks([f.result() for f in futures], dem)``.  Callers that fan
+    out several tasks (two bases, many schedules) submit them all before
+    gathering so chunks interleave across the pool.
+    """
+    sizes = chunk_sizes(shots, chunk_shots)
+    streams = chunk_streams(stream, len(sizes))
+    return [
+        pool.submit(run_chunk, dem, decoder_factory, size, chunk_stream)
+        for size, chunk_stream in zip(sizes, streams)
+    ]
+
+
+def sample_and_decode(
+    dem: "DetectorErrorModel",
+    decoder_factory: "DecoderFactory",
+    shots: int,
+    stream: "np.random.SeedSequence | None",
+    *,
+    pool: "Executor | None" = None,
+    chunk_shots: int | None = None,
+) -> tuple[SampleBatch, np.ndarray]:
+    """Run the full chunked sampling/decoding task, serially or on a pool.
+
+    The serial path executes the identical chunk layout in process (with one
+    decoder instance reused across chunks — decoding is a pure function of
+    the DEM and syndrome, so this is bit-identical to per-chunk rebuilds),
+    which is what makes ``workers=1`` and ``workers=N`` indistinguishable in
+    output.
+    """
+    sizes = chunk_sizes(shots, chunk_shots)
+    if not sizes:
+        return merge_chunks([], dem)
+    if pool is not None:
+        futures = submit_chunks(
+            pool, dem, decoder_factory, shots, stream, chunk_shots=chunk_shots
+        )
+        return merge_chunks([future.result() for future in futures], dem)
+    streams = chunk_streams(stream, len(sizes))
+    decoder = decoder_factory(dem)
+    results = []
+    for size, chunk_stream in zip(sizes, streams):
+        batch = sample_detector_error_model(dem, size, seed=chunk_stream)
+        results.append((batch, decode_predictions(decoder, batch)))
+    return merge_chunks(results, dem)

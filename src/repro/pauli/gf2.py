@@ -74,10 +74,32 @@ def gf2_rank(matrix: np.ndarray) -> int:
     return len(pivots)
 
 
+#: Below this many scalar multiply-adds the dense int64 product wins (packing
+#: overhead dominates); above it the bit-packed popcount kernel takes over.
+_PACKED_MATMUL_MIN_OPS = 1 << 18
+
+
 def gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Multiply two GF(2) matrices (or matrix-vector) modulo 2."""
+    """Multiply two GF(2) matrices (or matrix-vector) modulo 2.
+
+    Small products use a dense ``int64`` matmul; large 2-D products are
+    routed through the bit-packed AND/popcount kernel in
+    :mod:`repro.sim.bitops` (64 entries per word operation).  Both paths
+    return identical uint8 results.
+    """
     left = np.asarray(a, dtype=np.uint8)
     right = np.asarray(b, dtype=np.uint8)
+    if (
+        left.ndim == 2
+        and right.ndim == 2
+        and left.shape[1] == right.shape[0]
+        and left.shape[0] * left.shape[1] * right.shape[1] >= _PACKED_MATMUL_MIN_OPS
+    ):
+        # Imported lazily: repro.pauli is a base layer and must not pull the
+        # simulation stack in at import time.
+        from repro.sim.bitops import pack_rows, packed_matmul_parity
+
+        return packed_matmul_parity(pack_rows(left), pack_rows(right.T))
     product = left.astype(np.int64) @ right.astype(np.int64)
     return (product % 2).astype(np.uint8)
 

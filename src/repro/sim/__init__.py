@@ -1,9 +1,18 @@
 """Clifford simulation substrate: fault propagation, DEMs, sampling, tableau."""
 
+from repro.sim.bitops import (
+    pack_rows,
+    packed_matmul_parity,
+    popcount,
+    unpack_rows,
+    xor_reduce_rows,
+)
 from repro.sim.dem import DetectorErrorModel, ErrorMechanism, build_detector_error_model
 from repro.sim.estimator import (
     LogicalErrorRates,
+    basis_streams,
     decode_error_rate,
+    decode_predictions,
     estimate_logical_error_rates,
     evaluate_basis,
 )
@@ -23,7 +32,14 @@ __all__ = [
     "TableauSimulator",
     "simulate_circuit",
     "LogicalErrorRates",
+    "basis_streams",
     "decode_error_rate",
+    "decode_predictions",
     "estimate_logical_error_rates",
     "evaluate_basis",
+    "pack_rows",
+    "unpack_rows",
+    "popcount",
+    "xor_reduce_rows",
+    "packed_matmul_parity",
 ]

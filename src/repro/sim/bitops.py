@@ -1,0 +1,149 @@
+"""Bit-packed GF(2) kernels for the sampling/decoding hot path.
+
+Everything in this module operates on *bit-packed* binary matrices: a
+``(rows, bits)`` array of 0/1 values becomes a ``(rows, ceil(bits / 64))``
+array of ``uint64`` words, where bit ``i`` of word ``j`` in a row is column
+``64 * j + i`` of that row.  The byte layout is pinned to little-endian
+(``np.dtype('<u8')``) and the bit order within each byte to
+``bitorder="little"``, so packed words — and anything keyed on them, such as
+the lookup decoder's syndrome table — are identical on every platform.
+
+Three kernels cover the hot path:
+
+``xor_reduce_rows``
+    XOR-accumulate selected rows of a packed matrix.  With fault draws
+    packed *along the shot axis*, one XOR-reduce per detector replaces the
+    dense ``int64`` matmul-mod-2 of the naive sampler: 64 shots advance per
+    word operation and no multiply is ever issued.
+
+``packed_matmul_parity``
+    Popcount-based GF(2) matrix product for operands packed along the shared
+    axis (``parity(popcount(a_i & b_j))``).  Backs
+    :func:`repro.pauli.gf2.gf2_matmul` for large operands.
+
+``popcount``
+    Vectorised per-element popcount (``np.bitwise_count`` when available,
+    byte-table fallback otherwise — popcount is byte-order independent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "packed_words",
+    "pack_rows",
+    "unpack_rows",
+    "popcount",
+    "xor_reduce_rows",
+    "packed_matmul_parity",
+]
+
+WORD_BITS = 64
+
+#: Canonical packed dtype: explicitly little-endian 64-bit words, so packed
+#: values never depend on the host byte order.
+_WORD_DTYPE = np.dtype("<u8")
+
+_POPCOUNT8 = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+
+def packed_words(num_bits: int) -> int:
+    """Number of 64-bit words needed to hold ``num_bits`` bits (0 for 0)."""
+    return (int(num_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, bits)`` 0/1 array into ``(rows, words)`` uint64 words.
+
+    Any non-zero entry counts as 1 (``np.packbits`` semantics).  Padding
+    bits beyond the last column are always zero, so packed rows of equal
+    width compare equal iff the unpacked rows do.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"pack_rows expects a 2-D array, got shape {bits.shape}")
+    rows, num_bits = bits.shape
+    words = packed_words(num_bits)
+    packed_bytes = np.packbits(bits, axis=1, bitorder="little")
+    padded = np.zeros((rows, words * 8), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    return padded.view(_WORD_DTYPE)
+
+
+def unpack_rows(words: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows`: ``(rows, words)`` -> ``(rows, num_bits)`` uint8."""
+    words = np.asarray(words)
+    if words.ndim != 2:
+        raise ValueError(f"unpack_rows expects a 2-D array, got shape {words.shape}")
+    if words.shape[1] < packed_words(num_bits):
+        raise ValueError(
+            f"{words.shape[1]} words cannot hold {num_bits} bits "
+            f"(need {packed_words(num_bits)})"
+        )
+    as_bytes = np.ascontiguousarray(words, dtype=_WORD_DTYPE).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+    return bits[:, :num_bits]
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of an unsigned integer array."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of an unsigned integer array (byte-table fallback)."""
+        words = np.ascontiguousarray(words)
+        per_byte = _POPCOUNT8[words.view(np.uint8)]
+        return per_byte.reshape(*words.shape, words.dtype.itemsize).sum(
+            axis=-1, dtype=np.uint8
+        )
+
+
+def xor_reduce_rows(packed: np.ndarray, groups: "list[np.ndarray | list[int]]") -> np.ndarray:
+    """XOR-reduce selected rows of ``packed`` for every index group.
+
+    Returns a ``(len(groups), words)`` array whose ``i``-th row is the XOR of
+    ``packed[groups[i]]`` (all zeros for an empty group).  This is a GF(2)
+    sparse matrix product with the group structure as the left operand.
+    """
+    packed = np.asarray(packed)
+    out = np.zeros((len(groups), packed.shape[1]), dtype=packed.dtype)
+    for index, group in enumerate(groups):
+        if len(group):
+            out[index] = np.bitwise_xor.reduce(packed[np.asarray(group)], axis=0)
+    return out
+
+
+def packed_matmul_parity(
+    a_packed: np.ndarray, b_packed: np.ndarray, *, block_elements: int = 1 << 21
+) -> np.ndarray:
+    """GF(2) product of two row-packed operands sharing their packed axis.
+
+    ``a_packed`` is ``(n, words)`` and ``b_packed`` is ``(m, words)``, both
+    packed along a shared length-``k`` axis; the result is the ``(n, m)``
+    uint8 matrix with entries ``parity(|row_a AND row_b|)`` — exactly
+    ``(A @ B.T) mod 2`` on the unpacked operands.  Work is blocked over rows
+    of ``a_packed`` to bound the temporary ``(block, m, words)`` allocation.
+    """
+    a_packed = np.asarray(a_packed)
+    b_packed = np.asarray(b_packed)
+    if a_packed.shape[1] != b_packed.shape[1]:
+        raise ValueError(
+            f"packed operands disagree on word count: "
+            f"{a_packed.shape[1]} vs {b_packed.shape[1]}"
+        )
+    n, words = a_packed.shape
+    m = b_packed.shape[0]
+    out = np.empty((n, m), dtype=np.uint8)
+    block = max(1, block_elements // max(1, m * max(1, words)))
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        intersect = a_packed[start:stop, None, :] & b_packed[None, :, :]
+        counts = popcount(intersect).sum(axis=-1, dtype=np.int64)
+        out[start:stop] = (counts & 1).astype(np.uint8)
+    return out

@@ -24,7 +24,9 @@ from repro.sim.sampler import SampleBatch, sample_detector_error_model
 
 __all__ = [
     "LogicalErrorRates",
+    "basis_streams",
     "decode_error_rate",
+    "decode_predictions",
     "estimate_logical_error_rates",
     "evaluate_basis",
     "fraction_wrong",
@@ -77,8 +79,43 @@ def fraction_wrong(predictions: np.ndarray, batch: SampleBatch) -> float:
             f"decoder returned predictions of shape {predictions.shape}, "
             f"expected {batch.observables.shape}"
         )
+    if batch.num_shots == 0:
+        return 0.0
     wrong = (predictions != batch.observables).any(axis=1)
     return float(np.count_nonzero(wrong)) / batch.num_shots
+
+
+def basis_streams(
+    seed: "int | np.random.SeedSequence | None",
+) -> "list[tuple[str, np.random.SeedSequence | None]]":
+    """The per-basis sampling-stream plan: ``[("Z", ...), ("X", ...)]``.
+
+    Basis Z consumes the first spawned child (and reports ``error_x``);
+    basis X the second.  This single derivation is shared by the serial
+    estimator, the pooled :class:`repro.core.ScheduleEvaluator` fan-out and
+    the :class:`repro.api.Pipeline`, so the streams can never drift apart
+    between the paths (which would silently break their bit-identity).
+    """
+    stream_x, stream_z = spawn_streams(seed, 2)
+    return [("Z", stream_x), ("X", stream_z)]
+
+
+def decode_predictions(decoder, batch: SampleBatch) -> np.ndarray:
+    """Decode a batch, preferring the bit-packed syndrome path when it helps.
+
+    Syndromes are handed over in packed ``uint64`` form only when the
+    decoder advertises ``has_packed_fast_path`` (e.g. the lookup decoder
+    with an applicable key table, whose keys *are* the packed words).
+    Everything else is given the already dense ``batch.detectors`` directly
+    — routing it through the packed form would just unpack a second copy of
+    an array the batch carries anyway.  Predictions are bit-identical
+    either way.
+    """
+    if batch.packed_detectors is not None and getattr(
+        decoder, "has_packed_fast_path", False
+    ):
+        return decoder.decode_batch_packed(batch.packed_detectors)
+    return decoder.decode_batch(batch.detectors)
 
 
 def decode_error_rate(
@@ -88,7 +125,7 @@ def decode_error_rate(
 ) -> float:
     """Decode a sampled batch and return the fraction of logically wrong shots."""
     decoder = decoder_factory(dem)
-    return fraction_wrong(decoder.decode_batch(batch.detectors), batch)
+    return fraction_wrong(decode_predictions(decoder, batch), batch)
 
 
 def evaluate_basis(
@@ -124,17 +161,16 @@ def estimate_logical_error_rates(
     """Estimate logical X, Z and overall error rates of ``schedule``.
 
     The two per-basis sampling streams are independent ``SeedSequence``
-    children of ``seed`` (basis Z first, then basis X), replacing the old
-    ``seed`` / ``seed + 1`` convention that correlated streams across call
-    sites.
+    children of ``seed`` (:func:`basis_streams`: basis Z first, then basis
+    X), replacing the old ``seed`` / ``seed + 1`` convention that correlated
+    streams across call sites.
     """
-    stream_x, stream_z = spawn_streams(seed, 2)
-    error_x = evaluate_basis(
-        code, schedule, noise, decoder_factory, basis="Z", shots=shots, seed=stream_x
-    )
-    error_z = evaluate_basis(
-        code, schedule, noise, decoder_factory, basis="X", shots=shots, seed=stream_z
-    )
+    rates = {
+        basis: evaluate_basis(
+            code, schedule, noise, decoder_factory, basis=basis, shots=shots, seed=stream
+        )
+        for basis, stream in basis_streams(seed)
+    }
     return LogicalErrorRates(
-        error_x=error_x, error_z=error_z, shots=shots, depth=schedule.depth
+        error_x=rates["Z"], error_z=rates["X"], shots=shots, depth=schedule.depth
     )

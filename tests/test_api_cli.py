@@ -166,3 +166,77 @@ class TestTables:
     def test_tables_unknown_asset(self, capsys):
         assert main(["tables", "figure99"]) == 2
         assert "unknown asset" in capsys.readouterr().err
+
+
+class TestSweep:
+    BASE = [
+        "sweep",
+        "--code", "steane",
+        "--decoder", "lookup",
+        "--scheduler", "lowest_depth",
+        "--shots", "60",
+    ]
+
+    def test_grid_runs_cartesian_product(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(self.BASE + ["--grid", "seed=0,1", "--out", str(out)]) == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(lines) == 2
+        assert {line["spec"]["seed"] for line in lines} == {0, 1}
+        assert all(0.0 <= line["overall"] <= 1.0 for line in lines)
+        assert "sweep done: 2 run" in capsys.readouterr().out
+
+    def test_resume_ignores_worker_count(self, tmp_path, capsys):
+        """workers is an execution detail (results are worker-invariant), so
+        resuming the same sweep with a different --workers must skip, not
+        re-run and duplicate, the finished specs."""
+        out = tmp_path / "sweep.jsonl"
+        assert main(self.BASE + ["--grid", "seed=0,1", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert (
+            main(self.BASE + ["--workers", "2", "--grid", "seed=0,1", "--out", str(out)])
+            == 0
+        )
+        assert "0 run, 2 already" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_resume_skips_completed_specs(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(self.BASE + ["--grid", "seed=0,1", "--out", str(out)]) == 0
+        capsys.readouterr()
+        # Re-run with one extra grid point: only seed=2 should execute.
+        assert main(self.BASE + ["--grid", "seed=0,1,2", "--out", str(out)]) == 0
+        assert "1 run, 2 already" in capsys.readouterr().out
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [line["spec"]["seed"] for line in lines] == [0, 1, 2]
+
+    def test_pipe_separator_for_comma_specs(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                self.BASE
+                + ["--grid", "noise=brisbane|scaled:p=0.002", "--out", str(out)]
+            )
+            == 0
+        )
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {line["spec"]["noise"] for line in lines} == {
+            "brisbane",
+            "scaled:p=0.002",
+        }
+
+    def test_budget_grid_field(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        assert main(self.BASE + ["--grid", "shots=40,80", "--out", str(out)]) == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [line["shots"] for line in lines] == [40, 80]
+
+    def test_unknown_grid_field_is_user_error(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(self.BASE + ["--grid", "colour=red", "--out", str(out)]) == 2
+        assert "unknown --grid field" in capsys.readouterr().err
+
+    def test_malformed_grid_axis_is_user_error(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert main(self.BASE + ["--grid", "seed", "--out", str(out)]) == 2
+        assert "--grid expects" in capsys.readouterr().err

@@ -184,20 +184,67 @@ class TestPipeline:
         assert first.rates.error_z == second.rates.error_z
         assert first.syndromes["Z"].detectors.shape[0] == 300
 
-    def test_parallel_statistically_reasonable(self):
-        serial = Pipeline(
-            code="surface:d=3", decoder="lookup", scheduler="google", shots=600, seed=2
+    def test_worker_count_invariant_single_chunk(self):
+        """Regression: rates must not depend on the worker count (one chunk)."""
+        spec = RunSpec(
+            code="surface:d=3", decoder="lookup", scheduler="google", seed=2,
+            budget=Budget(shots=600),
         )
-        parallel = Pipeline(
+        serial = Pipeline(spec)
+        pooled = Pipeline(spec.replace(workers=3))
+        assert serial.rates == pooled.rates
+        for basis in ("Z", "X"):
+            assert np.array_equal(
+                serial.syndromes[basis].detectors, pooled.syndromes[basis].detectors
+            )
+            assert np.array_equal(serial.predictions[basis], pooled.predictions[basis])
+
+    def test_worker_count_invariant_multi_chunk(self, monkeypatch):
+        """Regression: chunk layout and seed streams derive from the shot
+        count alone, so workers=1 and workers=3 are bit-identical even when
+        the run spans many chunks (the original per-worker sharding broke
+        this: changing the worker count changed the sampled rates)."""
+        import repro.parallel
+
+        monkeypatch.setattr(repro.parallel, "DEFAULT_CHUNK_SHOTS", 64)
+        spec = RunSpec(
+            code="surface:d=3", decoder="lookup", scheduler="lowest_depth", seed=5,
+            budget=Budget(shots=300),
+        )
+        serial = Pipeline(spec)
+        pooled = Pipeline(spec.replace(workers=3))
+        assert serial.rates == pooled.rates
+        for basis in ("Z", "X"):
+            assert np.array_equal(
+                serial.syndromes[basis].detectors, pooled.syndromes[basis].detectors
+            )
+            assert np.array_equal(
+                serial.syndromes[basis].observables, pooled.syndromes[basis].observables
+            )
+            assert np.array_equal(serial.predictions[basis], pooled.predictions[basis])
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_zero_shots(self, workers):
+        """shots=0 must yield empty batches and zero rates on every path
+        (previously crashed merging an empty shard list)."""
+        pipeline = Pipeline(
             code="surface:d=3",
             decoder="lookup",
-            scheduler="google",
-            shots=600,
-            seed=2,
-            workers=3,
+            scheduler="lowest_depth",
+            shots=0,
+            seed=0,
+            workers=workers,
         )
-        # Different stream layout, same distribution: rates agree loosely.
-        assert abs(serial.rates.overall - parallel.rates.overall) < 0.1
+        assert pipeline.rates.error_x == 0.0
+        assert pipeline.rates.error_z == 0.0
+        assert pipeline.rates.overall == 0.0
+        for basis in ("Z", "X"):
+            batch = pipeline.syndromes[basis]
+            assert batch.detectors.shape == (0, pipeline.dem[basis].num_detectors)
+            assert pipeline.predictions[basis].shape == (
+                0,
+                pipeline.dem[basis].num_observables,
+            )
 
     def test_synthesis_scheduler_exposes_result(self):
         pipeline = Pipeline(

@@ -209,3 +209,70 @@ class TestUnionFindInternals:
         batch = sample_detector_error_model(dem, 20, seed=2)
         predictions = decoder.decode_batch(batch.detectors)
         assert predictions.shape == (20, dem.num_observables)
+
+
+class TestLookupPackedKeys:
+    """The 64-detector boundary of the lookup decoder's packed key table.
+
+    63 and 64 detectors pack into one platform-independent little-endian
+    ``uint64`` key (``np.dtype('<u8')``); 65 detectors exceed a word and
+    must fall back to the per-shot dict lookup.  In all three regimes the
+    batch paths must agree bit for bit with per-shot ``decode``.
+    """
+
+    @staticmethod
+    def _chain_dem(num_detectors):
+        """A repetition-code-like DEM: mechanism i flips detectors {i, i+1}."""
+        from repro.sim.dem import DetectorErrorModel, ErrorMechanism
+
+        mechanisms = [
+            ErrorMechanism(
+                probability=0.01 + 0.001 * (index % 7),
+                detectors=frozenset({index, index + 1} & set(range(num_detectors))),
+                observables=frozenset({0} if index % 3 == 0 else set()),
+            )
+            for index in range(num_detectors)
+        ]
+        return DetectorErrorModel(
+            num_detectors=num_detectors, num_observables=1, mechanisms=mechanisms
+        )
+
+    @pytest.mark.parametrize("num_detectors", [63, 64, 65])
+    def test_decode_batch_matches_per_shot_decode(self, num_detectors):
+        dem = self._chain_dem(num_detectors)
+        decoder = LookupDecoder(dem, max_order=1)
+        uses_packed_table = decoder._packed_keys is not None
+        assert uses_packed_table == (num_detectors <= 64)
+        rng = np.random.default_rng(num_detectors)
+        # Mix reachable syndromes (from sampling) with unreachable random
+        # ones so the "no logical flip" fallback is exercised too.
+        sampled = sample_detector_error_model(dem, 100, seed=3)
+        random_syndromes = (rng.random((50, num_detectors)) < 0.2).astype(np.uint8)
+        syndromes = np.concatenate([sampled.detectors, random_syndromes])
+        batched = decoder.decode_batch(syndromes)
+        reference = np.array(
+            [decoder.decode(syndrome) for syndrome in syndromes], dtype=np.uint8
+        )
+        assert np.array_equal(batched, reference)
+
+    @pytest.mark.parametrize("num_detectors", [63, 64, 65])
+    def test_decode_batch_packed_matches_decode_batch(self, num_detectors):
+        from repro.sim.bitops import pack_rows
+
+        dem = self._chain_dem(num_detectors)
+        decoder = LookupDecoder(dem, max_order=1)
+        sampled = sample_detector_error_model(dem, 80, seed=4)
+        assert np.array_equal(
+            decoder.decode_batch_packed(sampled.packed_detectors),
+            decoder.decode_batch(sampled.detectors),
+        )
+        # Packed words are identical to the table keys (same '<u8' layout).
+        assert np.array_equal(
+            pack_rows(sampled.detectors), sampled.packed_detectors
+        )
+
+    def test_packed_keys_are_little_endian(self, steane):
+        dem = _steane_dem(steane)
+        decoder = LookupDecoder(dem)
+        assert decoder._packed_keys is not None
+        assert decoder._packed_keys.dtype == np.dtype("<u8")

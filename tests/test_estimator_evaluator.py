@@ -147,3 +147,83 @@ class TestScheduleEvaluator:
             seed=0,
         )
         assert evaluator.score(lowest_depth_schedule(steane)) == pytest.approx(1e6)
+
+
+class TestScheduleEvaluatorCacheSemantics:
+    def _evaluator(self, steane, lookup_factory, brisbane, **kwargs):
+        return ScheduleEvaluator(
+            code=steane,
+            noise=brisbane,
+            decoder_factory=lookup_factory,
+            shots=100,
+            seed=0,
+            **kwargs,
+        )
+
+    def test_permuted_insertion_order_hits_cache(self, steane, lookup_factory, brisbane):
+        """schedule_key canonicalises the assignment, so two schedules that
+        differ only in dict insertion order are one cache entry."""
+        from repro.scheduling.schedule import Schedule
+
+        evaluator = self._evaluator(steane, lookup_factory, brisbane)
+        schedule = lowest_depth_schedule(steane)
+        permuted = Schedule(steane)
+        for check, tick in reversed(list(schedule.assignment.items())):
+            permuted.assignment[check] = tick
+        assert list(permuted.assignment) != list(schedule.assignment)
+        first = evaluator.evaluate(schedule)
+        second = evaluator.evaluate(permuted)
+        assert first is second
+        assert evaluator.cache_size == 1
+
+    def test_neg_log_zero_error_capped(self, steane, lookup_factory):
+        import math
+
+        evaluator = ScheduleEvaluator(
+            code=steane,
+            noise=NoiseModel(0.0, 0.0),
+            decoder_factory=lookup_factory,
+            shots=50,
+            seed=0,
+            objective="neg_log",
+        )
+        assert evaluator.score(lowest_depth_schedule(steane)) == pytest.approx(
+            math.log(1e6)
+        )
+
+    def test_neg_log_matches_log_of_overall(self, steane, lookup_factory, brisbane):
+        import math
+
+        evaluator = self._evaluator(steane, lookup_factory, brisbane, objective="neg_log")
+        schedule = trivial_schedule(steane)
+        rates = evaluator.evaluate(schedule)
+        assert rates.overall > 0
+        assert evaluator.score(schedule) == pytest.approx(-math.log(rates.overall))
+
+    def test_evaluate_many_orders_and_dedupes(self, steane, lookup_factory, brisbane):
+        evaluator = self._evaluator(steane, lookup_factory, brisbane)
+        low = lowest_depth_schedule(steane)
+        bad = trivial_schedule(steane)
+        results = evaluator.evaluate_many([low, bad, low.copy()])
+        assert evaluator.cache_size == 2
+        assert results[0] is results[2]
+        assert results[0] == evaluator.evaluate(low)
+        assert results[1] == evaluator.evaluate(bad)
+
+    def test_score_many_matches_score(self, steane, lookup_factory, brisbane):
+        evaluator = self._evaluator(steane, lookup_factory, brisbane)
+        schedules = [lowest_depth_schedule(steane), trivial_schedule(steane)]
+        assert evaluator.score_many(schedules) == [
+            evaluator.score(schedule) for schedule in schedules
+        ]
+
+    def test_pooled_evaluate_many_bit_identical(self, steane, lookup_factory, brisbane):
+        """Acceptance: workers>1 fan-out reproduces the serial streams exactly."""
+        serial = self._evaluator(steane, lookup_factory, brisbane)
+        schedules = [lowest_depth_schedule(steane), trivial_schedule(steane)]
+        with self._evaluator(steane, lookup_factory, brisbane, workers=2) as pooled:
+            assert pooled.evaluate_many(schedules) == serial.evaluate_many(schedules)
+
+    def test_invalid_workers_rejected(self, steane, lookup_factory, brisbane):
+        with pytest.raises(ValueError, match="workers"):
+            self._evaluator(steane, lookup_factory, brisbane, workers=0)

@@ -163,3 +163,92 @@ class TestAlphaSyndrome:
         result = alpha.synthesize()
         baseline = result.baseline_rates.overall
         assert result.rates.overall <= baseline + 0.1
+
+
+class TestBatchedRollouts:
+    def _search(self, code, *, rollout_batch, max_total_evaluations=10):
+        from repro.decoders import decoder_factory
+
+        evaluator = ScheduleEvaluator(
+            code=code,
+            noise=brisbane_noise(),
+            decoder_factory=decoder_factory("lookup"),
+            shots=50,
+            seed=0,
+        )
+        checks = tuple(checks_of_code(code))
+        search = PartitionMCTS(
+            evaluator=evaluator,
+            checks=checks,
+            compose=lambda schedule: schedule,
+            config=MCTSConfig(
+                iterations_per_step=3,
+                seed=1,
+                max_total_evaluations=max_total_evaluations,
+                rollout_batch=rollout_batch,
+            ),
+        )
+        return search, search.search()
+
+    def test_batched_search_completes_and_respects_budget(self):
+        code = repetition_code(4)
+        search, (schedule, moves) = self._search(code, rollout_batch=4)
+        schedule.validate()
+        assert schedule.is_complete()
+        assert search.evaluations_used <= 10
+
+    def test_batched_search_is_deterministic(self):
+        code = repetition_code(4)
+        _, (first, _) = self._search(code, rollout_batch=3)
+        _, (second, _) = self._search(code, rollout_batch=3)
+        assert first.assignment == second.assignment
+
+    def test_iterations_counted_per_rollout_not_per_batch(self):
+        code = repetition_code(3)
+        serial_search, _ = self._search(code, rollout_batch=1, max_total_evaluations=None)
+        batched_search, _ = self._search(code, rollout_batch=2, max_total_evaluations=None)
+        # Each step runs the same total iteration budget regardless of batching.
+        assert batched_search.evaluations_used == serial_search.evaluations_used
+
+    def test_alphasyndrome_workers_never_changes_the_search(self, steane):
+        """workers pools the evaluator but must NOT touch rollout_batch —
+        synthesis output is bit-identical for every worker count; batching
+        is an explicit search hyper-parameter."""
+        from repro.decoders import decoder_factory
+
+        alpha = AlphaSyndrome(
+            code=steane,
+            noise=brisbane_noise(),
+            decoder_factory=decoder_factory("lookup"),
+            shots=40,
+            mcts_config=MCTSConfig(iterations_per_step=1, seed=0, max_total_evaluations=2),
+            workers=2,
+        )
+        assert alpha.mcts_config.rollout_batch == 1
+        assert alpha.evaluator.workers == 2
+        alpha.evaluator.close()
+
+    def test_synthesis_worker_count_invariant(self, steane):
+        """Regression: same seed -> identical synthesized schedule and rates
+        for workers=1 and workers=2."""
+        from repro.decoders import decoder_factory
+
+        def synthesize(workers):
+            alpha = AlphaSyndrome(
+                code=steane,
+                noise=brisbane_noise(),
+                decoder_factory=decoder_factory("lookup"),
+                shots=40,
+                mcts_config=MCTSConfig(
+                    iterations_per_step=1, seed=0, max_total_evaluations=4
+                ),
+                seed=0,
+                workers=workers,
+            )
+            return alpha.synthesize()
+
+        serial = synthesize(1)
+        pooled = synthesize(2)
+        assert serial.schedule.assignment == pooled.schedule.assignment
+        assert serial.rates == pooled.rates
+        assert serial.evaluations == pooled.evaluations
