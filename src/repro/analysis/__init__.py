@@ -5,13 +5,27 @@ from repro.analysis.spacetime import (
     estimate_space_time,
     space_time_reduction,
 )
-from repro.analysis.stats import geometric_mean, relative_reduction, wilson_interval
+from repro.analysis.stats import (
+    StoppingRule,
+    geometric_mean,
+    normal_quantile,
+    relative_error,
+    relative_reduction,
+    wilson_halfwidth,
+    wilson_interval,
+    z_for_confidence,
+)
 
 __all__ = [
     "SpaceTimeEstimate",
     "estimate_space_time",
     "space_time_reduction",
+    "StoppingRule",
     "wilson_interval",
+    "wilson_halfwidth",
+    "relative_error",
+    "normal_quantile",
+    "z_for_confidence",
     "relative_reduction",
     "geometric_mean",
 ]

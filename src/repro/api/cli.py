@@ -6,8 +6,14 @@ Subcommands::
     repro synth [overrides]             AlphaSyndrome synthesis + comparison
     repro eval [overrides]              evaluate a named scheduler (no search)
     repro sweep [--grid f=v1,v2 ...]    run a spec grid, resumable JSONL output
+    repro cache {ls,clear}              inspect / empty the chunk-result cache
     repro list {codes,decoders,noise,schedulers,all}
     repro tables {table2,...,all}       regenerate the paper's tables/figures
+
+``run``/``sweep`` accept ``--target-rse`` (with ``--max-shots`` /
+``--confidence``) to switch evaluation to adaptive precision-targeted
+sampling; adaptive runs resume from — and refine — the content-addressed
+chunk cache under ``--cache-dir`` (``repro.cache``).
 
 ``run``/``synth``/``eval`` all build a :class:`repro.api.Pipeline`; flags
 override fields of the JSON spec when both are given.  ``tables`` wraps the
@@ -22,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -54,6 +61,26 @@ def add_budget_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="cap on rollout evaluations per partition",
+    )
+    parser.add_argument(
+        "--target-rse",
+        type=float,
+        default=None,
+        help="adaptive mode: stop sampling once the Wilson relative error of "
+        "each basis rate reaches this target (e.g. 0.1 for 10%%)",
+    )
+    parser.add_argument(
+        "--max-shots",
+        type=int,
+        default=None,
+        help="adaptive mode: per-basis shot ceiling (defaults to --shots); "
+        "also fixes the deterministic chunk plan",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="confidence level of the adaptive stopping rule (default 0.95)",
     )
     parser.add_argument("--seed", type=int, default=None, help="master seed")
 
@@ -89,12 +116,77 @@ def _spec_from_args(args: argparse.Namespace, *, base: RunSpec | None = None) ->
             ("synthesis_shots", args.synthesis_shots),
             ("iterations_per_step", args.iterations),
             ("max_evaluations", args.max_evaluations),
+            ("target_rse", getattr(args, "target_rse", None)),
+            ("max_shots", getattr(args, "max_shots", None)),
+            ("confidence", getattr(args, "confidence", None)),
         )
         if value is not None
     }
     if budget_overrides:
         spec = spec.replace(budget=spec.budget.replace(**budget_overrides))
+    _check_precision_flags(args, spec)
     return spec
+
+
+def _check_precision_flags(args: argparse.Namespace, spec: RunSpec) -> None:
+    """Reject ``--max-shots``/``--confidence`` that would be silently ignored.
+
+    The precision knobs only take effect in adaptive mode
+    (``target_rse`` set — by flag, by the spec file, or by a ``--grid``
+    axis); accepting them in fixed-shot mode would store them in the spec
+    while sampling ``budget.shots`` anyway, a confusing no-op.
+    """
+    if spec.budget.adaptive:
+        return
+    grid_fields = {
+        _parse_grid_axis(axis)[0] for axis in getattr(args, "grid", None) or []
+    }
+    if "target_rse" in grid_fields:
+        return
+    given = [
+        flag
+        for flag, value in (
+            ("--max-shots", getattr(args, "max_shots", None)),
+            ("--confidence", getattr(args, "confidence", None)),
+        )
+        if value is not None
+    ]
+    given += [
+        f"--grid {name}=..." for name in ("max_shots", "confidence") if name in grid_fields
+    ]
+    if given:
+        raise ValueError(
+            f"{' and '.join(given)} only take effect with --target-rse "
+            "(adaptive mode); set a target (--target-rse or a target_rse "
+            "grid axis) or drop them"
+        )
+
+
+#: Default cache directory of `repro run` / `repro sweep` / `repro cache`.
+DEFAULT_CACHE_DIR = "results/cache"
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="content-addressed chunk-result cache directory (used by "
+        "adaptive runs to resume and refine across processes)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the chunk-result cache for this invocation",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace):
+    """The ResultCache an adaptive run should use (None when disabled)."""
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir", None):
+        return None
+    from repro.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
 
 
 def _print_rates(pipeline: Pipeline) -> None:
@@ -107,6 +199,16 @@ def _print_rates(pipeline: Pipeline) -> None:
         f"  depth={pipeline.schedule.depth} shots={rates.shots} "
         f"err_x={rates.error_x:.3e} err_z={rates.error_z:.3e} overall={rates.overall:.3e}"
     )
+    report = pipeline.adaptive_report
+    if report is not None:
+        shots = " ".join(
+            f"{basis}={entry['shots']}" for basis, entry in sorted(report["bases"].items())
+        )
+        print(
+            f"  adaptive: target_rse={report['target_rse']} "
+            f"converged={report['converged']} shots[{shots}] "
+            f"cache_hits={report['cache_hits']} fresh_chunks={report['fresh_chunks']}"
+        )
 
 
 def _write_result(pipeline: Pipeline, out: str | None) -> None:
@@ -122,7 +224,7 @@ def _write_result(pipeline: Pipeline, out: str | None) -> None:
 # Subcommand implementations
 # ----------------------------------------------------------------------
 def _cmd_run(args: argparse.Namespace) -> int:
-    pipeline = Pipeline(_spec_from_args(args))
+    pipeline = Pipeline(_spec_from_args(args), cache=_cache_from_args(args))
     _print_rates(pipeline)
     synthesis = pipeline.synthesis
     if synthesis is not None:
@@ -168,8 +270,17 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Budget fields addressable by ``--grid`` (mapped into ``spec.budget``).
-_GRID_BUDGET_FIELDS = ("shots", "synthesis_shots", "iterations_per_step", "max_evaluations")
+#: Budget fields addressable by ``--grid`` (mapped into ``spec.budget``),
+#: with the caster each one's values go through.
+_GRID_BUDGET_FIELDS = {
+    "shots": int,
+    "synthesis_shots": int,
+    "iterations_per_step": int,
+    "max_evaluations": int,
+    "target_rse": float,
+    "max_shots": int,
+    "confidence": float,
+}
 #: Integer-valued top-level RunSpec fields.
 _GRID_INT_FIELDS = ("seed", "workers")
 #: String-valued component spec fields.
@@ -197,9 +308,12 @@ def _apply_grid_value(spec: RunSpec, name: str, value: str) -> RunSpec:
         return spec.replace(**{name: value})
     if name in _GRID_INT_FIELDS:
         return spec.replace(**{name: int(value)})
-    if name in _GRID_BUDGET_FIELDS:
-        return spec.replace(budget=spec.budget.replace(**{name: int(value)}))
-    valid = ", ".join(_GRID_COMPONENT_FIELDS + _GRID_INT_FIELDS + _GRID_BUDGET_FIELDS)
+    caster = _GRID_BUDGET_FIELDS.get(name)
+    if caster is not None:
+        return spec.replace(budget=spec.budget.replace(**{name: caster(value)}))
+    valid = ", ".join(
+        _GRID_COMPONENT_FIELDS + _GRID_INT_FIELDS + tuple(_GRID_BUDGET_FIELDS)
+    )
     raise ValueError(f"unknown --grid field {name!r}; expected one of: {valid}")
 
 
@@ -209,8 +323,14 @@ def _spec_fingerprint(payload: dict) -> str:
     ``workers`` is dropped: it is an execution detail that never changes
     results (the worker-invariance guarantee), so a sweep interrupted on an
     8-core server resumes cleanly on a 1-core laptop instead of re-running
-    every spec.
+    every spec.  The payload is normalised through a RunSpec round trip so
+    rows written before a Budget/RunSpec field was introduced keep matching
+    the spec they describe (missing fields assume their defaults).
     """
+    try:
+        payload = RunSpec.from_dict(payload).to_dict()
+    except (TypeError, ValueError):
+        pass  # unknown/renamed fields: fingerprint the raw payload as-is
     payload = {key: value for key, value in payload.items() if key != "workers"}
     return json.dumps(payload, sort_keys=True)
 
@@ -241,23 +361,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if isinstance(payload, dict) and "spec" in payload:
                 done.add(_spec_fingerprint(payload["spec"]))
     out.parent.mkdir(parents=True, exist_ok=True)
+    cache = _cache_from_args(args)
     ran = skipped = 0
     with out.open("a") as handle:
         for index, spec in enumerate(specs, start=1):
             if _spec_fingerprint(spec.to_dict()) in done:
                 skipped += 1
                 continue
-            pipeline = Pipeline(spec)
+            pipeline = Pipeline(spec, cache=cache)
             result = pipeline.result
             handle.write(json.dumps(result.to_dict()) + "\n")
             handle.flush()
             ran += 1
+            adaptive_note = ""
+            if result.adaptive is not None:
+                adaptive_note = (
+                    f" shots={result.rates.shots}"
+                    f" converged={result.adaptive['converged']}"
+                    f" cache_hits={result.adaptive['cache_hits']}"
+                    f" fresh_chunks={result.adaptive['fresh_chunks']}"
+                )
             print(
                 f"[{index}/{len(specs)}] {spec.code} scheduler={spec.scheduler} "
                 f"decoder={spec.decoder} noise={spec.noise} "
-                f"overall={result.rates.overall:.3e}"
+                f"overall={result.rates.overall:.3e}{adaptive_note}"
             )
     print(f"sweep done: {ran} run, {skipped} already in {out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (`ls`) or empty (`clear`) the chunk-result cache directory."""
+    from repro.cache import ResultCache
+
+    cache = ResultCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached chunk(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"{len(entries)} cached chunk(s) in {cache.root}")
+    for entry in entries:
+        address = entry.get("address", {})
+        spec = address.get("spec", {})
+        print(
+            f"  {entry.get('key', '?')[:12]}  {spec.get('code', '?')} "
+            f"decoder={spec.get('decoder', '?')} noise={spec.get('noise', '?')} "
+            f"seed={spec.get('seed', '?')} basis={address.get('basis', '?')} "
+            f"chunk={address.get('chunk', '?')} shots={entry.get('shots', '?')} "
+            f"errors={entry.get('errors', '?')}"
+        )
     return 0
 
 
@@ -279,6 +432,13 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENTS, ExperimentBudget
     from repro.experiments.__main__ import run_assets
 
+    if args.target_rse is not None or args.max_shots is not None or args.confidence is not None:
+        print(
+            "error: the tables drivers use fixed paper budgets; "
+            "--target-rse/--max-shots/--confidence apply to run/eval/sweep",
+            file=sys.stderr,
+        )
+        return 2
     budget = ExperimentBudget()
     if args.shots is not None:
         budget.shots = args.shots
@@ -315,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("spec", nargs="?", default=None, help="path to a RunSpec JSON file")
     _add_component_flags(run_parser)
     add_budget_flags(run_parser)
+    _add_cache_flags(run_parser)
     run_parser.add_argument("--out", default=None, help="write the RunResult JSON here")
     run_parser.set_defaults(func=_cmd_run)
 
@@ -349,7 +510,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--out", default="results/sweep.jsonl", help="JSONL output (appended; resumable)"
     )
+    _add_cache_flags(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the chunk-result cache"
+    )
+    cache_parser.add_argument("action", choices=["ls", "clear"], help="what to do")
+    cache_parser.add_argument(
+        "--dir", default=DEFAULT_CACHE_DIR, help="cache directory to operate on"
+    )
+    cache_parser.set_defaults(func=_cmd_cache)
 
     list_parser = subparsers.add_parser("list", help="list registered components")
     list_parser.add_argument(
@@ -386,6 +557,13 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # A downstream consumer (`repro cache ls | head`) closed the pipe
+        # mid-print.  Point stdout at devnull so the interpreter's exit
+        # flush cannot raise again, and exit with the SIGPIPE convention.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":

@@ -24,16 +24,30 @@ the test suite pins.
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from functools import cached_property
 
+from pathlib import Path
+
+from repro import parallel
 from repro.api import registries
 from repro.api.spec import Budget, RunSpec
 from repro.circuits.memory import build_memory_experiment
 from repro.core.alphasyndrome import SynthesisResult
-from repro.parallel import merge_chunks, sample_and_decode, submit_chunks
+from repro.parallel import (
+    AdaptiveEstimate,
+    adaptive_sample_and_decode,
+    merge_chunks,
+    sample_and_decode,
+    submit_chunks,
+)
 from repro.sim.dem import build_detector_error_model
-from repro.sim.estimator import LogicalErrorRates, basis_streams, fraction_wrong
+from repro.sim.estimator import (
+    LogicalErrorRates,
+    basis_streams,
+    fraction_wrong,
+    rates_from_adaptive_estimates,
+)
 
 __all__ = ["Pipeline", "RunResult"]
 
@@ -52,6 +66,7 @@ class RunResult:
     depth: int
     synthesis_evaluations: int | None = None
     baseline_overall: float | None = None
+    adaptive: dict | None = None
 
     def to_dict(self) -> dict:
         payload = {
@@ -66,6 +81,8 @@ class RunResult:
             payload["synthesis_evaluations"] = self.synthesis_evaluations
         if self.baseline_overall is not None:
             payload["baseline_overall"] = self.baseline_overall
+        if self.adaptive is not None:
+            payload["adaptive"] = self.adaptive
         return payload
 
 
@@ -79,7 +96,7 @@ class Pipeline:
         Pipeline(code="surface:d=5", decoder="unionfind", shots=5000, workers=4)
     """
 
-    def __init__(self, spec: RunSpec | None = None, **overrides) -> None:
+    def __init__(self, spec: RunSpec | None = None, *, cache=None, **overrides) -> None:
         budget_fields = {f.name for f in dataclasses.fields(Budget)}
         flat_budget = {k: overrides.pop(k) for k in list(overrides) if k in budget_fields}
         if spec is None:
@@ -89,6 +106,15 @@ class Pipeline:
         if flat_budget:
             spec = spec.replace(budget=spec.budget.replace(**flat_budget))
         self.spec = spec
+        if isinstance(cache, (str, Path)):
+            # Imported lazily: repro.cache depends on the spec layer.
+            from repro.cache import ResultCache
+
+            cache = ResultCache(cache)
+        #: Optional :class:`repro.cache.ResultCache`; consulted (and
+        #: populated) only by the adaptive hot path — the fixed-shot path
+        #: stays byte-identical to its pinned legacy behaviour.
+        self.cache = cache
 
     def __repr__(self) -> str:
         return f"Pipeline({self.spec!r})"
@@ -191,19 +217,136 @@ class Pipeline:
                 )
         return executed
 
+    # ------------------------------------------------------------------
+    # Adaptive (precision-targeted) execution
+    # ------------------------------------------------------------------
+    @property
+    def adaptive(self) -> bool:
+        """True when the budget carries a precision target (``target_rse``)."""
+        return self.spec.budget.adaptive
+
+    @cached_property
+    def estimates(self) -> "dict[str, AdaptiveEstimate] | None":
+        """Per-basis :class:`~repro.parallel.AdaptiveEstimate` (adaptive mode only).
+
+        The chunk plan is laid out for ``budget.plan_shots`` and consumed in
+        chunk order through the budget's Wilson stopping rule; a pool only
+        speculates on upcoming chunks, so — like the fixed path — the result
+        is bit-identical for every ``workers`` value.  When the pipeline
+        holds a :class:`repro.cache.ResultCache`, cached chunk summaries are
+        replayed instead of resampled and fresh chunks are persisted.
+        """
+        if not self.adaptive:
+            return None
+        rule = self.spec.budget.stopping_rule()
+        chunk_shots = parallel.DEFAULT_CHUNK_SHOTS
+        stores = {
+            basis: (
+                self.cache.chunk_store(self.spec, basis, chunk_shots)
+                if self.cache is not None
+                else None
+            )
+            for basis in _BASES
+        }
+
+        # Materialise the staged artifacts up front: cached_property is not
+        # thread-safe, and the driver threads below must only read them.
+        dems = self.dem
+        decoder_factory = self.decoder_factory
+
+        def run_basis(basis, stream, pool) -> AdaptiveEstimate:
+            return adaptive_sample_and_decode(
+                dems[basis],
+                decoder_factory,
+                stream,
+                rule,
+                chunk_shots=chunk_shots,
+                pool=pool,
+                lookahead=max(1, self.spec.workers),
+                store=stores[basis],
+            )
+
+        streams = basis_streams(self.spec.seed)
+        # A fully warm cache replays without sampling; skip process-pool
+        # startup entirely in that case (the advertised cheap-resume path).
+        # The probe itself costs cache reads, so it only runs when a pool
+        # would otherwise be created.
+        if self.spec.workers <= 1 or all(
+            parallel.store_satisfies_rule(rule, stores[basis], chunk_shots=chunk_shots)
+            for basis in _BASES
+        ):
+            return {basis: run_basis(basis, stream, None) for basis, stream in streams}
+        # Two thread-level drivers share one process pool so the bases'
+        # speculative chunks interleave across workers (mirroring the fixed
+        # path); each basis still consumes its own chunks strictly in order,
+        # so results are unchanged.
+        with ProcessPoolExecutor(max_workers=self.spec.workers) as pool:
+            with ThreadPoolExecutor(max_workers=len(streams)) as drivers:
+                futures = {
+                    basis: drivers.submit(run_basis, basis, stream, pool)
+                    for basis, stream in streams
+                }
+                return {basis: future.result() for basis, future in futures.items()}
+
+    @property
+    def adaptive_report(self) -> dict | None:
+        """JSON-ready summary of the adaptive run (``None`` in fixed mode)."""
+        estimates = self.estimates
+        if estimates is None:
+            return None
+        budget = self.spec.budget
+        return {
+            "target_rse": budget.target_rse,
+            "confidence": budget.confidence,
+            "max_shots": budget.plan_shots,
+            "converged": all(estimate.converged for estimate in estimates.values()),
+            "cache_hits": sum(estimate.cache_hits for estimate in estimates.values()),
+            "fresh_chunks": sum(estimate.fresh_chunks for estimate in estimates.values()),
+            "bases": {
+                basis: {
+                    "shots": estimate.shots,
+                    "errors": estimate.errors,
+                    "rate": estimate.rate,
+                    "chunks": estimate.chunks,
+                    "converged": estimate.converged,
+                    "cache_hits": estimate.cache_hits,
+                    "fresh_chunks": estimate.fresh_chunks,
+                }
+                for basis, estimate in estimates.items()
+            },
+        }
+
+    def _require_materialised(self, artifact: str) -> None:
+        if self.adaptive:
+            raise RuntimeError(
+                f"Pipeline.{artifact} is not available in adaptive mode: with "
+                "budget.target_rse set, sampling streams chunks through the "
+                "stopping rule and retains only per-chunk counts.  Set "
+                "target_rse=None to materialise full sample batches."
+            )
+
     @property
     def syndromes(self) -> dict:
         """Per-basis sampled :class:`~repro.sim.SampleBatch` (detectors + observables)."""
+        self._require_materialised("syndromes")
         return {basis: batch for basis, (batch, _) in self._executed.items()}
 
     @property
     def predictions(self) -> dict:
         """Per-basis decoder predictions for the sampled syndromes."""
+        self._require_materialised("predictions")
         return {basis: predictions for basis, (_, predictions) in self._executed.items()}
 
     @cached_property
     def rates(self) -> LogicalErrorRates:
-        """Logical error rates; equals the legacy estimator for ``workers=1``."""
+        """Logical error rates; equals the legacy estimator for ``workers=1``.
+
+        In adaptive mode the rates derive from the streamed chunk counts
+        (``shots`` then reports the larger per-basis sample size and
+        ``shots_by_basis`` / ``converged`` are populated).
+        """
+        if self.adaptive:
+            return rates_from_adaptive_estimates(self.schedule.depth, self.estimates)
         batch_z, predictions_z = self._executed["Z"]
         batch_x, predictions_x = self._executed["X"]
         return LogicalErrorRates(
@@ -223,6 +366,7 @@ class Pipeline:
             depth=self.schedule.depth,
             synthesis_evaluations=synthesis.evaluations if synthesis else None,
             baseline_overall=synthesis.baseline_rates.overall if synthesis else None,
+            adaptive=self.adaptive_report,
         )
 
     # ------------------------------------------------------------------

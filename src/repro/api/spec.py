@@ -24,17 +24,64 @@ __all__ = ["Budget", "RunSpec"]
 
 @dataclass(frozen=True)
 class Budget:
-    """Compute budget of one run (evaluation and synthesis knobs).
+    """Compute budget of one run (evaluation, precision and synthesis knobs).
 
     ``shots`` is the Monte-Carlo budget per logical basis for the final
-    evaluation; the remaining knobs only matter when the scheduler is
-    ``"alphasyndrome"`` (they bound the MCTS search).
+    evaluation.  ``synthesis_shots`` / ``iterations_per_step`` /
+    ``max_evaluations`` only matter when the scheduler is ``"alphasyndrome"``
+    (they bound the MCTS search).
+
+    The precision knobs switch evaluation from fixed-shot to *adaptive*
+    mode: with ``target_rse`` set, sampling proceeds chunk by chunk
+    (:mod:`repro.parallel`) and stops per basis as soon as the Wilson
+    relative error of the observed rate drops to ``target_rse`` (at the
+    given two-sided ``confidence``), or when ``max_shots`` — the adaptive
+    ceiling, defaulting to ``shots`` — is exhausted.  ``target_rse=None``
+    (the default) reproduces fixed-shot results bit for bit.
     """
 
     shots: int = 2000
     synthesis_shots: int = 300
     iterations_per_step: int = 4
     max_evaluations: int | None = None
+    target_rse: float | None = None
+    max_shots: int | None = None
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.target_rse is not None and self.target_rse <= 0:
+            raise ValueError(f"target_rse must be positive, got {self.target_rse}")
+        if self.max_shots is not None and self.max_shots < 0:
+            raise ValueError(f"max_shots must be >= 0, got {self.max_shots}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+
+    @property
+    def adaptive(self) -> bool:
+        """True when evaluation should stream chunks through a stopping rule."""
+        return self.target_rse is not None
+
+    @property
+    def plan_shots(self) -> int:
+        """The shot ceiling that fixes an adaptive run's deterministic chunk plan.
+
+        An adaptive run lays out the chunk sizes and per-chunk seed streams
+        for ``plan_shots`` up front and consumes a prefix, so any early stop
+        is bit-identical to the first chunks of the fixed-shot run at
+        ``shots=plan_shots`` (the prefix-reproducibility guarantee).
+        """
+        return self.max_shots if self.max_shots is not None else self.shots
+
+    def stopping_rule(self):
+        """The :class:`repro.analysis.stats.StoppingRule` for this budget."""
+        # Imported here so the spec layer stays import-light for CLI startup.
+        from repro.analysis.stats import StoppingRule, z_for_confidence
+
+        return StoppingRule(
+            max_shots=self.plan_shots,
+            target_rse=self.target_rse,
+            z=z_for_confidence(self.confidence),
+        )
 
     def replace(self, **changes) -> "Budget":
         return dataclasses.replace(self, **changes)

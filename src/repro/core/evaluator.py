@@ -27,12 +27,15 @@ from dataclasses import dataclass, field
 from repro.codes.base import StabilizerCode
 from repro.noise.models import NoiseModel
 from repro.scheduling.schedule import Schedule
+from repro.circuits.memory import build_memory_experiment
+from repro.sim.dem import build_detector_error_model
 from repro.sim.estimator import (
     DecoderFactory,
     LogicalErrorRates,
     basis_streams,
     estimate_logical_error_rates,
     evaluate_basis,
+    rates_from_adaptive_estimates,
 )
 
 __all__ = ["ScheduleEvaluator"]
@@ -54,6 +57,30 @@ def _basis_error_rate(
     return evaluate_basis(
         code, schedule, noise, decoder_factory, basis=basis, shots=shots, seed=stream
     )
+
+
+def _basis_adaptive_estimate(
+    code: StabilizerCode,
+    schedule: Schedule,
+    noise: NoiseModel,
+    decoder_factory: DecoderFactory,
+    basis: str,
+    rule,
+    stream,
+):
+    """One (schedule, basis) *adaptive* estimation, self-contained per task.
+
+    The whole chunk-streaming loop runs inside the (possibly pooled) task,
+    so serial and pooled evaluation consume identical chunk streams and the
+    stopping point is a pure function of ``(schedule, basis, rule, stream)``
+    — worker count never changes a score.  Returns the
+    :class:`repro.parallel.AdaptiveEstimate` (picklable).
+    """
+    from repro.parallel import adaptive_sample_and_decode
+
+    experiment = build_memory_experiment(code, schedule, noise, basis=basis)
+    dem = build_detector_error_model(experiment.circuit)
+    return adaptive_sample_and_decode(dem, decoder_factory, stream, rule)
 
 
 @dataclass
@@ -82,6 +109,14 @@ class ScheduleEvaluator:
         Process-pool width used by :meth:`evaluate_many` /
         :meth:`score_many` for cache misses.  ``1`` (the default) evaluates
         in process.
+    target_rse / max_shots / confidence:
+        Optional precision target.  With ``target_rse`` set, every
+        evaluation streams fixed deterministic chunks through a Wilson
+        stopping rule (:mod:`repro.analysis.stats`) per basis and stops
+        early once the observed rate is precise enough, up to ``max_shots``
+        (default: ``shots``).  Scores stay deterministic for any worker
+        count; ``target_rse=None`` keeps the fixed-shot behaviour
+        bit-identical to before.
     """
 
     code: StabilizerCode
@@ -91,6 +126,9 @@ class ScheduleEvaluator:
     seed: int = 0
     objective: str = "inverse"
     workers: int = 1
+    target_rse: float | None = None
+    max_shots: int | None = None
+    confidence: float = 0.95
     _cache: dict[tuple, LogicalErrorRates] = field(default_factory=dict, repr=False)
     _pool: ProcessPoolExecutor | None = field(default=None, repr=False, compare=False)
 
@@ -99,6 +137,27 @@ class ScheduleEvaluator:
             raise ValueError("objective must be 'inverse' or 'neg_log'")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.target_rse is not None and self.target_rse <= 0:
+            raise ValueError(f"target_rse must be positive, got {self.target_rse}")
+
+    def _stopping_rule(self):
+        """The Wilson stopping rule (``None`` in fixed-shot mode).
+
+        Derived through :meth:`repro.api.spec.Budget.stopping_rule` — the
+        single place that encodes the max_shots-defaults-to-shots fallback
+        and the confidence-to-z conversion — so the evaluator can never
+        drift from the Pipeline's derivation.
+        """
+        if self.target_rse is None:
+            return None
+        from repro.api.spec import Budget
+
+        return Budget(
+            shots=self.shots,
+            target_rse=self.target_rse,
+            max_shots=self.max_shots,
+            confidence=self.confidence,
+        ).stopping_rule()
 
     # ------------------------------------------------------------------
     def schedule_key(self, schedule: Schedule) -> tuple:
@@ -118,15 +177,33 @@ class ScheduleEvaluator:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        rates = estimate_logical_error_rates(
+        rule = self._stopping_rule()
+        if rule is not None:
+            rates = self._evaluate_adaptive(schedule, rule)
+        else:
+            rates = estimate_logical_error_rates(
+                self.code,
+                schedule,
+                self.noise,
+                self.decoder_factory,
+                shots=self.shots,
+                seed=self.seed,
+            )
+        self._cache[key] = rates
+        return rates
+
+    def _evaluate_adaptive(self, schedule: Schedule, rule) -> LogicalErrorRates:
+        """Serial adaptive estimation: the estimator's shared adaptive path."""
+        from repro.sim.estimator import estimate_logical_error_rates_adaptive
+
+        rates, _estimates = estimate_logical_error_rates_adaptive(
             self.code,
             schedule,
             self.noise,
             self.decoder_factory,
-            shots=self.shots,
+            rule=rule,
             seed=self.seed,
         )
-        self._cache[key] = rates
         return rates
 
     def evaluate_many(self, schedules: "list[Schedule]") -> list[LogicalErrorRates]:
@@ -152,31 +229,55 @@ class ScheduleEvaluator:
     def _evaluate_pooled(self, misses: "dict[tuple, Schedule]") -> None:
         """Submit two basis tasks per miss, via the serial path's own
         :func:`repro.sim.estimator.basis_streams` plan — one shared
-        derivation, so the pooled results cannot drift from serial."""
+        derivation, so the pooled results cannot drift from serial.  In
+        adaptive mode each task runs its whole chunk-streaming loop
+        in-worker, keeping the stopping point worker-count independent."""
         pool = self._ensure_pool()
+        rule = self._stopping_rule()
         submitted = []
         for key, schedule in misses.items():
-            futures = {
-                basis: pool.submit(
-                    _basis_error_rate,
-                    self.code,
-                    schedule,
-                    self.noise,
-                    self.decoder_factory,
-                    basis,
-                    self.shots,
-                    stream,
-                )
-                for basis, stream in basis_streams(self.seed)
-            }
+            if rule is not None:
+                futures = {
+                    basis: pool.submit(
+                        _basis_adaptive_estimate,
+                        self.code,
+                        schedule,
+                        self.noise,
+                        self.decoder_factory,
+                        basis,
+                        rule,
+                        stream,
+                    )
+                    for basis, stream in basis_streams(self.seed)
+                }
+            else:
+                futures = {
+                    basis: pool.submit(
+                        _basis_error_rate,
+                        self.code,
+                        schedule,
+                        self.noise,
+                        self.decoder_factory,
+                        basis,
+                        self.shots,
+                        stream,
+                    )
+                    for basis, stream in basis_streams(self.seed)
+                }
             submitted.append((key, schedule, futures))
         for key, schedule, futures in submitted:
-            self._cache[key] = LogicalErrorRates(
-                error_x=futures["Z"].result(),
-                error_z=futures["X"].result(),
-                shots=self.shots,
-                depth=schedule.depth,
-            )
+            if rule is not None:
+                self._cache[key] = rates_from_adaptive_estimates(
+                    schedule.depth,
+                    {basis: future.result() for basis, future in futures.items()},
+                )
+            else:
+                self._cache[key] = LogicalErrorRates(
+                    error_x=futures["Z"].result(),
+                    error_z=futures["X"].result(),
+                    shots=self.shots,
+                    depth=schedule.depth,
+                )
 
     # ------------------------------------------------------------------
     def _score_of(self, rates: LogicalErrorRates) -> float:

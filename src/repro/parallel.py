@@ -31,26 +31,32 @@ crossing the pool boundary must be picklable (everything built by
 from __future__ import annotations
 
 from concurrent.futures import Future
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.sim.bitops import pack_rows
-from repro.sim.estimator import decode_predictions
+from repro.sim.estimator import count_wrong, decode_predictions
 from repro.sim.sampler import SampleBatch, sample_detector_error_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from concurrent.futures import Executor
 
+    from repro.analysis.stats import StoppingRule
     from repro.sim.dem import DetectorErrorModel
     from repro.sim.estimator import DecoderFactory
 
 __all__ = [
     "DEFAULT_CHUNK_SHOTS",
+    "AdaptiveEstimate",
+    "adaptive_sample_and_decode",
+    "chunk_error_counts",
     "chunk_sizes",
     "chunk_streams",
     "run_chunk",
     "merge_chunks",
+    "store_satisfies_rule",
     "submit_chunks",
     "sample_and_decode",
 ]
@@ -198,3 +204,170 @@ def sample_and_decode(
         batch = sample_detector_error_model(dem, size, seed=chunk_stream)
         results.append((batch, decode_predictions(decoder, batch)))
     return merge_chunks(results, dem)
+
+
+# ----------------------------------------------------------------------
+# Adaptive (precision-targeted) chunk streaming
+# ----------------------------------------------------------------------
+def chunk_error_counts(
+    dem: "DetectorErrorModel",
+    decoder_factory: "DecoderFactory",
+    shots: int,
+    stream: "np.random.SeedSequence | None",
+) -> tuple[int, int]:
+    """Sample and decode one chunk, reduced to ``(shots, logical errors)``.
+
+    The count-only unit of the adaptive engine (and of the result cache):
+    identical sampling and decoding to :func:`run_chunk`, but the batch is
+    collapsed to its error count so chunks are cheap to ship, merge and
+    persist.  Module-level so it pickles into pool workers.
+    """
+    batch, predictions = run_chunk(dem, decoder_factory, shots, stream)
+    return batch.num_shots, count_wrong(predictions, batch)
+
+
+@dataclass
+class AdaptiveEstimate:
+    """Outcome of one adaptively sampled binomial estimation.
+
+    ``chunk_counts`` records the consumed prefix as ``(shots, errors)`` per
+    chunk in chunk order — by construction bit-identical to the first
+    ``len(chunk_counts)`` chunks of the fixed-shot run whose budget equals
+    the stopping rule's ``max_shots``.  ``cache_hits`` / ``fresh_chunks``
+    split the prefix into chunks replayed from a :class:`repro.cache
+    .ChunkStore` and chunks actually sampled in this process.
+    """
+
+    shots: int = 0
+    errors: int = 0
+    converged: bool = False
+    chunk_counts: list[tuple[int, int]] = field(default_factory=list)
+    cache_hits: int = 0
+    fresh_chunks: int = 0
+
+    @property
+    def rate(self) -> float:
+        """Observed error fraction (0.0 before any shot is consumed)."""
+        return self.errors / self.shots if self.shots else 0.0
+
+    @property
+    def chunks(self) -> int:
+        return len(self.chunk_counts)
+
+
+def store_satisfies_rule(
+    rule: "StoppingRule", store, *, chunk_shots: int | None = None
+) -> bool:
+    """True when cached summaries alone carry ``rule`` to its stopping point.
+
+    Walks the same chunk plan and rule evaluation as
+    :func:`adaptive_sample_and_decode`, but consults only the store — no
+    sampling, no decoding.  Callers use it to skip expensive setup (e.g.
+    process-pool startup) for fully warm-cache replays; a ``True`` answer
+    guarantees the engine will report ``fresh_chunks == 0``.
+    """
+    if store is None:
+        return False
+    sizes = chunk_sizes(rule.max_shots, chunk_shots)
+    shots = errors = 0
+    for index, size in enumerate(sizes):
+        summary = store.get(index)
+        if summary is None or summary.shots != size:
+            return False
+        shots += summary.shots
+        errors += summary.errors
+        if rule.converged(errors, shots):
+            return True
+    return True  # the whole plan is cached
+
+
+def adaptive_sample_and_decode(
+    dem: "DetectorErrorModel",
+    decoder_factory: "DecoderFactory",
+    stream: "np.random.SeedSequence | None",
+    rule: "StoppingRule",
+    *,
+    chunk_shots: int | None = None,
+    pool: "Executor | None" = None,
+    lookahead: int = 1,
+    store=None,
+) -> AdaptiveEstimate:
+    """Stream the fixed chunk plan through ``rule`` until it says stop.
+
+    The chunk layout and per-chunk seed streams are derived for
+    ``rule.max_shots`` exactly as :func:`sample_and_decode` would derive
+    them, and chunks are *consumed strictly in chunk order* with the rule
+    evaluated after each one.  Consequently:
+
+    * the consumed prefix is bit-identical to the fixed-shot run at
+      ``shots=rule.max_shots`` truncated to the same chunks;
+    * the stopping point depends only on the accumulated counts, so the
+      result is invariant to ``pool``/``lookahead`` — a pool merely
+      *speculates* on upcoming chunks (results of chunks past the stopping
+      point are discarded and never stored).
+
+    ``store`` (a :class:`repro.cache.ChunkStore`) replays previously
+    persisted chunk counts instead of resampling them and persists every
+    freshly consumed chunk, which is what makes interrupted or
+    coarser-precision runs resumable and refinable across processes.
+    """
+    sizes = chunk_sizes(rule.max_shots, chunk_shots)
+    streams = chunk_streams(stream, len(sizes))
+    estimate = AdaptiveEstimate()
+    if not sizes:
+        return estimate
+    cached: dict[int, tuple[int, int] | None] = {}
+
+    def replay(index: int) -> "tuple[int, int] | None":
+        if index not in cached:
+            summary = store.get(index) if store is not None else None
+            # A summary whose size disagrees with the plan belongs to a
+            # different chunk layout (stale cache); treat it as a miss.
+            if summary is not None and summary.shots != sizes[index]:
+                summary = None
+            cached[index] = None if summary is None else (summary.shots, summary.errors)
+        return cached[index]
+
+    pending: dict[int, Future] = {}
+    decoder = None
+    try:
+        for index in range(len(sizes)):
+            if pool is not None:
+                horizon = min(len(sizes), index + max(1, lookahead))
+                for ahead in range(index, horizon):
+                    if ahead not in pending and replay(ahead) is None:
+                        pending[ahead] = pool.submit(
+                            chunk_error_counts,
+                            dem,
+                            decoder_factory,
+                            sizes[ahead],
+                            streams[ahead],
+                        )
+            counts = replay(index)
+            if counts is not None:
+                shots, errors = counts
+                estimate.cache_hits += 1
+            else:
+                future = pending.pop(index, None)
+                if future is not None:
+                    shots, errors = future.result()
+                else:
+                    if decoder is None:
+                        decoder = decoder_factory(dem)
+                    batch = sample_detector_error_model(dem, sizes[index], seed=streams[index])
+                    shots, errors = batch.num_shots, count_wrong(
+                        decode_predictions(decoder, batch), batch
+                    )
+                estimate.fresh_chunks += 1
+                if store is not None:
+                    store.put(index, shots, errors)
+            estimate.shots += shots
+            estimate.errors += errors
+            estimate.chunk_counts.append((shots, errors))
+            if rule.converged(estimate.errors, estimate.shots):
+                estimate.converged = True
+                break
+    finally:
+        for future in pending.values():
+            future.cancel()
+    return estimate

@@ -11,10 +11,14 @@ from repro.sim.dem import DetectorErrorModel, ErrorMechanism, build_detector_err
 from repro.sim.estimator import (
     LogicalErrorRates,
     basis_streams,
+    count_wrong,
     decode_error_rate,
     decode_predictions,
     estimate_logical_error_rates,
+    estimate_logical_error_rates_adaptive,
     evaluate_basis,
+    fraction_wrong,
+    rates_from_adaptive_estimates,
 )
 from repro.sim.propagation import SparsePauli, measurement_flips, propagate_fault
 from repro.sim.sampler import SampleBatch, sample_detector_error_model
@@ -36,6 +40,10 @@ __all__ = [
     "decode_error_rate",
     "decode_predictions",
     "estimate_logical_error_rates",
+    "estimate_logical_error_rates_adaptive",
+    "count_wrong",
+    "fraction_wrong",
+    "rates_from_adaptive_estimates",
     "evaluate_basis",
     "pack_rows",
     "unpack_rows",

@@ -25,11 +25,14 @@ from repro.sim.sampler import SampleBatch, sample_detector_error_model
 __all__ = [
     "LogicalErrorRates",
     "basis_streams",
+    "count_wrong",
     "decode_error_rate",
     "decode_predictions",
     "estimate_logical_error_rates",
+    "estimate_logical_error_rates_adaptive",
     "evaluate_basis",
     "fraction_wrong",
+    "rates_from_adaptive_estimates",
 ]
 
 #: A decoder factory takes a DEM and returns an object with ``decode_batch``.
@@ -38,12 +41,21 @@ DecoderFactory = Callable[[DetectorErrorModel], "object"]
 
 @dataclass
 class LogicalErrorRates:
-    """Logical error rates of a schedule under a noise model and decoder."""
+    """Logical error rates of a schedule under a noise model and decoder.
+
+    ``shots`` is the per-basis sample size.  Adaptive estimation may stop
+    the two bases at different sizes; then ``shots`` is the larger of the
+    two, ``shots_by_basis`` holds the per-basis counts and ``converged``
+    reports whether every basis met its precision target (fixed-shot runs
+    leave both extra fields at ``None``).
+    """
 
     error_x: float
     error_z: float
     shots: int
     depth: int
+    shots_by_basis: "dict[str, int] | None" = None
+    converged: "bool | None" = None
 
     @property
     def overall(self) -> float:
@@ -65,14 +77,12 @@ class LogicalErrorRates:
         )
 
 
-def fraction_wrong(predictions: np.ndarray, batch: SampleBatch) -> float:
-    """Fraction of shots where a prediction misses at least one observable.
+def count_wrong(predictions: np.ndarray, batch: SampleBatch) -> int:
+    """Number of shots where a prediction misses at least one observable.
 
-    A shot counts as a logical error when the decoder's predicted observable
-    flip disagrees with the actual flip for at least one logical qubit.  This
-    is the single scoring kernel shared by :func:`evaluate_basis` and the
-    staged :class:`repro.api.Pipeline`, which guarantees the two paths report
-    identical rates for identical samples.
+    The integer form of :func:`fraction_wrong`; the adaptive engine
+    accumulates these counts across chunks so a resumed or early-stopped run
+    scores exactly like the concatenated batch would.
     """
     if predictions.shape != batch.observables.shape:
         raise ValueError(
@@ -80,9 +90,23 @@ def fraction_wrong(predictions: np.ndarray, batch: SampleBatch) -> float:
             f"expected {batch.observables.shape}"
         )
     if batch.num_shots == 0:
+        return 0
+    return int(np.count_nonzero((predictions != batch.observables).any(axis=1)))
+
+
+def fraction_wrong(predictions: np.ndarray, batch: SampleBatch) -> float:
+    """Fraction of shots where a prediction misses at least one observable.
+
+    A shot counts as a logical error when the decoder's predicted observable
+    flip disagrees with the actual flip for at least one logical qubit.  This
+    is the single scoring kernel shared by :func:`evaluate_basis` and the
+    staged :class:`repro.api.Pipeline`, which guarantees the two paths report
+    identical rates for identical samples.  Zero shots report rate 0.0.
+    """
+    if batch.num_shots == 0:
+        count_wrong(predictions, batch)  # still validate the shapes
         return 0.0
-    wrong = (predictions != batch.observables).any(axis=1)
-    return float(np.count_nonzero(wrong)) / batch.num_shots
+    return count_wrong(predictions, batch) / batch.num_shots
 
 
 def basis_streams(
@@ -174,3 +198,84 @@ def estimate_logical_error_rates(
     return LogicalErrorRates(
         error_x=rates["Z"], error_z=rates["X"], shots=shots, depth=schedule.depth
     )
+
+
+def rates_from_adaptive_estimates(depth: int, estimates: dict) -> LogicalErrorRates:
+    """Assemble :class:`LogicalErrorRates` from per-basis adaptive estimates.
+
+    ``estimates`` maps basis (``"Z"``/``"X"``) to any object exposing
+    ``rate`` / ``shots`` / ``converged`` (a
+    :class:`repro.parallel.AdaptiveEstimate`).  This is the single place
+    that encodes the basis-Z-measures-``error_x`` convention and the
+    ``shots = max(per basis)`` summary for adaptive runs — shared by this
+    module, :class:`repro.api.Pipeline` and
+    :class:`repro.core.ScheduleEvaluator` so the three paths cannot drift.
+    """
+    return LogicalErrorRates(
+        error_x=estimates["Z"].rate,
+        error_z=estimates["X"].rate,
+        shots=max((estimate.shots for estimate in estimates.values()), default=0),
+        depth=depth,
+        shots_by_basis={basis: estimate.shots for basis, estimate in estimates.items()},
+        converged=all(estimate.converged for estimate in estimates.values()),
+    )
+
+
+def estimate_logical_error_rates_adaptive(
+    code: StabilizerCode,
+    schedule: Schedule,
+    noise: NoiseModel,
+    decoder_factory: DecoderFactory,
+    *,
+    rule=None,
+    target_rse: float | None = None,
+    max_shots: int | None = None,
+    confidence: float = 0.95,
+    seed: "int | np.random.SeedSequence | None" = None,
+    chunk_shots: int | None = None,
+    pool=None,
+    lookahead: int = 1,
+    store_factory=None,
+) -> "tuple[LogicalErrorRates, dict]":
+    """Adaptive (precision-targeted) variant of :func:`estimate_logical_error_rates`.
+
+    Each basis streams the same fixed deterministic chunks a fixed-shot run
+    at ``shots=rule.max_shots`` would consume (same :func:`basis_streams`
+    derivation, same per-chunk spawned streams) and stops as soon as the
+    Wilson relative error of the observed rate reaches the rule's target —
+    so the sampled prefix is bit-identical to the fixed run's first chunks,
+    for every worker count.  Pass the
+    :class:`~repro.analysis.stats.StoppingRule` itself (the one derivation,
+    e.g. ``budget.stopping_rule()``), or the raw ``target_rse`` /
+    ``max_shots`` / ``confidence`` knobs to build one here.
+    ``store_factory(basis)`` may supply a :class:`repro.cache.ChunkStore`
+    per basis to resume from (and refine) previously measured chunks.
+
+    Returns the rates plus the per-basis
+    :class:`repro.parallel.AdaptiveEstimate` dict (``{"Z": ..., "X": ...}``).
+    """
+    # Imported lazily: repro.parallel imports this module at load time.
+    from repro.analysis.stats import StoppingRule, z_for_confidence
+    from repro.parallel import adaptive_sample_and_decode
+
+    if rule is None:
+        if max_shots is None:
+            raise ValueError("pass either a StoppingRule or max_shots")
+        rule = StoppingRule(
+            max_shots=max_shots, target_rse=target_rse, z=z_for_confidence(confidence)
+        )
+    estimates = {}
+    for basis, stream in basis_streams(seed):
+        experiment = build_memory_experiment(code, schedule, noise, basis=basis)
+        dem = build_detector_error_model(experiment.circuit)
+        estimates[basis] = adaptive_sample_and_decode(
+            dem,
+            decoder_factory,
+            stream,
+            rule,
+            chunk_shots=chunk_shots,
+            pool=pool,
+            lookahead=lookahead,
+            store=store_factory(basis) if store_factory is not None else None,
+        )
+    return rates_from_adaptive_estimates(schedule.depth, estimates), estimates

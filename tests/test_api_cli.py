@@ -240,3 +240,190 @@ class TestSweep:
         out = tmp_path / "sweep.jsonl"
         assert main(self.BASE + ["--grid", "seed", "--out", str(out)]) == 2
         assert "--grid expects" in capsys.readouterr().err
+
+
+class TestAdaptiveRunAndCache:
+    """`repro run/sweep --target-rse` + the `repro cache` subcommand."""
+
+    RUN = [
+        "run",
+        "--code", "surface:d=3",
+        "--decoder", "lookup",
+        "--scheduler", "lowest_depth",
+        "--seed", "3",
+        "--target-rse", "0.35",
+        "--max-shots", "4096",
+    ]
+
+    def test_adaptive_run_reports_and_persists(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        cache = tmp_path / "cache"
+        assert (
+            main(self.RUN + ["--cache-dir", str(cache), "--out", str(out)]) == 0
+        )
+        printed = capsys.readouterr().out
+        assert "adaptive: target_rse=0.35" in printed
+        payload = json.loads(out.read_text())
+        assert payload["spec"]["budget"]["target_rse"] == 0.35
+        assert payload["adaptive"]["fresh_chunks"] > 0
+        assert payload["adaptive"]["cache_hits"] == 0
+        assert cache.is_dir()
+
+    def test_adaptive_rerun_resumes_from_cache(self, tmp_path, capsys):
+        """Acceptance: warm-cache rerun performs zero new sampling."""
+        cache = tmp_path / "cache"
+        assert main(self.RUN + ["--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(self.RUN + ["--cache-dir", str(cache)]) == 0
+        assert "fresh_chunks=0" in capsys.readouterr().out
+
+    def test_no_cache_flag_disables_persistence(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(self.RUN + ["--cache-dir", str(cache), "--no-cache"]) == 0
+        assert not cache.exists()
+
+    def test_sweep_resumes_points_from_cache(self, tmp_path, capsys):
+        """Acceptance: after deleting the JSONL, a rerun re-derives every
+        point purely from cached chunks — zero new sampling."""
+        out = tmp_path / "sweep.jsonl"
+        cache = tmp_path / "cache"
+        base = [
+            "sweep",
+            "--code", "surface:d=3",
+            "--decoder", "lookup",
+            "--scheduler", "lowest_depth",
+            "--target-rse", "0.35",
+            "--max-shots", "3000",
+            "--grid", "seed=1,2",
+            "--out", str(out),
+            "--cache-dir", str(cache),
+        ]
+        assert main(base) == 0
+        first = [json.loads(line) for line in out.read_text().splitlines()]
+        assert sum(row["adaptive"]["fresh_chunks"] for row in first) > 0
+        out.unlink()
+        capsys.readouterr()
+        assert main(base) == 0
+        rerun = [json.loads(line) for line in out.read_text().splitlines()]
+        assert sum(row["adaptive"]["fresh_chunks"] for row in rerun) == 0
+        assert sum(row["adaptive"]["cache_hits"] for row in rerun) > 0
+        assert [row["overall"] for row in rerun] == [row["overall"] for row in first]
+
+    def test_target_rse_grid_axis(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--code", "steane",
+                    "--decoder", "lookup",
+                    "--scheduler", "lowest_depth",
+                    "--max-shots", "2000",
+                    "--grid", "target_rse=0.3,0.5",
+                    "--out", str(out),
+                    "--cache-dir", str(cache),
+                ]
+            )
+            == 0
+        )
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [line["spec"]["budget"]["target_rse"] for line in lines] == [0.3, 0.5]
+        # The looser target consumes a (not necessarily strict) prefix of
+        # the tighter one's chunks, all shared through the cache.
+        assert lines[1]["adaptive"]["fresh_chunks"] == 0
+
+    def test_legacy_sweep_rows_without_precision_fields_still_skip(
+        self, tmp_path, capsys
+    ):
+        """Fingerprint normalisation: rows written before the precision
+        fields existed must keep matching the spec they describe."""
+        out = tmp_path / "sweep.jsonl"
+        base = [
+            "sweep",
+            "--code", "steane",
+            "--decoder", "lookup",
+            "--scheduler", "lowest_depth",
+            "--shots", "40",
+            "--out", str(out),
+        ]
+        assert main(base) == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        for row in rows:
+            for field in ("target_rse", "max_shots", "confidence"):
+                row["spec"]["budget"].pop(field)
+        out.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        capsys.readouterr()
+        assert main(base) == 0
+        assert "0 run, 1 already" in capsys.readouterr().out
+
+    def test_cache_ls_and_clear(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(self.RUN + ["--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "ls", "--dir", str(cache)]) == 0
+        listed = capsys.readouterr().out
+        assert "cached chunk(s)" in listed
+        assert "surface:d=3" in listed and "basis=" in listed
+        assert main(["cache", "clear", "--dir", str(cache)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "ls", "--dir", str(cache)]) == 0
+        assert "0 cached chunk(s)" in capsys.readouterr().out
+
+    def test_cache_ls_missing_dir_is_empty(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--dir", str(tmp_path / "nope")]) == 0
+        assert "0 cached chunk(s)" in capsys.readouterr().out
+
+    def test_precision_flags_without_target_rse_rejected(self, capsys):
+        assert (
+            main(["run", "--code", "steane", "--decoder", "lookup", "--max-shots", "500"])
+            == 2
+        )
+        assert "--target-rse" in capsys.readouterr().err
+        assert (
+            main(["eval", "--code", "steane", "--decoder", "lookup", "--confidence", "0.9"])
+            == 2
+        )
+        assert "--target-rse" in capsys.readouterr().err
+
+    def test_max_shots_allowed_when_grid_supplies_target_rse(self, tmp_path):
+        # covered end-to-end by test_target_rse_grid_axis; this pins the
+        # validator itself accepting the grid-supplied target.
+        out = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--code", "steane",
+                    "--decoder", "lookup",
+                    "--scheduler", "lowest_depth",
+                    "--max-shots", "600",
+                    "--grid", "target_rse=0.5",
+                    "--out", str(out),
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+
+    def test_tables_rejects_precision_flags(self, capsys):
+        assert main(["tables", "table2", "--target-rse", "0.1"]) == 2
+        assert "fixed paper budgets" in capsys.readouterr().err
+
+    def test_grid_precision_axes_without_target_rejected(self, tmp_path, capsys):
+        out = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--code", "steane",
+                    "--decoder", "lookup",
+                    "--scheduler", "lowest_depth",
+                    "--grid", "max_shots=100,200",
+                    "--out", str(out),
+                ]
+            )
+            == 2
+        )
+        assert "--target-rse" in capsys.readouterr().err
+        assert not out.exists()

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.circuits import build_memory_experiment
 from repro.pauli.gf2 import gf2_matmul
@@ -132,3 +134,83 @@ class TestSamplerBackends:
             dense_predictions = decoder.decode_batch(batch.detectors)
             packed_predictions = decoder.decode_batch_packed(batch.packed_detectors)
             assert np.array_equal(dense_predictions, packed_predictions), name
+
+
+# ----------------------------------------------------------------------
+# Randomized property tests over irregular widths
+# ----------------------------------------------------------------------
+#: Widths straddling the word boundaries: single bit, word -1 / exact /
+#: word +1, and just under two words.
+IRREGULAR_WIDTHS = (1, 63, 64, 65, 127)
+
+
+def _random_bits(rows: int, cols: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random((rows, cols)) < 0.5).astype(np.uint8)
+
+
+class TestBitopsProperties:
+    """Hypothesis-driven properties of the packed kernels.
+
+    Shapes are drawn around the 64-bit word boundaries (the historically
+    bug-prone widths); contents are derived from a drawn seed so numpy does
+    the heavy lifting and shrinking stays fast.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cols=st.sampled_from(IRREGULAR_WIDTHS),
+        rows=st.integers(1, 12),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_pack_unpack_roundtrip(self, cols, rows, seed):
+        bits = _random_bits(rows, cols, seed)
+        packed = pack_rows(bits)
+        assert packed.shape == (rows, packed_words(cols))
+        assert packed.dtype == np.dtype("<u8")
+        assert np.array_equal(unpack_rows(packed, cols), bits)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cols=st.sampled_from(IRREGULAR_WIDTHS),
+        rows=st.integers(1, 12),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_popcount_matches_dense_row_sums(self, cols, rows, seed):
+        """Padding bits beyond the last column must never leak into counts."""
+        bits = _random_bits(rows, cols, seed)
+        per_row = popcount(pack_rows(bits)).sum(axis=1)
+        assert np.array_equal(per_row, bits.sum(axis=1))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shared=st.sampled_from(IRREGULAR_WIDTHS),
+        n=st.integers(1, 10),
+        m=st.integers(1, 10),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_packed_matmul_matches_dense_gf2_matmul(self, shared, n, m, seed):
+        a = _random_bits(n, shared, seed)
+        b = _random_bits(m, shared, seed ^ 0xA5A5A5A5)
+        packed = packed_matmul_parity(pack_rows(a), pack_rows(b))
+        dense = ((a.astype(np.int64) @ b.T.astype(np.int64)) % 2).astype(np.uint8)
+        assert np.array_equal(packed, dense)
+        assert np.array_equal(packed, gf2_matmul(a, b.T))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cols=st.sampled_from(IRREGULAR_WIDTHS),
+        rows=st.integers(1, 10),
+        seed=st.integers(0, 2**32 - 1),
+        groups=st.lists(st.lists(st.integers(0, 9), max_size=6), min_size=1, max_size=5),
+    )
+    def test_xor_reduce_matches_dense_parity(self, cols, rows, seed, groups):
+        bits = _random_bits(rows, cols, seed)
+        groups = [[g for g in group if g < rows] for group in groups]
+        reduced = xor_reduce_rows(pack_rows(bits), groups)
+        for row, group in zip(reduced, groups):
+            if group:
+                expected = bits[np.asarray(group, dtype=int)].sum(axis=0) % 2
+            else:
+                expected = np.zeros(cols)
+            assert np.array_equal(unpack_rows(row.reshape(1, -1), cols)[0], expected)
