@@ -17,6 +17,12 @@ import pytest
 
 from repro.experiments import ExperimentBudget
 
+#: Where the benchmark harness drops its rendered rows.  Deliberately NOT
+#: ``results/`` — that directory is the suite artifact store owned by
+#: ``repro experiments run`` (quick budgets, resumable JSONL logs), and the
+#: bench-budget rows would silently clobber its rendered views.
+BENCH_RESULTS = "results/bench"
+
 
 @pytest.fixture(scope="session")
 def bench_budget() -> ExperimentBudget:

@@ -17,7 +17,7 @@ asserts the qualitative shape the paper reports:
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_RESULTS, run_once
 from repro.experiments import (
     render_table,
     run_figure7,
@@ -32,7 +32,7 @@ from repro.experiments import (
 class TestFigure7:
     def test_order_bias(self, benchmark, bench_budget):
         rows = run_once(benchmark, run_figure7, bench_budget)
-        write_results("figure7", rows)
+        write_results("figure7", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         by_schedule = {row["schedule"]: row for row in rows}
@@ -50,7 +50,7 @@ class TestFigure7:
 class TestFigure12:
     def test_surface_code_comparison(self, benchmark, bench_budget):
         rows = run_once(benchmark, run_figure12, bench_budget, codes=["rotated_surface_d3"])
-        write_results("figure12", rows)
+        write_results("figure12", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         by_schedule = {row["schedule"]: row for row in rows}
@@ -63,7 +63,7 @@ class TestFigure12:
 class TestFigure13:
     def test_bb_code_comparison(self, benchmark, quick_budget):
         rows = run_once(benchmark, run_figure13, quick_budget, code_name="bb_18")
-        write_results("figure13", rows)
+        write_results("figure13", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         assert {row["schedule"] for row in rows} == {"alphasyndrome", "ibm"}
@@ -80,7 +80,7 @@ class TestFigure14:
             codes=[("hexagonal_color_d3", "unionfind")],
             error_rates=[1e-2, 1e-3],
         )
-        write_results("figure14", rows)
+        write_results("figure14", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         by_rate = {row["physical_error"]: row for row in rows}
@@ -93,7 +93,7 @@ class TestFigure14:
 class TestFigure15:
     def test_non_uniform_noise(self, benchmark, bench_budget):
         rows = run_once(benchmark, run_figure15, bench_budget, codes=["rotated_surface_d3"])
-        write_results("figure15", rows)
+        write_results("figure15", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         by_schedule = {row["schedule"]: row for row in rows}

@@ -14,7 +14,7 @@ claims at reduced statistics:
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import BENCH_RESULTS, run_once
 from repro.experiments import render_table, run_table2, run_table3, run_table4, write_results
 
 
@@ -22,7 +22,7 @@ class TestTable2:
     def test_table2_quick_instances(self, benchmark, bench_budget):
         rows = run_once(benchmark, run_table2, bench_budget)
         assert rows, "table 2 produced no rows"
-        write_results("table2", rows)
+        write_results("table2", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         wins = sum(1 for row in rows if row["alpha_overall"] <= row["lowest_overall"])
@@ -48,7 +48,7 @@ class TestTable3:
     def test_table3_space_time_volume(self, benchmark, bench_budget):
         rows = run_once(benchmark, run_table3, bench_budget)
         assert rows
-        write_results("table3", rows)
+        write_results("table3", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         for row in rows:
@@ -60,7 +60,7 @@ class TestTable4:
     def test_table4_cross_decoder(self, benchmark, bench_budget):
         rows = run_once(benchmark, run_table4, bench_budget, instances=["hexagonal_color_d3"])
         assert rows
-        write_results("table4", rows)
+        write_results("table4", rows, output_dir=BENCH_RESULTS)
         print()
         print(render_table(rows))
         row = rows[0]

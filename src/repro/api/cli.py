@@ -8,7 +8,8 @@ Subcommands::
     repro sweep [--grid f=v1,v2 ...]    run a spec grid, resumable JSONL output
     repro cache {ls,clear}              inspect / empty the chunk-result cache
     repro list {codes,decoders,noise,schedulers,all}
-    repro tables {table2,...,all}       regenerate the paper's tables/figures
+    repro experiments {run,ls,render}   declarative paper-table suites
+    repro tables {table2,...,all}       legacy spelling of `experiments run`
 
 ``run``/``sweep`` accept ``--target-rse`` (with ``--max-shots`` /
 ``--confidence``) to switch evaluation to adaptive precision-targeted
@@ -35,7 +36,7 @@ from pathlib import Path
 from repro.api.pipeline import Pipeline
 from repro.api.registries import codes, decoders, noise, schedulers
 from repro.api.registry import parse_spec
-from repro.api.spec import RunSpec
+from repro.api.spec import RunSpec, canonical_spec
 
 __all__ = ["main", "add_budget_flags"]
 
@@ -283,8 +284,8 @@ _GRID_BUDGET_FIELDS = {
 }
 #: Integer-valued top-level RunSpec fields.
 _GRID_INT_FIELDS = ("seed", "workers")
-#: String-valued component spec fields.
-_GRID_COMPONENT_FIELDS = ("code", "noise", "scheduler", "decoder")
+#: String-valued top-level RunSpec fields.
+_GRID_COMPONENT_FIELDS = ("code", "noise", "scheduler", "decoder", "eval_stage")
 
 
 def _parse_grid_axis(text: str) -> tuple[str, list[str]]:
@@ -320,19 +321,11 @@ def _apply_grid_value(spec: RunSpec, name: str, value: str) -> RunSpec:
 def _spec_fingerprint(payload: dict) -> str:
     """Canonical JSON of a spec dict — the resume key of one sweep entry.
 
-    ``workers`` is dropped: it is an execution detail that never changes
-    results (the worker-invariance guarantee), so a sweep interrupted on an
-    8-core server resumes cleanly on a 1-core laptop instead of re-running
-    every spec.  The payload is normalised through a RunSpec round trip so
-    rows written before a Budget/RunSpec field was introduced keep matching
-    the spec they describe (missing fields assume their defaults).
+    The normalisation (drop ``workers``, round-trip through RunSpec so old
+    rows keep matching as fields grow defaults) is shared with the suite
+    artifact store via :func:`repro.api.spec.canonical_spec`.
     """
-    try:
-        payload = RunSpec.from_dict(payload).to_dict()
-    except (TypeError, ValueError):
-        pass  # unknown/renamed fields: fingerprint the raw payload as-is
-    payload = {key: value for key, value in payload.items() if key != "workers"}
-    return json.dumps(payload, sort_keys=True)
+    return json.dumps(canonical_spec(payload), sort_keys=True)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -426,39 +419,108 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_tables(args: argparse.Namespace) -> int:
-    # Imported lazily so `repro list` / `repro run` never pay for the
-    # experiment-driver imports.
-    from repro.experiments import EXPERIMENTS, ExperimentBudget
-    from repro.experiments.__main__ import run_assets
+def _suite_config_from_args(args: argparse.Namespace):
+    """Build the SuiteConfig for `repro experiments run` / `repro tables`."""
+    from repro.experiments.suite import QUICK_BUDGET, SuiteConfig
 
-    if args.target_rse is not None or args.max_shots is not None or args.confidence is not None:
-        print(
-            "error: the tables drivers use fixed paper budgets; "
-            "--target-rse/--max-shots/--confidence apply to run/eval/sweep",
-            file=sys.stderr,
+    if args.target_rse is None and (
+        getattr(args, "max_shots", None) is not None
+        or getattr(args, "confidence", None) is not None
+    ):
+        raise ValueError(
+            "--max-shots/--confidence only take effect with --target-rse (adaptive mode)"
         )
-        return 2
-    budget = ExperimentBudget()
-    if args.shots is not None:
-        budget.shots = args.shots
-    if args.synthesis_shots is not None:
-        budget.synthesis_shots = args.synthesis_shots
-    if args.iterations is not None:
-        budget.iterations_per_step = args.iterations
-    if args.max_evaluations is not None:
-        budget.max_evaluations = args.max_evaluations
-    if args.seed is not None:
-        budget.seed = args.seed
-    if args.asset != "all" and args.asset not in EXPERIMENTS:
-        print(
-            f"unknown asset {args.asset!r}; available: {', '.join(sorted(EXPERIMENTS))}, all",
-            file=sys.stderr,
+    overrides = {
+        name: value
+        for name, value in (
+            ("shots", args.shots),
+            ("synthesis_shots", args.synthesis_shots),
+            ("iterations_per_step", args.iterations),
+            ("max_evaluations", args.max_evaluations),
+            ("target_rse", args.target_rse),
+            ("max_shots", args.max_shots),
+            ("confidence", args.confidence),
         )
-        return 2
-    assets = sorted(EXPERIMENTS) if args.asset == "all" else [args.asset]
-    run_assets(assets, budget, args.out)
+        if value is not None
+    }
+    return SuiteConfig(
+        budget=QUICK_BUDGET.replace(**overrides),
+        seed=args.seed if args.seed is not None else 0,
+        quick=getattr(args, "quick", True),
+        workers=getattr(args, "workers", None) or 1,
+    )
+
+
+def _run_suites(assets: list[str], args: argparse.Namespace, *, resume: bool = True) -> int:
+    """Shared executor of `repro experiments run` and `repro tables`."""
+    from repro.experiments.__main__ import run_assets
+    from repro.experiments.suite import SuiteRowError
+
+    try:
+        run_assets(
+            assets,
+            _suite_config_from_args(args),
+            args.out,
+            cache=_cache_from_args(args),
+            resume=resume,
+        )
+    except SuiteRowError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    """The `repro experiments {run,ls,render}` suite surface."""
+    # Imported lazily so `repro list` / `repro run` never pay for the
+    # experiment-suite imports (importing the package registers the suites).
+    from repro.experiments import available_suites
+    from repro.experiments.artifacts import ArtifactStore
+
+    if args.action == "ls":
+        from repro.experiments.suite import SUITES
+
+        print(f"experiment suites ({len(SUITES)}):")
+        for name in available_suites():
+            print(f"  {name} - {SUITES[name].help}")
+        return 0
+    names = available_suites() if args.suite == "all" else [args.suite]
+    unknown = [name for name in names if name not in available_suites()]
+    if unknown:
+        print(
+            f"unknown suite {unknown[0]!r}; available: "
+            f"{', '.join(available_suites())}, all",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "render":
+        store = ArtifactStore(args.out)
+        status = 0
+        for name in names:
+            rows = store.latest_rows(name)
+            if not rows:
+                print(f"no stored rows for {name!r} in {store.rows_path(name)}", file=sys.stderr)
+                status = 2
+                continue
+            text_path, json_path = store.render(name, rows)
+            print(f"{name}: {len(rows)} rows rendered to {text_path} and {json_path}")
+        return status
+    return _run_suites(names, args, resume=not args.fresh)
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    """Legacy spelling of `repro experiments run` (quick budgets, same stack)."""
+    from repro.experiments import available_suites
+
+    if args.asset != "all" and args.asset not in available_suites():
+        print(
+            f"unknown asset {args.asset!r}; available: "
+            f"{', '.join(available_suites())}, all",
+            file=sys.stderr,
+        )
+        return 2
+    assets = available_suites() if args.asset == "all" else [args.asset]
+    return _run_suites(assets, args)
 
 
 # ----------------------------------------------------------------------
@@ -529,13 +591,66 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument("--aliases", action="store_true", help="also show aliases")
     list_parser.set_defaults(func=_cmd_list)
 
-    tables_parser = subparsers.add_parser(
-        "tables", help="regenerate the paper's tables and figures"
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="declarative paper-table suites (run/ls/render)"
     )
-    # Asset names are validated against the experiment registry at run time
+    experiments_sub = experiments_parser.add_subparsers(dest="action", required=True)
+
+    exp_run = experiments_sub.add_parser(
+        "run", help="execute a suite through the Pipeline/cache/adaptive stack"
+    )
+    # Suite names are validated at run time (lazy import keeps `repro --help`
+    # fast); `all` runs every registered suite through one shared runner.
+    exp_run.add_argument("suite", help="table2|table3|table4|figure7|...|all")
+    scale = exp_run.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick",
+        dest="quick",
+        action="store_true",
+        default=True,
+        help="quick instance subsets and laptop-sized budgets (default)",
+    )
+    scale.add_argument(
+        "--full",
+        dest="quick",
+        action="store_false",
+        help="the full paper instance lists",
+    )
+    exp_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for sampling/decoding and synthesis rollouts "
+        "(never changes any number)",
+    )
+    add_budget_flags(exp_run)
+    _add_cache_flags(exp_run)
+    exp_run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore rows already in the artifact store (re-run everything)",
+    )
+    exp_run.add_argument("--out", default="results", help="artifact-store directory")
+    exp_run.set_defaults(func=_cmd_experiments)
+
+    exp_ls = experiments_sub.add_parser("ls", help="list the registered suites")
+    exp_ls.set_defaults(func=_cmd_experiments)
+
+    exp_render = experiments_sub.add_parser(
+        "render", help="re-render text/JSON views from the stored JSONL rows"
+    )
+    exp_render.add_argument("suite", help="suite name or 'all'")
+    exp_render.add_argument("--out", default="results", help="artifact-store directory")
+    exp_render.set_defaults(func=_cmd_experiments)
+
+    tables_parser = subparsers.add_parser(
+        "tables", help="regenerate the paper's tables and figures (alias of `experiments run`)"
+    )
+    # Asset names are validated against the suite registry at run time
     # (lazy import keeps `repro --help` fast); `all` regenerates everything.
     tables_parser.add_argument("asset", help="table2|table3|table4|figure7|figure12|...|all")
     add_budget_flags(tables_parser)
+    _add_cache_flags(tables_parser)
     tables_parser.add_argument("--out", default="results", help="output directory")
     tables_parser.set_defaults(func=_cmd_tables)
 

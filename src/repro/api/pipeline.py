@@ -199,7 +199,7 @@ class Pipeline:
         shots = self.spec.budget.shots
         executed: dict = {}
         if self.spec.workers <= 1 or shots <= 0:
-            for basis, stream in basis_streams(self.spec.seed):
+            for basis, stream in basis_streams(self.spec.eval_seed()):
                 executed[basis] = sample_and_decode(
                     self.dem[basis], self.decoder_factory, shots, stream
                 )
@@ -209,7 +209,7 @@ class Pipeline:
                 basis: submit_chunks(
                     pool, self.dem[basis], self.decoder_factory, shots, stream
                 )
-                for basis, stream in basis_streams(self.spec.seed)
+                for basis, stream in basis_streams(self.spec.eval_seed())
             }
             for basis, basis_futures in futures.items():
                 executed[basis] = merge_chunks(
@@ -266,7 +266,7 @@ class Pipeline:
                 store=stores[basis],
             )
 
-        streams = basis_streams(self.spec.seed)
+        streams = basis_streams(self.spec.eval_seed())
         # A fully warm cache replays without sampling; skip process-pool
         # startup entirely in that case (the advertised cheap-resume path).
         # The probe itself costs cache reads, so it only runs when a pool

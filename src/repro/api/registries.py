@@ -265,14 +265,18 @@ def _noiseless():
 
 
 @register_noise("nonuniform", aliases=("non_uniform",), help="Per-ancilla rate variation (Fig. 15)")
-def _nonuniform(variance: float = 0.5, seed: int = 7, code=None):
+def _nonuniform(variance: float = 0.5, seed: "int | None" = 7, code=None):
     if code is None:
         raise ValueError(
             "the 'nonuniform' noise model needs the code it is built for; "
             "construct it through Pipeline/RunSpec or pass code=..."
         )
     ancillas = [code.num_qubits + s for s in range(code.num_stabilizers)]
-    return non_uniform_noise(ancillas, variance=float(variance), seed=int(seed))
+    # "nonuniform:seed=None" (e.g. a figure15 suite built from an unseeded
+    # config) draws a fresh profile, matching the unseeded legacy driver.
+    return non_uniform_noise(
+        ancillas, variance=float(variance), seed=None if seed is None else int(seed)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -333,16 +337,23 @@ def _alphasyndrome(
     iterations_per_step=None,
     max_evaluations=None,
     synthesis_shots=None,
+    compile_decoder=None,
 ):
     # Imported lazily: repro.core pulls in the MCTS machinery, which nothing
     # else in the registry layer needs.
     from repro.api.spec import Budget
     from repro.core.alphasyndrome import AlphaSyndrome
     from repro.core.mcts import MCTSConfig
-    from repro.seeding import named_stream, stream_to_int
+    from repro.seeding import stage_seed
 
     if noise is None:
         noise = brisbane_noise()
+    if compile_decoder is not None:
+        # Cross-decoder runs (the paper's Table 4): synthesise the schedule
+        # against ``compile_decoder`` while the run's own decoder does the
+        # final evaluation, e.g. RunSpec(decoder="unionfind",
+        # scheduler="alphasyndrome:compile_decoder=bposd").
+        decoder_factory = decoders.build(str(compile_decoder))
     if decoder_factory is None:
         decoder_factory = decoders.build("mwpm")
     budget = budget or Budget()
@@ -352,7 +363,7 @@ def _alphasyndrome(
         budget = budget.replace(max_evaluations=int(max_evaluations))
     if synthesis_shots is not None:
         budget = budget.replace(synthesis_shots=int(synthesis_shots))
-    synthesis_seed = stream_to_int(named_stream(seed, "synthesis"))
+    synthesis_seed = stage_seed(seed, "synthesis")
     alpha = AlphaSyndrome(
         code=code,
         noise=noise,

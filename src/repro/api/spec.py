@@ -19,7 +19,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["Budget", "RunSpec"]
+__all__ = ["Budget", "RunSpec", "canonical_spec"]
 
 
 @dataclass(frozen=True)
@@ -108,6 +108,14 @@ class RunSpec:
     sampling/decoding hot path on a process pool; because shards are
     fixed-size chunks with their own seed streams (:mod:`repro.parallel`),
     the results are bit-identical for every worker count.
+
+    ``eval_stage`` optionally names a seeding *stage* for the evaluation
+    sampling streams: when set, the pipeline derives its per-basis streams
+    from ``named_stream(seed, eval_stage)`` (:mod:`repro.seeding`) instead
+    of ``seed`` directly.  The experiment suites set it to ``"evaluation"``
+    so their runs consume exactly the stage stream the legacy drivers used,
+    keeping suite-backed tables bit-identical to the historical output; the
+    default ``None`` keeps the original ``basis_streams(seed)`` derivation.
     """
 
     code: str = "surface:d=3"
@@ -117,6 +125,7 @@ class RunSpec:
     budget: Budget = Budget()
     seed: int | None = 0
     workers: int = 1
+    eval_stage: str | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.budget, dict):
@@ -130,6 +139,20 @@ class RunSpec:
     def replace(self, **changes) -> "RunSpec":
         """Return a copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)
+
+    def eval_seed(self):
+        """Root seed of the evaluation's per-basis stream derivation.
+
+        ``seed`` itself when no ``eval_stage`` is set (the historical
+        behaviour), otherwise the independent named stage stream.  The
+        result feeds :func:`repro.sim.estimator.basis_streams`.
+        """
+        if self.eval_stage is None:
+            return self.seed
+        # Imported here so the spec layer stays import-light for CLI startup.
+        from repro.seeding import named_stream
+
+        return named_stream(self.seed, self.eval_stage)
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -166,3 +189,22 @@ class RunSpec:
     @classmethod
     def load(cls, path: str | Path) -> "RunSpec":
         return cls.from_json(Path(path).read_text())
+
+
+def canonical_spec(payload: dict) -> dict:
+    """Normalised spec payload used as a resume key (sweeps, suite rows).
+
+    ``workers`` is dropped: it is an execution detail that never changes
+    results (the worker-invariance guarantee), so work interrupted on an
+    8-core server resumes cleanly on a 1-core laptop.  The payload is
+    normalised through a :class:`RunSpec` round trip so rows written before
+    a Budget/RunSpec field was introduced keep matching the spec they
+    describe (missing fields assume their defaults); unknown or renamed
+    fields leave the payload as-is, which simply never matches.
+    """
+    try:
+        payload = RunSpec.from_dict(payload).to_dict()
+    except (TypeError, ValueError):
+        payload = dict(payload)
+    payload.pop("workers", None)
+    return payload

@@ -42,7 +42,10 @@ __all__ = ["CACHE_VERSION", "ChunkSummary", "ChunkStore", "ResultCache", "chunk_
 
 #: Bump when the address schema or the chunk semantics change; the version
 #: is folded into every key, so stale entries simply stop matching.
-CACHE_VERSION = 1
+#: v2: ``RunSpec`` gained ``eval_stage`` (the evaluation seeding stage used
+#: by the experiment suites), which enters the spec payload and therefore
+#: the address of every chunk.
+CACHE_VERSION = 2
 
 #: Budget fields that never influence a chunk's content (see module docs).
 _NON_CONTENT_BUDGET_FIELDS = ("shots", "target_rse", "max_shots", "confidence")

@@ -1,4 +1,15 @@
-"""Experiment drivers that regenerate every table and figure of the paper."""
+"""Experiment suites that regenerate every table and figure of the paper.
+
+The paper assets are declared as :class:`~repro.experiments.suite
+.ExperimentSuite` objects (importing this package registers all of them in
+:data:`~repro.experiments.suite.SUITES`) and executed through the
+``repro.api`` stack — worker pools, the chunk cache, adaptive precision
+targets and resumable artifact stores all apply.  Entry points:
+
+* ``repro experiments run table2 --quick`` (the CLI);
+* :func:`repro.experiments.suite.run_suite` (programmatic);
+* the historical ``run_table2(budget)`` drivers below (suite-backed).
+"""
 
 from repro.experiments.common import ExperimentBudget, render_table, write_results
 from repro.experiments.figures import (
@@ -8,11 +19,26 @@ from repro.experiments.figures import (
     run_figure14,
     run_figure15,
 )
+from repro.experiments.suite import (
+    SUITES,
+    ExperimentRow,
+    ExperimentRun,
+    ExperimentSuite,
+    SuiteConfig,
+    SuiteResult,
+    SuiteRowError,
+    SuiteRunner,
+    available_suites,
+    get_suite,
+    register_suite,
+    run_suite,
+)
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 
-#: Registry used by ``python -m repro.experiments <asset>``.
+#: Legacy-shaped registry used by ``python -m repro.experiments <asset>``
+#: and external callers: asset name -> suite-backed driver function.
 EXPERIMENTS = {
     "table2": run_table2,
     "table3": run_table3,
@@ -27,7 +53,19 @@ EXPERIMENTS = {
 __all__ = [
     "ExperimentBudget",
     "EXPERIMENTS",
+    "SUITES",
+    "ExperimentRow",
+    "ExperimentRun",
+    "ExperimentSuite",
+    "SuiteConfig",
+    "SuiteResult",
+    "SuiteRowError",
+    "SuiteRunner",
+    "available_suites",
+    "get_suite",
+    "register_suite",
     "render_table",
+    "run_suite",
     "write_results",
     "run_table2",
     "run_table3",

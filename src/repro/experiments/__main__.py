@@ -2,72 +2,124 @@
 
 Usage::
 
-    python -m repro.experiments table2 [--shots N] [--iterations N] [--out DIR]
-    python -m repro.experiments all
+    python -m repro.experiments table2 [--shots N] [--workers N] [--out DIR]
+    python -m repro.experiments all --full --target-rse 0.05
 
-Results are written to ``results/<asset>.txt`` and ``results/<asset>.json``.
-This module is the legacy spelling of ``repro tables`` — both share
-:func:`run_assets`.
+Results are written through the suite artifact store: for each asset,
+``<out>/<asset>.jsonl`` (the resumable row log) next to the rendered
+``<asset>.txt`` / ``<asset>.json``.  This module is the legacy spelling of
+``repro experiments run`` — both share :func:`run_assets` and the same
+config/cache assembly helpers from :mod:`repro.api.cli`, so the two
+spellings cannot drift (same budget defaults, same ``results/cache``
+chunk-cache directory).
+
+A failed row aborts the run with a non-zero exit code: the rendered
+text/JSON views of the failed asset are *not* (re)written, so published
+artifacts are never silently partial — completed rows stay in the JSONL
+log and are resumed on the next invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
-from repro.experiments import EXPERIMENTS, ExperimentBudget, render_table, write_results
+from repro.api.cli import (
+    _add_cache_flags,
+    _cache_from_args,
+    _suite_config_from_args,
+    add_budget_flags,
+)
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.suite import (
+    SuiteConfig,
+    SuiteRowError,
+    SuiteRunner,
+    available_suites,
+)
 
 __all__ = ["main", "run_assets"]
 
 
 def run_assets(
-    assets: list[str], budget: ExperimentBudget, out_dir: str | Path = "results"
+    assets: list[str],
+    config,
+    out_dir: str | Path = "results",
+    *,
+    cache=None,
+    resume: bool = True,
 ) -> list[Path]:
-    """Regenerate ``assets``, print each table and return the written paths."""
+    """Regenerate ``assets``, print each table and return the written paths.
+
+    ``config`` is a :class:`SuiteConfig` (or a legacy
+    :class:`~repro.experiments.common.ExperimentBudget`, translated for
+    backwards compatibility).  One runner executes every asset, so
+    AlphaSyndrome syntheses shared between suites (e.g. Table 2's and
+    Table 4's ``hexagonal_color_d3``/``bposd`` search) run once.  Raises
+    :class:`SuiteRowError` on the first failed row.
+    """
+    if not isinstance(config, SuiteConfig):
+        config = SuiteConfig.from_experiment_budget(config)
+    runner = SuiteRunner(config, cache=cache, store=ArtifactStore(out_dir))
     paths = []
     for asset in assets:
-        rows = EXPERIMENTS[asset](budget)
-        path = write_results(asset, rows, output_dir=out_dir)
+        result = runner.run(asset, resume=resume)
         print(f"== {asset} ==")
-        print(render_table(rows))
-        print(f"written to {path}")
-        paths.append(path)
+        print(runner.store.render_text(result.rows))
+        print(result.summary())
+        print(f"written to {result.text_path}")
+        paths.append(result.text_path)
     return paths
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures (suite-backed).",
     )
     parser.add_argument(
         "asset",
-        choices=sorted(EXPERIMENTS) + ["all"],
+        choices=available_suites() + ["all"],
         help="which table/figure to regenerate",
     )
-    parser.add_argument("--shots", type=int, default=400, help="evaluation shots per basis")
-    parser.add_argument(
-        "--synthesis-shots", type=int, default=150, help="shots used inside MCTS rollouts"
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--quick",
+        dest="quick",
+        action="store_true",
+        default=True,
+        help="quick instance subsets and laptop-sized budgets (default)",
+    )
+    scale.add_argument(
+        "--full",
+        dest="quick",
+        action="store_false",
+        help="run the full paper instance lists",
     )
     parser.add_argument(
-        "--iterations", type=int, default=4, help="MCTS iterations per scheduling step"
+        "--workers", type=int, default=1, help="process-pool width (never changes results)"
     )
+    add_budget_flags(parser)
+    _add_cache_flags(parser)
     parser.add_argument(
-        "--max-evaluations", type=int, default=24, help="cap on rollout evaluations per partition"
+        "--fresh",
+        action="store_true",
+        help="ignore rows already in the artifact store (re-run everything)",
     )
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="results", help="output directory")
     args = parser.parse_args(argv)
 
-    budget = ExperimentBudget(
-        shots=args.shots,
-        synthesis_shots=args.synthesis_shots,
-        iterations_per_step=args.iterations,
-        max_evaluations=args.max_evaluations,
-        seed=args.seed,
-    )
-    assets = sorted(EXPERIMENTS) if args.asset == "all" else [args.asset]
-    run_assets(assets, budget, args.out)
+    try:
+        config = _suite_config_from_args(args)
+    except ValueError as error:
+        parser.error(str(error))
+    assets = available_suites() if args.asset == "all" else [args.asset]
+    try:
+        run_assets(assets, config, args.out, cache=_cache_from_args(args), resume=not args.fresh)
+    except SuiteRowError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,157 @@
+"""Versioned on-disk artifact store for the experiment suites.
+
+Each suite owns three files under one results directory (default
+``results/``), the JSONL row store and the two rendered views next to each
+other::
+
+    results/
+      table2.jsonl   one record per completed row: fingerprint + row + runs
+      table2.txt     rendered fixed-width table (``render_table``)
+      table2.json    rendered row dictionaries (``write_results``)
+
+The JSONL store is the *resume log*: records are appended (and flushed) as
+each row completes, so a killed run keeps everything it finished.  On the
+next run, rows whose :func:`row_fingerprint` already appears in the store
+are replayed from disk instead of re-executed — zero resampling.  The
+fingerprint covers the suite name, the row key and the canonical payload of
+every :class:`~repro.api.spec.RunSpec` the row executes
+(:func:`repro.api.spec.canonical_spec`: ``workers`` dropped, defaults
+normalised), so a budget or spec change re-runs exactly the rows it
+affects, while moving between machines with different core counts does
+not.
+
+``ARTIFACT_VERSION`` is folded into every record *and* every fingerprint;
+bumping it orphans all stored rows at once when the row semantics change.
+Torn trailing lines (a record cut mid-write by a kill) are skipped on
+load, so that row simply re-runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.api.spec import canonical_spec
+from repro.experiments.common import render_table, write_results
+
+__all__ = ["ARTIFACT_VERSION", "ArtifactStore", "row_fingerprint"]
+
+#: Bump when the record schema or row semantics change; stored rows from
+#: other versions stop matching and are re-run.
+ARTIFACT_VERSION = 1
+
+
+def row_fingerprint(suite: str, key: str, runs: "list[tuple[str, dict]]") -> str:
+    """Content fingerprint of one suite row: the resume key of its record.
+
+    ``runs`` is the row's ``(run name, RunSpec payload)`` list; payloads are
+    normalised through :func:`repro.api.spec.canonical_spec` so execution
+    details (``workers``) never force a re-run and old records keep
+    matching when spec fields grow defaults.
+    """
+    payload = {
+        "v": ARTIFACT_VERSION,
+        "suite": suite,
+        "key": key,
+        "runs": [{"name": name, "spec": canonical_spec(spec)} for name, spec in runs],
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """One results directory of suite artifacts (JSONL rows + rendered views)."""
+
+    def __init__(self, root: str | Path = "results") -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def rows_path(self, suite: str) -> Path:
+        return self.root / f"{suite}.jsonl"
+
+    def text_path(self, suite: str) -> Path:
+        return self.root / f"{suite}.txt"
+
+    def json_path(self, suite: str) -> Path:
+        return self.root / f"{suite}.json"
+
+    # ------------------------------------------------------------------
+    # Row store
+    # ------------------------------------------------------------------
+    def load(self, suite: str) -> "dict[str, dict]":
+        """Stored records of ``suite`` keyed by fingerprint, in file order.
+
+        Unreadable lines (torn trailing writes) and records from other
+        artifact versions are skipped — those rows re-run.  Duplicate
+        fingerprints keep the latest record.
+        """
+        path = self.rows_path(suite)
+        records: dict[str, dict] = {}
+        if not path.exists():
+            return records
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(payload, dict) or payload.get("v") != ARTIFACT_VERSION:
+                continue
+            fingerprint = payload.get("fingerprint")
+            if isinstance(fingerprint, str) and isinstance(payload.get("row"), dict):
+                records[fingerprint] = payload
+        return records
+
+    def latest_rows(self, suite: str) -> "list[dict]":
+        """The most recent stored row per row *key*, in append order.
+
+        The log may hold several records per key (the same row re-run under
+        different budgets/configs has a different fingerprint); rendering
+        all of them would duplicate every row.  Keeping only the latest
+        record per key — each key ordered by its latest appearance —
+        reproduces the most recent run's view of the suite.
+        """
+        by_key: dict[str, dict] = {}
+        for record in self.load(suite).values():
+            key = record.get("key")
+            if isinstance(key, str):
+                by_key.pop(key, None)  # re-insert so order tracks the latest run
+                by_key[key] = record
+        return [record["row"] for record in by_key.values()]
+
+    def append(self, suite: str, record: dict) -> None:
+        """Append one completed-row ``record`` to the suite's JSONL log.
+
+        The record is stamped with :data:`ARTIFACT_VERSION` and flushed
+        immediately, so an interrupted run loses at most the row in flight.
+        """
+        path = self.rows_path(suite)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as handle:
+            handle.write(json.dumps({"v": ARTIFACT_VERSION, **record}) + "\n")
+            handle.flush()
+
+    # ------------------------------------------------------------------
+    # Rendered views
+    # ------------------------------------------------------------------
+    def render(self, suite: str, rows: "list[dict]") -> "tuple[Path, Path]":
+        """(Re)write the rendered text/JSON views; returns their paths.
+
+        Delegates to :func:`repro.experiments.common.write_results`, the one
+        renderer the golden-file tests pin, so the suite-backed artifacts
+        can never drift from the historical format.
+        """
+        text_path = write_results(suite, rows, output_dir=self.root)
+        return text_path, self.json_path(suite)
+
+    def render_text(self, rows: "list[dict]") -> str:
+        """Rendered fixed-width table of ``rows`` (no file writes)."""
+        return render_table(rows)

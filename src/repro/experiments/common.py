@@ -1,14 +1,24 @@
 """Shared plumbing for the experiment drivers.
 
-Every experiment driver is a function that returns a list of row
-dictionaries; :func:`render_table` renders rows as a fixed-width text table
-and :func:`write_results` drops both the text and the JSON next to each
-other (mirroring the paper artifact's ``/result`` folder).
+This module keeps the pieces every driver generation has agreed on:
 
-``ExperimentBudget`` centralises the knobs that trade fidelity for runtime:
-the defaults are sized so the complete suite of drivers finishes on a laptop
-in minutes; the paper-scale settings (thousands of MCTS iterations, millions
-of shots) are obtained by raising the numbers.
+``ExperimentBudget``
+    the *legacy* budget dataclass (pre-``repro.api``).  The suite-backed
+    drivers translate it into an :class:`repro.api.Budget` via
+    :meth:`repro.experiments.suite.SuiteConfig.from_experiment_budget`;
+    new code should construct a :class:`~repro.experiments.suite.SuiteConfig`
+    directly.
+
+``render_table`` / ``write_results``
+    the published artifact format — fixed-width text plus JSON side by
+    side, mirroring the paper artifact's ``/result`` folder.  The format is
+    pinned by golden-file tests (``tests/test_experiments_render.py``); any
+    change to it is a deliberate, versioned decision.
+
+The legacy comparison helpers (``compare_with_lowest_depth``,
+``evaluate_schedule``, ``synthesize``, ``baseline_rows``) moved to
+:mod:`repro.experiments.legacy` and are re-exported here for backwards
+compatibility; they emit :class:`DeprecationWarning` when called.
 """
 
 from __future__ import annotations
@@ -17,13 +27,9 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.api.registries import codes, decoders
-from repro.codes.base import StabilizerCode
-from repro.core import AlphaSyndrome, MCTSConfig, SynthesisResult
-from repro.noise import NoiseModel, brisbane_noise
-from repro.scheduling import lowest_depth_schedule, trivial_schedule
-from repro.seeding import named_stream, stream_to_int
-from repro.sim import LogicalErrorRates, estimate_logical_error_rates
+from repro.api.registries import codes
+from repro.core import MCTSConfig
+from repro.seeding import named_stream, stage_seed
 
 #: Registry-backed code lookup shared by the drivers (same call shape as the
 #: deprecated ``repro.codes.get_code`` but without the deprecation warning).
@@ -38,10 +44,35 @@ __all__ = [
     "get_code",
 ]
 
+#: Names forwarded to :mod:`repro.experiments.legacy` (deprecated shims).
+_LEGACY_FORWARDS = (
+    "baseline_rows",
+    "compare_with_lowest_depth",
+    "evaluate_schedule",
+    "synthesize",
+)
+
+
+def __getattr__(name: str):
+    # Lazy forwarding avoids a common <-> legacy import cycle (legacy needs
+    # ExperimentBudget from here) while keeping the historical import paths
+    # (``from repro.experiments.common import compare_with_lowest_depth``)
+    # alive for one release.
+    if name in _LEGACY_FORWARDS:
+        from repro.experiments import legacy
+
+        return getattr(legacy, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 @dataclass
 class ExperimentBudget:
-    """Compute budget shared by all experiment drivers."""
+    """Compute budget shared by the legacy experiment drivers.
+
+    Superseded by :class:`repro.api.Budget` +
+    :class:`repro.experiments.suite.SuiteConfig`; still accepted by every
+    ``run_*`` driver for backwards compatibility.
+    """
 
     shots: int = 400
     synthesis_shots: int = 150
@@ -60,7 +91,7 @@ class ExperimentBudget:
 
     def stage_seed(self, stage: str) -> int:
         """Integer form of :meth:`stage_stream` for ``seed: int`` APIs."""
-        return stream_to_int(self.stage_stream(stage))
+        return stage_seed(self.seed, stage)
 
     def mcts_config(self) -> MCTSConfig:
         return MCTSConfig(
@@ -68,91 +99,6 @@ class ExperimentBudget:
             seed=self.stage_seed("synthesis"),
             max_total_evaluations=self.max_evaluations,
         )
-
-
-def synthesize(
-    code: StabilizerCode,
-    decoder: str,
-    noise: NoiseModel,
-    budget: ExperimentBudget,
-) -> SynthesisResult:
-    """Run AlphaSyndrome for ``code`` under ``noise`` targeting ``decoder``."""
-    alpha = AlphaSyndrome(
-        code=code,
-        noise=noise,
-        decoder_factory=decoders.build(decoder),
-        shots=budget.synthesis_shots,
-        mcts_config=budget.mcts_config(),
-        seed=budget.stage_seed("synthesis"),
-    )
-    return alpha.synthesize()
-
-
-def evaluate_schedule(
-    code: StabilizerCode,
-    schedule,
-    decoder: str,
-    noise: NoiseModel,
-    budget: ExperimentBudget,
-) -> LogicalErrorRates:
-    """Estimate the logical error rates of an explicit schedule."""
-    return estimate_logical_error_rates(
-        code,
-        schedule,
-        noise,
-        decoders.build(decoder),
-        shots=budget.shots,
-        seed=budget.stage_stream("evaluation"),
-    )
-
-
-def compare_with_lowest_depth(
-    code_name: str,
-    decoder: str,
-    budget: ExperimentBudget,
-    *,
-    noise: NoiseModel | None = None,
-) -> dict:
-    """One Table-2-style row: AlphaSyndrome vs the lowest-depth baseline."""
-    code = get_code(code_name)
-    noise = noise or brisbane_noise()
-    result = synthesize(code, decoder, noise, budget)
-    alpha_rates = evaluate_schedule(code, result.schedule, decoder, noise, budget)
-    baseline = lowest_depth_schedule(code)
-    baseline_rates = evaluate_schedule(code, baseline, decoder, noise, budget)
-    reduction = 0.0
-    if baseline_rates.overall > 0:
-        reduction = 1.0 - alpha_rates.overall / baseline_rates.overall
-    return {
-        "code": code_name,
-        "n": code.num_qubits,
-        "k": code.num_logical_qubits,
-        "d": code.declared_distance,
-        "decoder": decoder,
-        "alpha_err_x": alpha_rates.error_x,
-        "alpha_err_z": alpha_rates.error_z,
-        "alpha_overall": alpha_rates.overall,
-        "alpha_depth": result.schedule.depth,
-        "lowest_err_x": baseline_rates.error_x,
-        "lowest_err_z": baseline_rates.error_z,
-        "lowest_overall": baseline_rates.overall,
-        "lowest_depth": baseline.depth,
-        "overall_reduction": reduction,
-    }
-
-
-def baseline_rows(code_name: str, decoder: str, budget: ExperimentBudget) -> dict:
-    """Trivial vs lowest-depth comparison (no synthesis), used in sanity rows."""
-    code = get_code(code_name)
-    noise = brisbane_noise()
-    rows = {}
-    for label, schedule in (
-        ("trivial", trivial_schedule(code)),
-        ("lowest", lowest_depth_schedule(code)),
-    ):
-        rates = evaluate_schedule(code, schedule, decoder, noise, budget)
-        rows[label] = rates
-    return rows
 
 
 def render_table(rows: list[dict], *, float_format: str = "{:.3e}") -> str:

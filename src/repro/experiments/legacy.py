@@ -1,0 +1,449 @@
+"""Legacy pre-``repro.api`` experiment drivers (deprecated shim).
+
+These are the hand-rolled loops that produced the paper's tables and
+figures before the declarative suites in :mod:`repro.experiments.suite`
+existed: every driver builds its own seed streams from an
+:class:`~repro.experiments.common.ExperimentBudget` and calls
+:func:`repro.sim.estimate_logical_error_rates` directly, bypassing the
+Pipeline, the worker pool, the chunk cache and the adaptive budgets.
+
+They are kept for one release, for two reasons:
+
+* as a migration shim — external callers of
+  ``repro.experiments.common.compare_with_lowest_depth`` et al. keep
+  working (with a :class:`DeprecationWarning`);
+* as the *reference implementation* that
+  ``tests/test_suite_equivalence.py`` pins the suite-backed drivers
+  against, row for row and bit for bit.
+
+Do not add new call sites; use the suites (``repro experiments run`` or
+:func:`repro.experiments.suite.run_suite`).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.analysis import estimate_space_time, space_time_reduction
+from repro.api.registries import decoders
+from repro.codes.base import StabilizerCode
+from repro.core import AlphaSyndrome, SynthesisResult
+from repro.experiments.common import ExperimentBudget, get_code
+from repro.noise import NoiseModel, brisbane_noise, non_uniform_noise, scaled_noise
+from repro.scheduling import (
+    anticlockwise_surface_schedule,
+    clockwise_surface_schedule,
+    google_surface_schedule,
+    ibm_bb_schedule,
+    lowest_depth_schedule,
+    trivial_schedule,
+)
+from repro.sim import LogicalErrorRates, estimate_logical_error_rates
+
+__all__ = [
+    "baseline_rows",
+    "compare_with_lowest_depth",
+    "evaluate_schedule",
+    "run_figure7",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure15",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "synthesize",
+]
+
+
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.experiments.legacy.{name} is the deprecated pre-suite driver "
+        "path; use the suite-backed drivers (repro.experiments.run_* or "
+        "`repro experiments run`) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def synthesize(
+    code: StabilizerCode,
+    decoder: str,
+    noise: NoiseModel,
+    budget: ExperimentBudget,
+) -> SynthesisResult:
+    """Run AlphaSyndrome for ``code`` under ``noise`` targeting ``decoder``."""
+    _warn_deprecated("synthesize")
+    alpha = AlphaSyndrome(
+        code=code,
+        noise=noise,
+        decoder_factory=decoders.build(decoder),
+        shots=budget.synthesis_shots,
+        mcts_config=budget.mcts_config(),
+        seed=budget.stage_seed("synthesis"),
+    )
+    return alpha.synthesize()
+
+
+def evaluate_schedule(
+    code: StabilizerCode,
+    schedule,
+    decoder: str,
+    noise: NoiseModel,
+    budget: ExperimentBudget,
+) -> LogicalErrorRates:
+    """Estimate the logical error rates of an explicit schedule."""
+    _warn_deprecated("evaluate_schedule")
+    return estimate_logical_error_rates(
+        code,
+        schedule,
+        noise,
+        decoders.build(decoder),
+        shots=budget.shots,
+        seed=budget.stage_stream("evaluation"),
+    )
+
+
+def compare_with_lowest_depth(
+    code_name: str,
+    decoder: str,
+    budget: ExperimentBudget,
+    *,
+    noise: NoiseModel | None = None,
+) -> dict:
+    """One Table-2-style row: AlphaSyndrome vs the lowest-depth baseline."""
+    _warn_deprecated("compare_with_lowest_depth")
+    code = get_code(code_name)
+    noise = noise or brisbane_noise()
+    result = synthesize(code, decoder, noise, budget)
+    alpha_rates = evaluate_schedule(code, result.schedule, decoder, noise, budget)
+    baseline = lowest_depth_schedule(code)
+    baseline_rates = evaluate_schedule(code, baseline, decoder, noise, budget)
+    reduction = 0.0
+    if baseline_rates.overall > 0:
+        reduction = 1.0 - alpha_rates.overall / baseline_rates.overall
+    return {
+        "code": code_name,
+        "n": code.num_qubits,
+        "k": code.num_logical_qubits,
+        "d": code.declared_distance,
+        "decoder": decoder,
+        "alpha_err_x": alpha_rates.error_x,
+        "alpha_err_z": alpha_rates.error_z,
+        "alpha_overall": alpha_rates.overall,
+        "alpha_depth": result.schedule.depth,
+        "lowest_err_x": baseline_rates.error_x,
+        "lowest_err_z": baseline_rates.error_z,
+        "lowest_overall": baseline_rates.overall,
+        "lowest_depth": baseline.depth,
+        "overall_reduction": reduction,
+    }
+
+
+def baseline_rows(code_name: str, decoder: str, budget: ExperimentBudget) -> dict:
+    """Trivial vs lowest-depth comparison (no synthesis), used in sanity rows."""
+    _warn_deprecated("baseline_rows")
+    code = get_code(code_name)
+    noise = brisbane_noise()
+    rows = {}
+    for label, schedule in (
+        ("trivial", trivial_schedule(code)),
+        ("lowest", lowest_depth_schedule(code)),
+    ):
+        rates = evaluate_schedule(code, schedule, decoder, noise, budget)
+        rows[label] = rates
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table drivers (the pre-suite loops, verbatim)
+# ----------------------------------------------------------------------
+def run_table2(
+    budget: ExperimentBudget | None = None,
+    *,
+    instances: list[tuple[str, str]] | None = None,
+) -> list[dict]:
+    """Legacy Table 2 driver (use the ``table2`` suite instead)."""
+    from repro.experiments.table2 import TABLE2_QUICK_INSTANCES
+
+    _warn_deprecated("run_table2")
+    budget = budget or ExperimentBudget()
+    instances = instances or TABLE2_QUICK_INSTANCES
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for code_name, decoder in instances:
+            rows.append(compare_with_lowest_depth(code_name, decoder, budget))
+    return rows
+
+
+def run_table3(
+    budget: ExperimentBudget | None = None,
+    *,
+    pairs: list[tuple[str, str, str, str]] | None = None,
+) -> list[dict]:
+    """Legacy Table 3 driver (use the ``table3`` suite instead)."""
+    from repro.experiments.table3 import TABLE3_PAIRS
+
+    _warn_deprecated("run_table3")
+    budget = budget or ExperimentBudget()
+    pairs = pairs or TABLE3_PAIRS
+    noise = brisbane_noise()
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for family, alpha_name, baseline_name, decoder in pairs:
+            alpha_code = get_code(alpha_name)
+            baseline_code = get_code(baseline_name)
+            synthesis = synthesize(alpha_code, decoder, noise, budget)
+            alpha_rates = evaluate_schedule(
+                alpha_code, synthesis.schedule, decoder, noise, budget
+            )
+            baseline_schedule = lowest_depth_schedule(baseline_code)
+            baseline_rates = evaluate_schedule(
+                baseline_code, baseline_schedule, decoder, noise, budget
+            )
+            alpha_estimate = estimate_space_time(
+                alpha_code, synthesis.schedule.depth, logical_error_rate=alpha_rates.overall
+            )
+            baseline_estimate = estimate_space_time(
+                baseline_code,
+                baseline_schedule.depth,
+                logical_error_rate=baseline_rates.overall,
+            )
+            rows.append(
+                {
+                    "family": family,
+                    "decoder": decoder,
+                    "alpha_code": alpha_name,
+                    "alpha_error": alpha_rates.overall,
+                    "alpha_depth": synthesis.schedule.depth,
+                    "alpha_time_us": alpha_estimate.round_time_us,
+                    "alpha_volume": alpha_estimate.volume_us_qubits,
+                    "baseline_code": baseline_name,
+                    "baseline_error": baseline_rates.overall,
+                    "baseline_depth": baseline_schedule.depth,
+                    "baseline_time_us": baseline_estimate.round_time_us,
+                    "baseline_volume": baseline_estimate.volume_us_qubits,
+                    "volume_reduction": space_time_reduction(
+                        alpha_estimate, baseline_estimate
+                    ),
+                }
+            )
+    return rows
+
+
+def run_table4(
+    budget: ExperimentBudget | None = None,
+    *,
+    instances: list[str] | None = None,
+    decoders: tuple[str, str] = ("bposd", "unionfind"),
+) -> list[dict]:
+    """Legacy Table 4 driver (use the ``table4`` suite instead)."""
+    from repro.experiments.table4 import TABLE4_INSTANCES
+
+    _warn_deprecated("run_table4")
+    budget = budget or ExperimentBudget()
+    instances = instances or TABLE4_INSTANCES[:2]
+    noise = brisbane_noise()
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for code_name in instances:
+            code = get_code(code_name)
+            schedules = {
+                decoder: synthesize(code, decoder, noise, budget).schedule
+                for decoder in decoders
+            }
+            row: dict = {"code": code_name}
+            for test_decoder in decoders:
+                for compile_decoder in decoders:
+                    rates = evaluate_schedule(
+                        code, schedules[compile_decoder], test_decoder, noise, budget
+                    )
+                    row[f"test_{test_decoder}_compile_{compile_decoder}"] = rates.overall
+            for test_decoder in decoders:
+                same = row[f"test_{test_decoder}_compile_{test_decoder}"]
+                other = [d for d in decoders if d != test_decoder][0]
+                cross = row[f"test_{test_decoder}_compile_{other}"]
+                row[f"reduction_{test_decoder}"] = (
+                    1.0 - same / cross if cross > 0 else 0.0
+                )
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure drivers (the pre-suite loops, verbatim)
+# ----------------------------------------------------------------------
+def run_figure7(budget: ExperimentBudget | None = None) -> list[dict]:
+    """Legacy Figure 7 driver (use the ``figure7`` suite instead)."""
+    _warn_deprecated("run_figure7")
+    budget = budget or ExperimentBudget()
+    code = get_code("rotated_surface_d3")
+    noise = brisbane_noise()
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for label, schedule in (
+            ("clockwise", clockwise_surface_schedule(code)),
+            ("anticlockwise", anticlockwise_surface_schedule(code)),
+            ("google", google_surface_schedule(code)),
+            ("trivial", trivial_schedule(code)),
+        ):
+            rates = evaluate_schedule(code, schedule, "mwpm", noise, budget)
+            rows.append(
+                {
+                    "schedule": label,
+                    "err_x": rates.error_x,
+                    "err_z": rates.error_z,
+                    "overall": rates.overall,
+                    "depth": schedule.depth,
+                }
+            )
+    return rows
+
+
+def run_figure12(
+    budget: ExperimentBudget | None = None, *, codes: list[str] | None = None
+) -> list[dict]:
+    """Legacy Figure 12 driver (use the ``figure12`` suite instead)."""
+    from repro.experiments.figures import FIGURE12_CODES
+
+    _warn_deprecated("run_figure12")
+    budget = budget or ExperimentBudget()
+    codes = codes or FIGURE12_CODES[:1]
+    noise = brisbane_noise()
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for code_name in codes:
+            code = get_code(code_name)
+            synthesis = synthesize(code, "mwpm", noise, budget)
+            schedules = {
+                "alphasyndrome": synthesis.schedule,
+                "google": google_surface_schedule(code),
+                "trivial": trivial_schedule(code),
+            }
+            for label, schedule in schedules.items():
+                rates = evaluate_schedule(code, schedule, "mwpm", noise, budget)
+                rows.append(
+                    {
+                        "code": code_name,
+                        "schedule": label,
+                        "err_x": rates.error_x,
+                        "err_z": rates.error_z,
+                        "overall": rates.overall,
+                        "depth": schedule.depth,
+                    }
+                )
+    return rows
+
+
+def run_figure13(
+    budget: ExperimentBudget | None = None, *, code_name: str = "bb_72_12_6"
+) -> list[dict]:
+    """Legacy Figure 13 driver (use the ``figure13`` suite instead)."""
+    _warn_deprecated("run_figure13")
+    budget = budget or ExperimentBudget()
+    code = get_code(code_name)
+    noise = brisbane_noise()
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for decoder in ("bposd", "unionfind"):
+            synthesis = synthesize(code, decoder, noise, budget)
+            for label, schedule in (
+                ("alphasyndrome", synthesis.schedule),
+                ("ibm", ibm_bb_schedule(code)),
+            ):
+                rates = evaluate_schedule(code, schedule, decoder, noise, budget)
+                rows.append(
+                    {
+                        "decoder": decoder,
+                        "schedule": label,
+                        "err_x": rates.error_x,
+                        "err_z": rates.error_z,
+                        "overall": rates.overall,
+                        "depth": schedule.depth,
+                    }
+                )
+    return rows
+
+
+def run_figure14(
+    budget: ExperimentBudget | None = None,
+    *,
+    codes: list[tuple[str, str]] | None = None,
+    error_rates: list[float] | None = None,
+) -> list[dict]:
+    """Legacy Figure 14 driver (use the ``figure14`` suite instead)."""
+    from repro.experiments.figures import FIGURE14_SWEEP
+
+    _warn_deprecated("run_figure14")
+    budget = budget or ExperimentBudget()
+    codes = codes or [("hexagonal_color_d3", "unionfind")]
+    error_rates = error_rates or FIGURE14_SWEEP[:3]
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for code_name, decoder in codes:
+            code = get_code(code_name)
+            for physical_error in error_rates:
+                noise = scaled_noise(physical_error)
+                synthesis = synthesize(code, decoder, noise, budget)
+                alpha_rates = evaluate_schedule(
+                    code, synthesis.schedule, decoder, noise, budget
+                )
+                baseline = lowest_depth_schedule(code)
+                baseline_rates = evaluate_schedule(code, baseline, decoder, noise, budget)
+                rows.append(
+                    {
+                        "code": code_name,
+                        "decoder": decoder,
+                        "physical_error": physical_error,
+                        "alpha_overall": alpha_rates.overall,
+                        "lowest_overall": baseline_rates.overall,
+                        "reduction": (
+                            1.0 - alpha_rates.overall / baseline_rates.overall
+                            if baseline_rates.overall > 0
+                            else 0.0
+                        ),
+                    }
+                )
+    return rows
+
+
+def run_figure15(
+    budget: ExperimentBudget | None = None, *, codes: list[str] | None = None
+) -> list[dict]:
+    """Legacy Figure 15 driver (use the ``figure15`` suite instead)."""
+    _warn_deprecated("run_figure15")
+    budget = budget or ExperimentBudget()
+    codes = codes or ["rotated_surface_d3"]
+    rows = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for code_name in codes:
+            code = get_code(code_name)
+            ancillas = [code.num_qubits + s for s in range(code.num_stabilizers)]
+            noise = non_uniform_noise(
+                ancillas, variance=0.6, seed=budget.stage_seed("noise")
+            )
+            synthesis = synthesize(code, "mwpm", noise, budget)
+            for label, schedule in (
+                ("alphasyndrome", synthesis.schedule),
+                ("google", google_surface_schedule(code)),
+            ):
+                rates = evaluate_schedule(code, schedule, "mwpm", noise, budget)
+                rows.append(
+                    {
+                        "code": code_name,
+                        "schedule": label,
+                        "err_x": rates.error_x,
+                        "err_z": rates.error_z,
+                        "overall": rates.overall,
+                        "depth": schedule.depth,
+                    }
+                )
+    return rows

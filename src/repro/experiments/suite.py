@@ -1,0 +1,569 @@
+"""Declarative experiment suites on the ``repro.api`` stack.
+
+This module collapses the historical two-stack split of the repository —
+the scale machinery (worker-invariant sharding, the content-addressed
+chunk cache, adaptive precision budgets, resumable sweeps) on one side and
+the hand-rolled paper-table drivers on the other — into one abstraction:
+
+:class:`ExperimentRow`
+    one output row of a paper table/figure, expressed as a tuple of named
+    :class:`~repro.api.spec.RunSpec` executions plus a ``derive`` callable
+    that folds the executed pipelines into the published row dictionary.
+
+:class:`ExperimentSuite`
+    a named, registered builder mapping a :class:`SuiteConfig` (budget,
+    seed, quick/full, workers) to the suite's rows.  The paper assets
+    (``table2`` ... ``figure15``) register themselves via
+    :func:`register_suite` from their declaration modules.
+
+:class:`SuiteRunner`
+    executes suites through :class:`repro.api.Pipeline` — every run gets
+    the pool-sharded hot path (``workers``), the chunk cache and the
+    adaptive stopping rule for free — memoises AlphaSyndrome syntheses on
+    :class:`SynthSpec` so rows that evaluate one synthesised schedule under
+    several decoders search once, and resumes completed rows from the
+    :class:`~repro.experiments.artifacts.ArtifactStore` with zero
+    resampling.
+
+Determinism contract: every evaluation spec carries
+``eval_stage="evaluation"``, so its sampling streams are derived from
+``named_stream(seed, "evaluation")`` — exactly the stage stream the legacy
+drivers (:mod:`repro.experiments.legacy`) consumed.  At fixed seeds and
+quick budgets the suite output is therefore **bit-identical** to the
+legacy output (pinned by ``tests/test_suite_equivalence.py``), for every
+worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.api.pipeline import Pipeline, RunResult
+from repro.api.registries import schedulers
+from repro.api.registry import parse_spec
+from repro.api.spec import Budget, RunSpec
+from repro.experiments.artifacts import ArtifactStore, row_fingerprint
+from repro.seeding import stage_seed
+
+__all__ = [
+    "EVALUATION_STAGE",
+    "QUICK_BUDGET",
+    "ExperimentRow",
+    "ExperimentRun",
+    "ExperimentSuite",
+    "RowOutcome",
+    "RowView",
+    "SUITES",
+    "SuiteConfig",
+    "SuiteResult",
+    "SuiteRowError",
+    "SuiteRunner",
+    "SynthSpec",
+    "available_suites",
+    "comparison_row",
+    "get_suite",
+    "register_suite",
+    "run_suite",
+    "synthesis_scheduler",
+]
+
+#: Budget reproducing the legacy ``ExperimentBudget`` defaults — the
+#: laptop-sized "quick" rendition of the paper's tables.  Paper-scale runs
+#: raise the numbers (and usually set ``target_rse``).
+QUICK_BUDGET = Budget(
+    shots=400, synthesis_shots=150, iterations_per_step=4, max_evaluations=24
+)
+
+#: Seeding stage named by every suite evaluation spec; matches the legacy
+#: ``ExperimentBudget.stage_stream("evaluation")`` derivation bit for bit.
+EVALUATION_STAGE = "evaluation"
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Suite-wide execution knobs: budget, seed, quick/full and workers.
+
+    ``budget.target_rse`` switches every evaluation to adaptive
+    precision-targeted sampling (see :class:`repro.api.Budget`); with it
+    unset the suite reproduces the fixed-shot legacy output bit for bit.
+    ``workers`` pools the sampling/decoding hot path and the synthesis
+    evaluator — it never changes any number.
+    """
+
+    budget: Budget = QUICK_BUDGET
+    seed: int | None = 0
+    quick: bool = True
+    workers: int = 1
+
+    @classmethod
+    def from_experiment_budget(
+        cls, budget, *, quick: bool = True, workers: int = 1
+    ) -> "SuiteConfig":
+        """Translate a legacy :class:`ExperimentBudget` into a SuiteConfig."""
+        return cls(
+            budget=Budget(
+                shots=budget.shots,
+                synthesis_shots=budget.synthesis_shots,
+                iterations_per_step=budget.iterations_per_step,
+                max_evaluations=budget.max_evaluations,
+            ),
+            seed=budget.seed,
+            quick=quick,
+            workers=workers,
+        )
+
+    def replace(self, **changes) -> "SuiteConfig":
+        return dataclasses.replace(self, **changes)
+
+    def spec(self, **overrides) -> RunSpec:
+        """An evaluation RunSpec carrying this config's budget/seed/workers."""
+        return RunSpec(
+            budget=self.budget,
+            seed=self.seed,
+            workers=self.workers,
+            eval_stage=EVALUATION_STAGE,
+            **overrides,
+        )
+
+    def stage_seed(self, stage: str) -> int | None:
+        """Integer stage seed for spec strings (e.g. the Figure 15 noise)."""
+        return stage_seed(self.seed, stage)
+
+
+def synthesis_scheduler(compile_decoder: str | None = None) -> str:
+    """The AlphaSyndrome scheduler spec, optionally compiled cross-decoder.
+
+    ``compile_decoder=None`` synthesises against the run's own decoder;
+    naming one produces Table 4's cross cells, e.g.
+    ``"alphasyndrome:compile_decoder=bposd"`` evaluated with
+    ``decoder="unionfind"``.
+    """
+    if compile_decoder is None:
+        return "alphasyndrome"
+    return f"alphasyndrome:compile_decoder={compile_decoder}"
+
+
+# ----------------------------------------------------------------------
+# The synthesis-spec variant
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SynthSpec:
+    """What uniquely determines one AlphaSyndrome search.
+
+    The synthesis-only variant of :class:`RunSpec`: the code, the noise,
+    the decoder the schedule is *compiled for* (which Table 4 decouples
+    from the decoder that evaluates it), the search budget and the seed.
+    The runner memoises :class:`~repro.core.SynthesisResult` objects on
+    this key, so a suite that evaluates one synthesised schedule in many
+    cells (Table 4's 2x2 matrix, Figure 12's schedule comparison) searches
+    once per distinct SynthSpec — exactly like the legacy drivers'
+    hand-rolled loops, but derived from the specs instead of re-coded per
+    table.
+    """
+
+    code: str
+    decoder: str
+    noise: str = "brisbane"
+    synthesis_shots: int = 300
+    iterations_per_step: int = 4
+    max_evaluations: int | None = None
+    seed: int | None = 0
+    #: Canonical scheduler spec (compile_decoder resolved into ``decoder``,
+    #: remaining arguments — e.g. ``rollout_batch`` — kept sorted) so two
+    #: different search configurations can never share a memo slot.
+    scheduler: str = "alphasyndrome"
+
+    @classmethod
+    def from_run_spec(cls, spec: RunSpec) -> "SynthSpec | None":
+        """The synthesis key of ``spec`` (``None`` for fixed schedulers)."""
+        name, positional, keyword = parse_spec(spec.scheduler)
+        if name not in schedulers or schedulers.entry(name).name != "alphasyndrome":
+            return None
+        if positional:
+            # Positional scheduler arguments have no canonical spelling;
+            # skip sharing rather than risk keying two searches together.
+            return None
+        keyword = dict(keyword)
+        compile_decoder = keyword.pop("compile_decoder", spec.decoder)
+        extra = ",".join(f"{key}={keyword[key]}" for key in sorted(keyword))
+        return cls(
+            code=spec.code,
+            decoder=str(compile_decoder),
+            noise=spec.noise,
+            synthesis_shots=spec.budget.synthesis_shots,
+            iterations_per_step=spec.budget.iterations_per_step,
+            max_evaluations=spec.budget.max_evaluations,
+            seed=spec.seed,
+            scheduler="alphasyndrome" + (f":{extra}" if extra else ""),
+        )
+
+
+# ----------------------------------------------------------------------
+# Rows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One named RunSpec execution inside a row (a 'cell')."""
+
+    name: str
+    spec: RunSpec
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One published table/figure row: named runs plus a derivation.
+
+    ``derive`` receives a :class:`RowView` over the executed pipelines and
+    returns the row dictionary in its published key order (the renderer
+    takes column order from the first row).
+    """
+
+    key: str
+    runs: "tuple[ExperimentRun, ...]"
+    derive: "Callable[[RowView], dict]"
+
+    def __post_init__(self) -> None:
+        names = [run.name for run in self.runs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate run names in row {self.key!r}: {names}")
+
+    def run_payloads(self) -> "list[tuple[str, dict]]":
+        """``(name, spec payload)`` pairs for fingerprinting."""
+        return [(run.name, run.spec.to_dict()) for run in self.runs]
+
+
+class RowView:
+    """Executed pipelines of one row, as seen by its ``derive`` callable."""
+
+    def __init__(self, row: ExperimentRow, pipelines: "dict[str, Pipeline]") -> None:
+        self._row = row
+        self._pipelines = pipelines
+
+    def pipeline(self, name: str) -> Pipeline:
+        return self._pipelines[name]
+
+    def spec(self, name: str) -> RunSpec:
+        return self._pipelines[name].spec
+
+    def code(self, name: str):
+        """The constructed code object of run ``name`` (n/k/d columns)."""
+        return self._pipelines[name].code
+
+    def rates(self, name: str):
+        return self._pipelines[name].rates
+
+    def depth(self, name: str) -> int:
+        return self._pipelines[name].schedule.depth
+
+    def result(self, name: str) -> RunResult:
+        return self._pipelines[name].result
+
+
+def comparison_row(
+    code: str,
+    decoder: str,
+    config: SuiteConfig,
+    *,
+    noise: str = "brisbane",
+    key: str | None = None,
+) -> ExperimentRow:
+    """AlphaSyndrome vs lowest-depth on one (code, decoder): Table 2's shape."""
+    return ExperimentRow(
+        key=key or f"{code}/{decoder}",
+        runs=(
+            ExperimentRun(
+                "alpha",
+                config.spec(
+                    code=code, noise=noise, decoder=decoder, scheduler=synthesis_scheduler()
+                ),
+            ),
+            ExperimentRun(
+                "lowest",
+                config.spec(
+                    code=code, noise=noise, decoder=decoder, scheduler="lowest_depth"
+                ),
+            ),
+        ),
+        derive=_derive_comparison,
+    )
+
+
+def _derive_comparison(view: RowView) -> dict:
+    code = view.code("alpha")
+    spec = view.spec("alpha")
+    alpha = view.rates("alpha")
+    lowest = view.rates("lowest")
+    reduction = 0.0
+    if lowest.overall > 0:
+        reduction = 1.0 - alpha.overall / lowest.overall
+    return {
+        "code": spec.code,
+        "n": code.num_qubits,
+        "k": code.num_logical_qubits,
+        "d": code.declared_distance,
+        "decoder": spec.decoder,
+        "alpha_err_x": alpha.error_x,
+        "alpha_err_z": alpha.error_z,
+        "alpha_overall": alpha.overall,
+        "alpha_depth": view.depth("alpha"),
+        "lowest_err_x": lowest.error_x,
+        "lowest_err_z": lowest.error_z,
+        "lowest_overall": lowest.overall,
+        "lowest_depth": view.depth("lowest"),
+        "overall_reduction": reduction,
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSuite:
+    """A named builder of rows (one per paper table/figure)."""
+
+    name: str
+    build: "Callable[[SuiteConfig], Iterable[ExperimentRow]]"
+    help: str = ""
+
+    def rows(self, config: SuiteConfig) -> "list[ExperimentRow]":
+        return list(self.build(config))
+
+
+#: Registered suites by name.  Populated by the declaration modules
+#: (``repro.experiments.table2`` ...), which ``repro.experiments`` imports —
+#: import the package, not this module, to see them all.
+SUITES: "dict[str, ExperimentSuite]" = {}
+
+
+def register_suite(name: str, *, help: str = "") -> Callable:
+    """Decorator registering a row builder as the suite ``name``."""
+
+    def decorator(build: Callable) -> Callable:
+        if name in SUITES:
+            raise ValueError(f"duplicate experiment suite {name!r}")
+        SUITES[name] = ExperimentSuite(name=name, build=build, help=help)
+        return build
+
+    return decorator
+
+
+def get_suite(name: str) -> ExperimentSuite:
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment suite {name!r}; available: {', '.join(available_suites())}"
+        ) from None
+
+
+def available_suites() -> "list[str]":
+    return sorted(SUITES)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class SuiteRowError(RuntimeError):
+    """A suite row failed.  Rows completed before it remain in the store."""
+
+    def __init__(self, suite: str, key: str, error: BaseException) -> None:
+        super().__init__(f"suite {suite!r} row {key!r} failed: {error}")
+        self.suite = suite
+        self.key = key
+        self.error = error
+
+
+@dataclass
+class RowOutcome:
+    """One completed (or store-replayed) row of a suite run."""
+
+    key: str
+    fingerprint: str
+    row: dict
+    results: "list[dict]" = field(default_factory=list)
+    loaded: bool = False
+
+    def _adaptive_sum(self, field_name: str) -> int:
+        return sum(
+            (result.get("adaptive") or {}).get(field_name, 0) for result in self.results
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        """Chunk-cache replays across the row's runs (adaptive mode only)."""
+        return self._adaptive_sum("cache_hits")
+
+    @property
+    def fresh_chunks(self) -> int:
+        """Freshly sampled chunks across the row's runs (adaptive mode only)."""
+        return self._adaptive_sum("fresh_chunks")
+
+    def record(self) -> dict:
+        """The artifact-store record of this outcome."""
+        return {
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "row": self.row,
+            "runs": self.results,
+        }
+
+
+@dataclass
+class SuiteResult:
+    """All row outcomes of one suite run plus the written artifact paths."""
+
+    suite: str
+    config: SuiteConfig
+    outcomes: "list[RowOutcome]"
+    rows_path: Path | None = None
+    text_path: Path | None = None
+    json_path: Path | None = None
+
+    @property
+    def rows(self) -> "list[dict]":
+        """The published row dictionaries, in suite order."""
+        return [outcome.row for outcome in self.outcomes]
+
+    @property
+    def executed(self) -> "list[RowOutcome]":
+        return [outcome for outcome in self.outcomes if not outcome.loaded]
+
+    @property
+    def resumed(self) -> "list[RowOutcome]":
+        return [outcome for outcome in self.outcomes if outcome.loaded]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(outcome.cache_hits for outcome in self.executed)
+
+    @property
+    def fresh_chunks(self) -> int:
+        return sum(outcome.fresh_chunks for outcome in self.executed)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.suite}: {len(self.outcomes)} rows"
+            f" ({len(self.executed)} run, {len(self.resumed)} resumed)"
+        ]
+        if any((result.get("adaptive")) for o in self.executed for result in o.results):
+            parts.append(
+                f"cache_hits={self.cache_hits} fresh_chunks={self.fresh_chunks}"
+            )
+        return " ".join(parts)
+
+
+class SuiteRunner:
+    """Executes suite rows: cached, parallel, adaptive and resumable.
+
+    Parameters
+    ----------
+    config:
+        The :class:`SuiteConfig` every row builder receives.
+    cache:
+        Optional :class:`repro.cache.ResultCache` (or its directory) handed
+        to every pipeline; adaptive runs resume/refine chunk summaries from
+        it with zero resampling of converged points.
+    store:
+        Optional :class:`~repro.experiments.artifacts.ArtifactStore` (or
+        its directory).  With a store, completed rows are appended as they
+        finish and replayed on the next run instead of re-executed.
+    """
+
+    def __init__(self, config: SuiteConfig | None = None, *, cache=None, store=None) -> None:
+        self.config = config or SuiteConfig()
+        if isinstance(cache, (str, Path)):
+            from repro.cache import ResultCache
+
+            cache = ResultCache(cache)
+        self.cache = cache
+        if isinstance(store, (str, Path)):
+            store = ArtifactStore(store)
+        self.store: ArtifactStore | None = store
+        #: SynthesisResult memo shared by every row this runner executes.
+        self._syntheses: dict = {}
+
+    @property
+    def synthesis_searches(self) -> int:
+        """Distinct AlphaSyndrome searches performed so far."""
+        return len(self._syntheses)
+
+    # ------------------------------------------------------------------
+    def run_row(self, row: ExperimentRow) -> "tuple[dict, list[RunResult]]":
+        """Execute one row's pipelines and derive its published dictionary."""
+        pipelines: dict[str, Pipeline] = {}
+        for run in row.runs:
+            pipeline = Pipeline(run.spec, cache=self.cache)
+            synth_key = SynthSpec.from_run_spec(run.spec)
+            if synth_key is not None:
+                if synth_key in self._syntheses:
+                    # cached_property honours pre-seeded instance state:
+                    # identical (deterministic) searches are never repeated.
+                    pipeline.__dict__["_scheduled"] = self._syntheses[synth_key]
+                else:
+                    self._syntheses[synth_key] = pipeline._scheduled
+            pipeline.run()
+            pipelines[run.name] = pipeline
+        view = RowView(row, pipelines)
+        return row.derive(view), [pipelines[run.name].result for run in row.runs]
+
+    def run_rows(self, rows: "Iterable[ExperimentRow]") -> "list[dict]":
+        """Execute ``rows`` (no store) and return their dictionaries."""
+        return [self.run_row(row)[0] for row in rows]
+
+    def run(self, suite: "ExperimentSuite | str", *, resume: bool = True) -> SuiteResult:
+        """Run one suite end to end, resuming completed rows from the store."""
+        if isinstance(suite, str):
+            suite = get_suite(suite)
+        rows = suite.rows(self.config)
+        stored = self.store.load(suite.name) if (self.store is not None and resume) else {}
+        outcomes: list[RowOutcome] = []
+        for row in rows:
+            fingerprint = row_fingerprint(suite.name, row.key, row.run_payloads())
+            record = stored.get(fingerprint)
+            if record is not None:
+                outcomes.append(
+                    RowOutcome(
+                        key=row.key,
+                        fingerprint=fingerprint,
+                        row=record["row"],
+                        results=record.get("runs", []),
+                        loaded=True,
+                    )
+                )
+                continue
+            try:
+                row_dict, results = self.run_row(row)
+            except Exception as error:
+                raise SuiteRowError(suite.name, row.key, error) from error
+            outcome = RowOutcome(
+                key=row.key,
+                fingerprint=fingerprint,
+                row=row_dict,
+                results=[result.to_dict() for result in results],
+            )
+            if self.store is not None:
+                self.store.append(suite.name, outcome.record())
+            outcomes.append(outcome)
+        result = SuiteResult(suite=suite.name, config=self.config, outcomes=outcomes)
+        if self.store is not None:
+            result.rows_path = self.store.rows_path(suite.name)
+            result.text_path, result.json_path = self.store.render(suite.name, result.rows)
+        return result
+
+
+def run_suite(
+    suite: "ExperimentSuite | str",
+    config: SuiteConfig | None = None,
+    *,
+    cache=None,
+    store=None,
+    resume: bool = True,
+) -> SuiteResult:
+    """One-call convenience wrapper around :class:`SuiteRunner`."""
+    return SuiteRunner(config, cache=cache, store=store).run(suite, resume=resume)

@@ -5,14 +5,32 @@ The paper's table spans 26 code/decoder instances over five families
 surface, defect surface).  ``TABLE2_FULL_INSTANCES`` lists the full sweep in
 this reproduction (hyperbolic families substituted as documented in
 DESIGN.md); ``TABLE2_QUICK_INSTANCES`` is the subset exercised by the
-default benchmark budget.
+default quick budget.
+
+Declared as the ``table2`` :class:`~repro.experiments.suite.ExperimentSuite`
+— every instance is one :func:`~repro.experiments.suite.comparison_row`
+(an ``alphasyndrome`` run plus a ``lowest_depth`` run) — and executed
+through the Pipeline/cache/adaptive stack by ``repro experiments run
+table2``.  :func:`run_table2` keeps the historical driver signature.
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentBudget, compare_with_lowest_depth
+from repro.experiments.common import ExperimentBudget
+from repro.experiments.suite import (
+    ExperimentRow,
+    SuiteConfig,
+    SuiteRunner,
+    comparison_row,
+    register_suite,
+)
 
-__all__ = ["TABLE2_FULL_INSTANCES", "TABLE2_QUICK_INSTANCES", "run_table2"]
+__all__ = [
+    "TABLE2_FULL_INSTANCES",
+    "TABLE2_QUICK_INSTANCES",
+    "run_table2",
+    "table2_rows",
+]
 
 #: (code registry name, decoder) pairs mirroring the paper's Table 2 rows.
 TABLE2_FULL_INSTANCES: list[tuple[str, str]] = [
@@ -46,7 +64,7 @@ TABLE2_FULL_INSTANCES: list[tuple[str, str]] = [
     ("defect_surface_d7", "mwpm"),
 ]
 
-#: Small subset used by the default benchmark budget.
+#: Small subset used by the default quick budget.
 TABLE2_QUICK_INSTANCES: list[tuple[str, str]] = [
     ("hexagonal_color_d3", "unionfind"),
     ("hexagonal_color_d3", "bposd"),
@@ -56,15 +74,32 @@ TABLE2_QUICK_INSTANCES: list[tuple[str, str]] = [
 ]
 
 
+def table2_rows(
+    config: SuiteConfig, *, instances: list[tuple[str, str]] | None = None
+) -> list[ExperimentRow]:
+    """The Table 2 suite rows for ``config`` (quick/full instance list)."""
+    if instances is None:
+        instances = TABLE2_QUICK_INSTANCES if config.quick else TABLE2_FULL_INSTANCES
+    return [comparison_row(code, decoder, config) for code, decoder in instances]
+
+
+@register_suite(
+    "table2",
+    help="AlphaSyndrome vs lowest-depth logical error rates across code families",
+)
+def _table2_suite(config: SuiteConfig) -> list[ExperimentRow]:
+    return table2_rows(config)
+
+
 def run_table2(
     budget: ExperimentBudget | None = None,
     *,
     instances: list[tuple[str, str]] | None = None,
 ) -> list[dict]:
-    """Regenerate Table 2 rows (logical error rates and depths)."""
-    budget = budget or ExperimentBudget()
-    instances = instances or TABLE2_QUICK_INSTANCES
-    rows = []
-    for code_name, decoder in instances:
-        rows.append(compare_with_lowest_depth(code_name, decoder, budget))
-    return rows
+    """Regenerate Table 2 rows (logical error rates and depths).
+
+    Historical driver signature, now suite-backed: bit-identical to the
+    legacy loop at fixed seeds, but executed through the Pipeline stack.
+    """
+    config = SuiteConfig.from_experiment_budget(budget or ExperimentBudget())
+    return SuiteRunner(config).run_rows(table2_rows(config, instances=instances))

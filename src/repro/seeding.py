@@ -38,6 +38,7 @@ __all__ = [
     "as_seed_sequence",
     "spawn_streams",
     "named_stream",
+    "stage_seed",
     "stream_to_int",
 ]
 
@@ -90,3 +91,16 @@ def stream_to_int(stream: np.random.SeedSequence | None) -> int | None:
     if stream is None:
         return None
     return int(stream.generate_state(1, np.uint32)[0])
+
+
+def stage_seed(
+    seed: int | np.random.SeedSequence | None, stage: str
+) -> int | None:
+    """Integer form of :func:`named_stream` for ``seed: int`` APIs.
+
+    One call for the common ``stream_to_int(named_stream(seed, stage))``
+    composition, so every stage-seed consumer (the ``alphasyndrome``
+    registry builder, the experiment suites, the legacy
+    ``ExperimentBudget``) derives identical integers by construction.
+    """
+    return stream_to_int(named_stream(seed, stage))

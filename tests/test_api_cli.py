@@ -168,6 +168,55 @@ class TestTables:
         assert "unknown asset" in capsys.readouterr().err
 
 
+class TestExperiments:
+    QUICK_FLAGS = [
+        "--shots", "40",
+        "--synthesis-shots", "20",
+        "--iterations", "1",
+        "--max-evaluations", "2",
+    ]
+
+    def test_ls_lists_every_suite(self, capsys):
+        assert main(["experiments", "ls"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table2", "table3", "table4", "figure7", "figure15"):
+            assert name in out
+
+    def test_run_writes_store_and_rendered_views(self, tmp_path, capsys):
+        argv = ["experiments", "run", "figure7", *self.QUICK_FLAGS, "--no-cache"]
+        assert main([*argv, "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== figure7 ==" in out
+        assert "4 rows (4 run, 0 resumed)" in out
+        assert (tmp_path / "figure7.jsonl").exists()
+        assert (tmp_path / "figure7.txt").exists()
+        assert (tmp_path / "figure7.json").exists()
+        # Second invocation resumes every row from the artifact store.
+        assert main([*argv, "--out", str(tmp_path)]) == 0
+        assert "4 rows (0 run, 4 resumed)" in capsys.readouterr().out
+
+    def test_render_rewrites_views_from_stored_rows(self, tmp_path, capsys):
+        argv = ["experiments", "run", "figure7", *self.QUICK_FLAGS, "--no-cache"]
+        assert main([*argv, "--out", str(tmp_path)]) == 0
+        (tmp_path / "figure7.txt").unlink()
+        capsys.readouterr()
+        assert main(["experiments", "render", "figure7", "--out", str(tmp_path)]) == 0
+        assert "4 rows rendered" in capsys.readouterr().out
+        assert (tmp_path / "figure7.txt").exists()
+
+    def test_render_without_stored_rows_fails(self, tmp_path, capsys):
+        assert main(["experiments", "render", "figure7", "--out", str(tmp_path)]) == 2
+        assert "no stored rows" in capsys.readouterr().err
+
+    def test_run_unknown_suite_rejected(self, capsys):
+        assert main(["experiments", "run", "figure99"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_run_rejects_orphan_precision_flags(self, capsys):
+        assert main(["experiments", "run", "figure7", "--confidence", "0.9"]) == 2
+        assert "--target-rse" in capsys.readouterr().err
+
+
 class TestSweep:
     BASE = [
         "sweep",
@@ -406,9 +455,11 @@ class TestAdaptiveRunAndCache:
             == 0
         )
 
-    def test_tables_rejects_precision_flags(self, capsys):
-        assert main(["tables", "table2", "--target-rse", "0.1"]) == 2
-        assert "fixed paper budgets" in capsys.readouterr().err
+    def test_tables_rejects_orphan_precision_flags(self, capsys):
+        # --max-shots/--confidence without --target-rse would be a silent
+        # no-op; the suite-backed tables command rejects them like run/sweep.
+        assert main(["tables", "table2", "--max-shots", "500"]) == 2
+        assert "--target-rse" in capsys.readouterr().err
 
     def test_grid_precision_axes_without_target_rejected(self, tmp_path, capsys):
         out = tmp_path / "sweep.jsonl"

@@ -1,0 +1,93 @@
+"""Golden-file tests for the published artifact format.
+
+``render_table`` / ``write_results`` define the text/JSON artifacts the
+repository publishes under ``results/`` (and now also what the suite
+artifact store renders).  These tests pin the exact bytes — column
+alignment, float formatting, separator row, JSON indentation and the
+text/JSON parity — so a renderer refactor cannot silently drift the
+format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.common import render_table, write_results
+
+ROWS = [
+    {"schedule": "google", "err_x": 0.0125, "overall": 0.02484375, "depth": 4, "note": None},
+    {"schedule": "trivial", "err_x": 0.5, "overall": 0.75, "depth": 14, "note": "baseline"},
+]
+
+#: The exact rendering of ROWS: header/separator/body, two-space gutters,
+#: every cell left-justified to its column width, floats as {:.3e}.
+GOLDEN_TEXT = (
+    "schedule  err_x      overall    depth  note    \n"
+    "--------  ---------  ---------  -----  --------\n"
+    "google    1.250e-02  2.484e-02  4      None    \n"
+    "trivial   5.000e-01  7.500e-01  14     baseline"
+)
+
+
+class TestRenderTable:
+    def test_golden_rendering(self):
+        assert render_table(ROWS) == GOLDEN_TEXT
+
+    def test_empty_rows_placeholder(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_float_format_override(self):
+        text = render_table([{"x": 0.125}], float_format="{:.1f}")
+        assert text.splitlines()[-1] == "0.1"
+
+    def test_column_order_follows_first_row(self):
+        rows = [{"b": 1, "a": 2}, {"a": 3, "b": 4}]
+        header = render_table(rows).splitlines()[0].split()
+        assert header == ["b", "a"]
+
+    def test_integers_are_not_float_formatted(self):
+        body = render_table([{"depth": 14}]).splitlines()[-1]
+        assert body.strip() == "14"
+
+
+class TestWriteResults:
+    def test_text_artifact_is_golden_plus_newline(self, tmp_path):
+        path = write_results("asset", ROWS, output_dir=tmp_path)
+        assert path == tmp_path / "asset.txt"
+        assert path.read_text() == GOLDEN_TEXT + "\n"
+
+    def test_json_artifact_bytes_and_parity(self, tmp_path):
+        write_results("asset", ROWS, output_dir=tmp_path)
+        json_path = tmp_path / "asset.json"
+        assert json_path.read_text() == json.dumps(ROWS, indent=2, default=str)
+        assert json.loads(json_path.read_text()) == ROWS
+
+    def test_non_json_values_stringified(self, tmp_path):
+        rows = [{"path": Path("results/x.txt")}]
+        write_results("asset", rows, output_dir=tmp_path)
+        payload = json.loads((tmp_path / "asset.json").read_text())
+        assert payload == [{"path": "results/x.txt"}]
+
+    def test_output_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "results"
+        write_results("asset", ROWS, output_dir=target)
+        assert (target / "asset.txt").exists()
+
+    def test_text_and_json_name_the_same_columns(self, tmp_path):
+        write_results("asset", ROWS, output_dir=tmp_path)
+        header = (tmp_path / "asset.txt").read_text().splitlines()[0].split()
+        payload = json.loads((tmp_path / "asset.json").read_text())
+        assert header == list(payload[0].keys())
+
+
+class TestArtifactStoreRendering:
+    def test_store_render_delegates_to_write_results(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        text_path, json_path = store.render("asset", ROWS)
+        assert text_path.read_text() == GOLDEN_TEXT + "\n"
+        assert json.loads(json_path.read_text()) == ROWS
+
+    def test_store_render_text_matches_render_table(self):
+        assert ArtifactStore("unused").render_text(ROWS) == GOLDEN_TEXT

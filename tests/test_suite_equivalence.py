@@ -1,0 +1,128 @@
+"""Equivalence regression: suite-backed drivers == legacy drivers, bit for bit.
+
+Each quick-budget paper asset is produced twice — once through the
+deprecated hand-rolled loops in :mod:`repro.experiments.legacy` (the
+pre-suite reference implementation) and once through the declarative
+suites — and pinned row-for-row identical: same keys in the same order,
+same floats to the last bit (rates, depths, reductions), because both
+paths consume identical ``SeedSequence`` streams ("synthesis" and
+"evaluation" stages) and identical sampling kernels.
+
+This is the satellite guarantee that lets the legacy path retire after one
+release without any doubt about what the suites publish.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentBudget,
+    legacy,
+    run_figure7,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_figure15,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+#: Minuscule budget: the point is bit-identity, not statistics.
+TINY = ExperimentBudget(
+    shots=60, synthesis_shots=40, iterations_per_step=1, max_evaluations=2, seed=0
+)
+
+
+def assert_rows_identical(suite_rows: list[dict], legacy_rows: list[dict]) -> None:
+    assert [list(row) for row in suite_rows] == [list(row) for row in legacy_rows]
+    assert suite_rows == legacy_rows
+
+
+def legacy_rows(driver, **kwargs) -> list[dict]:
+    with pytest.warns(DeprecationWarning):
+        return driver(TINY, **kwargs)
+
+
+class TestTableEquivalence:
+    def test_table2_row_identical(self):
+        kwargs = dict(instances=[("hexagonal_color_d3", "unionfind")])
+        assert_rows_identical(
+            run_table2(TINY, **kwargs), legacy_rows(legacy.run_table2, **kwargs)
+        )
+
+    def test_table3_row_identical(self):
+        kwargs = dict(
+            pairs=[("hexagonal_color", "hexagonal_color_d3", "hexagonal_color_d5", "unionfind")]
+        )
+        assert_rows_identical(
+            run_table3(TINY, **kwargs), legacy_rows(legacy.run_table3, **kwargs)
+        )
+
+    def test_table4_cross_decoder_matrix_identical(self):
+        kwargs = dict(instances=["hexagonal_color_d3"])
+        assert_rows_identical(
+            run_table4(TINY, **kwargs), legacy_rows(legacy.run_table4, **kwargs)
+        )
+
+
+class TestFigureEquivalence:
+    def test_figure7_identical(self):
+        assert_rows_identical(run_figure7(TINY), legacy_rows(legacy.run_figure7))
+
+    def test_figure12_identical(self):
+        kwargs = dict(codes=["rotated_surface_d3"])
+        assert_rows_identical(
+            run_figure12(TINY, **kwargs), legacy_rows(legacy.run_figure12, **kwargs)
+        )
+
+    def test_figure13_identical_on_small_bb_code(self):
+        kwargs = dict(code_name="bb_18")
+        assert_rows_identical(
+            run_figure13(TINY, **kwargs), legacy_rows(legacy.run_figure13, **kwargs)
+        )
+
+    def test_figure14_identical_across_the_noise_sweep(self):
+        kwargs = dict(codes=[("hexagonal_color_d3", "unionfind")], error_rates=[1e-2, 1e-5])
+        assert_rows_identical(
+            run_figure14(TINY, **kwargs), legacy_rows(legacy.run_figure14, **kwargs)
+        )
+
+    def test_figure15_identical_under_nonuniform_noise(self):
+        kwargs = dict(codes=["rotated_surface_d3"])
+        assert_rows_identical(
+            run_figure15(TINY, **kwargs), legacy_rows(legacy.run_figure15, **kwargs)
+        )
+
+
+class TestWorkerInvariance:
+    def test_suite_rows_identical_for_any_worker_count(self):
+        """workers only pools execution; every published number is unchanged."""
+        from repro.experiments.suite import SuiteConfig, SuiteRunner
+        from repro.experiments.table2 import table2_rows
+
+        serial_config = SuiteConfig.from_experiment_budget(TINY)
+        pooled_config = SuiteConfig.from_experiment_budget(TINY, workers=2)
+        instances = [("hexagonal_color_d3", "unionfind")]
+        serial = SuiteRunner(serial_config).run_rows(
+            table2_rows(serial_config, instances=instances)
+        )
+        pooled = SuiteRunner(pooled_config).run_rows(
+            table2_rows(pooled_config, instances=instances)
+        )
+        assert serial == pooled
+
+
+class TestLegacyShim:
+    def test_common_reexports_warn_on_call(self):
+        from repro.experiments.common import compare_with_lowest_depth
+
+        with pytest.warns(DeprecationWarning):
+            compare_with_lowest_depth("steane", "lookup", TINY)
+
+    def test_unknown_common_attribute_raises(self):
+        import repro.experiments.common as common
+
+        with pytest.raises(AttributeError):
+            common.no_such_helper
