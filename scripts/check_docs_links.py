@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Documentation link checker (stdlib only; used by CI and the test suite).
+
+Validates, for ``README.md``, ``DESIGN.md`` and every page under
+``docs/``:
+
+* **Markdown links** ``[text](target)`` with relative targets: the target
+  file must exist (resolved against the linking file's directory;
+  fragments are stripped).  ``http(s)``/``mailto`` links are skipped —
+  this checker never touches the network.
+* **Source cross-references** written as code spans: any backticked token
+  that looks like a repository path (``src/...``, ``tests/...``,
+  ``docs/...``, ``scripts/...``, ``examples/...``, ``benchmarks/...`` or
+  ``.github/...``) must name an existing file — or directory, for spans
+  with a trailing slash.  This keeps the architecture tour's source map
+  honest as files move.
+
+Exit status 0 when everything resolves, 1 otherwise (broken references
+are listed one per line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Backticked spans that look like repository paths.
+_PATH_SPAN = re.compile(
+    r"`((?:src|tests|docs|scripts|examples|benchmarks|\.github)/[A-Za-z0-9_./-]*)`"
+)
+#: Link schemes that are out of scope for a filesystem checker.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _checked_files(root: Path) -> list[Path]:
+    files = [root / "README.md", root / "DESIGN.md"]
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(root: Path, path: Path) -> list[str]:
+    """Broken references of one markdown file, rendered as report lines."""
+    text = path.read_text(encoding="utf-8")
+    problems: list[str] = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: broken link -> {target}")
+    for match in _PATH_SPAN.finditer(text):
+        span = match.group(1)
+        resolved = root / span
+        if span.endswith("/"):
+            if not resolved.is_dir():
+                problems.append(f"{path.relative_to(root)}: missing directory -> {span}")
+        elif not resolved.exists():
+            problems.append(f"{path.relative_to(root)}: missing file -> {span}")
+    return problems
+
+
+def check(root: Path) -> list[str]:
+    """All broken references under ``root`` (empty list == docs are clean)."""
+    problems: list[str] = []
+    for path in _checked_files(root):
+        problems.extend(check_file(root, path))
+    return problems
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    problems = check(root)
+    for problem in problems:
+        print(problem)
+    checked = len(_checked_files(root))
+    if problems:
+        print(f"{len(problems)} broken reference(s) across {checked} file(s)")
+        return 1
+    print(f"docs links OK ({checked} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,11 @@
-"""Result analysis: space-time volume model and statistics helpers."""
+"""Result analysis: space-time volume model, statistics and threshold helpers."""
 
 from repro.analysis.spacetime import (
     SpaceTimeEstimate,
     estimate_space_time,
     space_time_reduction,
 )
+from repro.analysis.threshold import estimate_crossing, suppression_ratio
 from repro.analysis.stats import (
     StoppingRule,
     geometric_mean,
@@ -28,4 +29,6 @@ __all__ = [
     "z_for_confidence",
     "relative_reduction",
     "geometric_mean",
+    "estimate_crossing",
+    "suppression_ratio",
 ]

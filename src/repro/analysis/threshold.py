@@ -1,0 +1,93 @@
+"""Threshold (logical-vs-physical crossing) estimation.
+
+A code family's *threshold* is the physical error rate below which
+increasing the code distance suppresses the logical error rate.  On a
+sweep of physical rates with logical rates measured for a smaller and a
+larger distance, the threshold shows up as the crossing of the two
+curves: below it the larger distance wins, above it it loses.
+
+:func:`estimate_crossing` locates that crossing by scanning adjacent
+sweep points for a sign change of ``log(rate_large) - log(rate_small)``
+and log-log interpolating inside the bracketing interval — the standard
+first-order estimate, adequate for the coarse sweeps the ``threshold``
+experiment suite runs (paper-grade estimates would fit the scaling
+ansatz).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["estimate_crossing", "suppression_ratio"]
+
+
+def suppression_ratio(rate_small: float, rate_large: float) -> float:
+    """``rate_large / rate_small`` — below 1 the larger distance wins.
+
+    Zero-rate entries (possible at quick Monte-Carlo budgets) map to
+    ``0.0`` when only the large distance saw no errors and ``inf`` when
+    only the small one did; both zero reports ``1.0`` (no information).
+    """
+    if rate_small <= 0:
+        return 1.0 if rate_large <= 0 else math.inf
+    return rate_large / rate_small
+
+
+def estimate_crossing(
+    physical_rates: list[float],
+    rates_small: list[float],
+    rates_large: list[float],
+) -> float | None:
+    """Estimate the physical rate where the two logical-rate curves cross.
+
+    Parameters
+    ----------
+    physical_rates:
+        Swept physical error rates, strictly increasing.
+    rates_small:
+        Logical error rates of the smaller distance at each swept rate.
+    rates_large:
+        Logical error rates of the larger distance at each swept rate.
+
+    Returns
+    -------
+    float | None
+        The log-log interpolated crossing point, or ``None`` when the
+        sweep never brackets a crossing (all points on one side, or too
+        many zero-rate points to tell).
+
+    Raises
+    ------
+    ValueError
+        If the three lists differ in length or fewer than two points are
+        given.
+    """
+    if not (len(physical_rates) == len(rates_small) == len(rates_large)):
+        raise ValueError("physical_rates, rates_small and rates_large must align")
+    if len(physical_rates) < 2:
+        raise ValueError("need at least two sweep points to bracket a crossing")
+
+    # Work on the log-difference of the two curves where both are positive;
+    # zero-rate points carry no usable magnitude and are skipped.
+    points: list[tuple[float, float]] = []
+    for p, small, large in zip(physical_rates, rates_small, rates_large):
+        if p <= 0 or small <= 0 or large <= 0:
+            continue
+        points.append((math.log(p), math.log(large) - math.log(small)))
+
+    for (x0, d0), (x1, d1) in zip(points, points[1:]):
+        # A crossing is a transition from suppressed (d <= 0) to not
+        # (d > 0); a lone d == 0 point with suppression continuing after
+        # it is measurement coincidence, not a crossing.
+        if d0 <= 0 < d1:
+            # Linear interpolation of the sign change in log-log space
+            # (t = 0 exactly when the curves touch at the left point).
+            t = -d0 / (d1 - d0)
+            return math.exp(x0 + t * (x1 - x0))
+        if d0 < 0 == d1:
+            # The curves meet exactly at the right point; if the sweep
+            # continues and stays suppressed the next pair rejects it,
+            # but a terminal touch is the best available estimate.
+            if (x1, d1) == points[-1]:
+                return math.exp(x1)
+    return None

@@ -97,6 +97,13 @@ def _add_component_flags(parser: argparse.ArgumentParser, *, scheduler: bool = T
     parser.add_argument(
         "--workers", type=int, default=None, help="process-pool shards for sampling/decoding"
     )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="noisy syndrome rounds per memory experiment (default 1; drift "
+        "noise channels vary across rounds)",
+    )
 
 
 def _spec_from_args(args: argparse.Namespace, *, base: RunSpec | None = None) -> RunSpec:
@@ -105,7 +112,7 @@ def _spec_from_args(args: argparse.Namespace, *, base: RunSpec | None = None) ->
     spec = RunSpec.load(spec_path) if spec_path else (base or RunSpec())
     overrides = {
         field: getattr(args, field)
-        for field in ("code", "noise", "scheduler", "decoder", "seed", "workers")
+        for field in ("code", "noise", "scheduler", "decoder", "seed", "workers", "rounds")
         if getattr(args, field, None) is not None
     }
     if overrides:
@@ -283,7 +290,7 @@ _GRID_BUDGET_FIELDS = {
     "confidence": float,
 }
 #: Integer-valued top-level RunSpec fields.
-_GRID_INT_FIELDS = ("seed", "workers")
+_GRID_INT_FIELDS = ("seed", "workers", "rounds")
 #: String-valued top-level RunSpec fields.
 _GRID_COMPONENT_FIELDS = ("code", "noise", "scheduler", "decoder", "eval_stage")
 
@@ -408,14 +415,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    """List registered components with their spec syntax and help text.
+
+    Each line shows the entry's full spec-string syntax — name plus
+    parameter signature with defaults (``biased:p=0.001,eta=10.0,...``) —
+    so spec strings are discoverable without reading source.
+    """
     categories = list(_REGISTRIES) if args.category == "all" else [args.category]
     for category in categories:
         registry = _REGISTRIES[category]
         print(f"{category} ({len(registry)}):")
-        for name, aliases, help_text in registry.describe():
-            alias_note = f" (aliases: {aliases})" if aliases and args.aliases else ""
-            help_note = f" - {help_text}" if help_text else ""
-            print(f"  {name}{alias_note}{help_note}")
+        for name in registry.available():
+            entry = registry.entry(name)
+            alias_note = (
+                f" (aliases: {', '.join(entry.aliases)})" if entry.aliases and args.aliases else ""
+            )
+            help_note = f" - {entry.help}" if entry.help else ""
+            print(f"  {entry.spec_syntax}{alias_note}{help_note}")
     return 0
 
 
@@ -527,6 +543,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 # Parser assembly
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the full ``repro`` argument parser (every subcommand wired)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AlphaSyndrome reproduction: schedule synthesis, evaluation and discovery.",
@@ -658,6 +675,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Console-script entry point.
+
+    Parses ``argv`` (default: ``sys.argv[1:]``), dispatches to the chosen
+    subcommand and returns its exit status; user errors (unknown specs,
+    bad flag combinations, missing files) print one-line messages and
+    return 2 instead of raising.
+    """
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

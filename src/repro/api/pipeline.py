@@ -69,6 +69,7 @@ class RunResult:
     adaptive: dict | None = None
 
     def to_dict(self) -> dict:
+        """JSON-ready payload: spec, rates, depth plus optional synthesis/adaptive blocks."""
         payload = {
             "spec": self.spec.to_dict(),
             "error_x": self.rates.error_x,
@@ -144,6 +145,10 @@ class Pipeline:
         ``workers`` is offered as context so synthesising schedulers
         (``"alphasyndrome"``) can parallelise rollout scoring; fixed
         schedulers simply ignore it (registry extras are signature-filtered).
+        ``spec.rounds`` is deliberately *not* offered: synthesis scores
+        schedules on the single-round experiment (see
+        :class:`~repro.api.spec.RunSpec`), so the search is identical for
+        every ``rounds`` value.
         """
         return registries.schedulers.build(
             self.spec.scheduler,
@@ -169,9 +174,19 @@ class Pipeline:
 
     @cached_property
     def experiment(self) -> dict:
-        """Per-basis memory experiments (Figure 10 sampling circuits)."""
+        """Per-basis memory experiments (Figure 10 sampling circuits).
+
+        ``spec.rounds`` noisy syndrome rounds are inserted between the
+        logical readouts (the paper's protocol uses one).
+        """
         return {
-            basis: build_memory_experiment(self.code, self.schedule, self.noise, basis=basis)
+            basis: build_memory_experiment(
+                self.code,
+                self.schedule,
+                self.noise,
+                basis=basis,
+                noisy_rounds=self.spec.rounds,
+            )
             for basis in _BASES
         }
 

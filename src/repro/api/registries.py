@@ -49,6 +49,7 @@ from repro.decoders.bposd import BPOSDDecoder
 from repro.decoders.lookup import LookupDecoder
 from repro.decoders.matching import MWPMDecoder
 from repro.decoders.union_find import UnionFindDecoder
+from repro.noise.channels import biased_noise, dephasing_noise, drifting_noise
 from repro.noise.models import NoiseModel, brisbane_noise, non_uniform_noise, scaled_noise
 from repro.scheduling.baselines import (
     lowest_depth_schedule,
@@ -262,6 +263,21 @@ def _depolarizing(
 @register_noise("noiseless", help="All error rates zero (debugging)")
 def _noiseless():
     return NoiseModel(two_qubit_error=0.0, idle_error=0.0)
+
+
+# The channel-composition factories register directly: parse_spec already
+# coerces spec tokens to int/float/bool/None, so one definition carries the
+# signature, the defaults and what `repro list` advertises.
+register_noise(
+    "biased", help="Z-biased Pauli gate+idle channels at rate p, bias eta (eta=1 = depolarizing)"
+)(biased_noise)
+register_noise(
+    "dephasing", help="Pure-Z dephasing at rate p on idles (and gates unless gates=false)"
+)(dephasing_noise)
+register_noise(
+    "drift",
+    help="Uniform model drifting per round: p(t)=p0*(1+slope*t); slope=0 equals scaled:p=p0",
+)(drifting_noise)
 
 
 @register_noise("nonuniform", aliases=("non_uniform",), help="Per-ancilla rate variation (Fig. 15)")

@@ -29,7 +29,12 @@ import inspect
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
-__all__ = ["Registry", "RegistryEntry", "parse_spec"]
+__all__ = ["Registry", "RegistryEntry", "builder_signature", "parse_spec"]
+
+#: Contextual parameters the pipeline injects into builders (see
+#: :meth:`Registry.build`); hidden from rendered signatures because users
+#: never spell them inside a spec string.
+_CONTEXT_PARAMS = frozenset({"code", "noise", "decoder_factory", "budget", "workers"})
 
 
 def _coerce(token: str):
@@ -74,6 +79,50 @@ def parse_spec(spec: str) -> tuple[str, list, dict]:
     return name, positional, keyword
 
 
+def _format_default(value) -> str:
+    """Render a builder default the way a spec string would spell it."""
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def builder_signature(builder: Callable) -> str:
+    """Spec-string-style parameter signature of a registered builder.
+
+    Renders the builder's user-facing parameters as the argument part of a
+    spec string (``"p=0.001,eta=10.0"``), so ``repro list`` can show what
+    each entry accepts without the user reading source.  Contextual
+    parameters the pipeline injects (``code``, ``noise``, ...) are hidden;
+    parameters without defaults render as ``name=<required>``; a
+    ``**kwargs`` catch-all renders as ``...``.  Returns ``""`` for
+    builders taking no user-facing arguments (or with unreadable
+    signatures).
+    """
+    try:
+        parameters = inspect.signature(builder).parameters
+    except (TypeError, ValueError):
+        return ""
+    tokens: list[str] = []
+    for name, parameter in parameters.items():
+        if name in _CONTEXT_PARAMS:
+            continue
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            tokens.append("...")
+            continue
+        if parameter.kind not in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            continue
+        if parameter.default is inspect.Parameter.empty:
+            tokens.append(f"{name}=<required>")
+        else:
+            tokens.append(f"{name}={_format_default(parameter.default)}")
+    return ",".join(tokens)
+
+
 @dataclass
 class RegistryEntry:
     """One registered builder plus its discovery metadata."""
@@ -82,6 +131,17 @@ class RegistryEntry:
     builder: Callable
     aliases: tuple[str, ...] = ()
     help: str = ""
+
+    @property
+    def signature(self) -> str:
+        """Spec-string-style parameter signature (see :func:`builder_signature`)."""
+        return builder_signature(self.builder)
+
+    @property
+    def spec_syntax(self) -> str:
+        """The full spec-string syntax of this entry (``"name:args"`` or ``"name"``)."""
+        signature = self.signature
+        return f"{self.name}:{signature}" if signature else self.name
 
 
 @dataclass

@@ -84,13 +84,22 @@ class Budget:
         )
 
     def replace(self, **changes) -> "Budget":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> dict:
+        """Plain-dict form of the budget (inverse of :meth:`from_dict`)."""
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Budget":
+        """Rebuild a budget from :meth:`to_dict` output.
+
+        Raises
+        ------
+        ValueError
+            If ``payload`` carries keys that are not Budget fields.
+        """
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(payload) - known
         if unknown:
@@ -116,6 +125,16 @@ class RunSpec:
     so their runs consume exactly the stage stream the legacy drivers used,
     keeping suite-backed tables bit-identical to the historical output; the
     default ``None`` keeps the original ``basis_streams(seed)`` derivation.
+
+    ``rounds`` is the number of consecutive noisy syndrome rounds in the
+    memory experiment (the paper uses one).  More rounds grow the detector
+    volume and give time-varying noise channels (``"drift:..."``) a time
+    axis to act on; it is a sweepable axis like any other field.  It is an
+    *evaluation* axis only: synthesising schedulers (``"alphasyndrome"``)
+    score candidate schedules on the paper's single-round experiment
+    regardless of ``rounds`` — a schedule is a per-round object, and one
+    search therefore serves every ``rounds`` value (the suites memoise it
+    accordingly).
     """
 
     code: str = "surface:d=3"
@@ -126,12 +145,15 @@ class RunSpec:
     seed: int | None = 0
     workers: int = 1
     eval_stage: str | None = None
+    rounds: int = 1
 
     def __post_init__(self) -> None:
         if isinstance(self.budget, dict):
             object.__setattr__(self, "budget", Budget.from_dict(self.budget))
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
 
     # ------------------------------------------------------------------
     # Derivation
@@ -158,12 +180,23 @@ class RunSpec:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        """Plain-dict form of the spec, budget nested (inverse of :meth:`from_dict`)."""
         payload = dataclasses.asdict(self)
         payload["budget"] = self.budget.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Missing fields assume their defaults (which is what lets old
+        stored payloads keep matching as the spec grows fields).
+
+        Raises
+        ------
+        ValueError
+            If ``payload`` carries keys that are not RunSpec fields.
+        """
         payload = dict(payload)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(payload) - known
@@ -175,19 +208,23 @@ class RunSpec:
         return cls(**payload)
 
     def to_json(self, *, indent: int | None = 2) -> str:
+        """JSON text form of the spec (inverse of :meth:`from_json`)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
+        """Parse a spec from :meth:`to_json` text."""
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str | Path) -> Path:
+        """Write the spec as JSON to ``path``; returns the written path."""
         path = Path(path)
         path.write_text(self.to_json() + "\n")
         return path
 
     @classmethod
     def load(cls, path: str | Path) -> "RunSpec":
+        """Read a spec previously written with :meth:`save` (or any spec JSON)."""
         return cls.from_json(Path(path).read_text())
 
 

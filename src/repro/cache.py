@@ -45,7 +45,9 @@ __all__ = ["CACHE_VERSION", "ChunkSummary", "ChunkStore", "ResultCache", "chunk_
 #: v2: ``RunSpec`` gained ``eval_stage`` (the evaluation seeding stage used
 #: by the experiment suites), which enters the spec payload and therefore
 #: the address of every chunk.
-CACHE_VERSION = 2
+#: v3: ``RunSpec`` gained ``rounds`` (noisy syndrome rounds per memory
+#: experiment), which likewise enters every chunk address.
+CACHE_VERSION = 3
 
 #: Budget fields that never influence a chunk's content (see module docs).
 _NON_CONTENT_BUDGET_FIELDS = ("shots", "target_rse", "max_shots", "confidence")

@@ -7,9 +7,13 @@ Two building blocks are provided:
   start and end of the paper's Figure 10 sampling circuit);
 * :func:`append_syndrome_round` — one full syndrome-measurement round that
   executes every Pauli check at the tick chosen by the schedule, optionally
-  injecting the circuit-level noise model (two-qubit depolarizing after each
-  check, single-qubit depolarizing on every idling qubit per tick,
-  measurement/reset flips when configured).
+  injecting circuit-level noise.  Noise is injected through the *site
+  protocol* of :mod:`repro.noise.channels`: the builder announces every
+  noise location (a gate pair after each check, each idling qubit per
+  tick, each ancilla readout, the reset of all ancillas) as a
+  :class:`~repro.noise.channels.NoiseSite` and appends whatever ops the
+  model's channels fire there, so uniform legacy models and arbitrary
+  channel compositions (bias, dephasing, drift, ...) share one code path.
 
 Ancilla-as-control convention: every Pauli check is implemented as a
 controlled-Pauli with the ancilla (prepared in ``|+>`` and read out in the X
@@ -26,7 +30,7 @@ from dataclasses import dataclass
 
 from repro.circuits.circuit import Circuit
 from repro.codes.base import StabilizerCode
-from repro.noise.models import NoiseModel
+from repro.noise.channels import GATE, IDLE, MEASURE, RESET, NoiseSite
 from repro.pauli import PauliString
 from repro.scheduling.schedule import Schedule
 
@@ -35,6 +39,7 @@ __all__ = [
     "append_logical_measurement",
     "append_syndrome_round",
     "ancilla_qubits",
+    "emit_noise",
 ]
 
 
@@ -71,27 +76,44 @@ def append_logical_measurement(
     return circuit.measure(ancilla, basis="X")[0]
 
 
+def emit_noise(circuit: Circuit, noise, site: NoiseSite) -> None:
+    """Append every op ``noise`` fires at ``site`` to ``circuit``.
+
+    ``noise`` is any object implementing the ``channel_ops(site)``
+    protocol (:class:`~repro.noise.models.NoiseModel` or
+    :class:`~repro.noise.channels.ComposedNoiseModel`).  Zero-probability
+    ops are dropped by :meth:`Circuit.append_noise_op`.
+    """
+    for op in noise.channel_ops(site):
+        circuit.append_noise_op(op)
+
+
 def append_syndrome_round(
     circuit: Circuit,
     code: StabilizerCode,
     schedule: Schedule,
     *,
-    noise: NoiseModel | None = None,
+    noise=None,
     idle_data_qubits: bool = True,
+    round_index: int = 0,
 ) -> SyndromeRoundRecord:
     """Append one syndrome-measurement round laid out according to ``schedule``.
 
     Parameters
     ----------
     noise:
-        When provided, two-qubit depolarizing noise follows every Pauli
-        check, idling depolarizing noise is applied per tick, and
-        measurement / reset flips are injected as configured.  ``None``
-        produces a noiseless round.
+        Any object implementing the channel-site protocol
+        (``channel_ops(site)``); when provided, every noise location of
+        the round — gate pairs, idling qubits per tick, ancilla readouts,
+        the ancilla reset — is offered to it and the resulting ops are
+        appended.  ``None`` produces a noiseless round.
     idle_data_qubits:
         Apply idle noise to data qubits that are not touched during a tick
         (the paper's model); ancillas idle between their first and last
         scheduled tick.
+    round_index:
+        0-based index of this noisy round within the experiment — the
+        time coordinate time-varying (drift) channels see.
     """
     ticks = schedule.ticks()
     active_stabilizers = sorted({check.stabilizer for check in schedule.assignment})
@@ -105,11 +127,18 @@ def append_syndrome_round(
         for s in active_stabilizers
     }
 
-    # Ancilla preparation.
+    # Ancilla preparation.  The reset site covers every prepared ancilla at
+    # once, so reset-flip channels emit one multi-qubit instruction (the
+    # legacy stream shape).
     for stabilizer in active_stabilizers:
         circuit.reset(ancilla_of[stabilizer], basis="X")
-    if noise is not None and noise.reset_error > 0:
-        circuit.z_error(noise.reset_error, *[ancilla_of[s] for s in active_stabilizers])
+    if noise is not None:
+        reset_qubits = tuple(ancilla_of[s] for s in active_stabilizers)
+        emit_noise(
+            circuit,
+            noise,
+            NoiseSite(RESET, reset_qubits, tick=0, round_index=round_index),
+        )
 
     depth = schedule.depth
     for tick in range(1, depth + 1):
@@ -120,10 +149,15 @@ def append_syndrome_round(
             busy.add(ancilla)
             busy.add(check.data_qubit)
             if noise is not None:
-                circuit.depolarize2(
-                    noise.two_qubit_rate(ancilla, check.data_qubit),
-                    ancilla,
-                    check.data_qubit,
+                emit_noise(
+                    circuit,
+                    noise,
+                    NoiseSite(
+                        GATE,
+                        (ancilla, check.data_qubit),
+                        tick=tick,
+                        round_index=round_index,
+                    ),
                 )
         if noise is not None:
             idle: list[int] = []
@@ -138,14 +172,22 @@ def append_syndrome_round(
                 if first_tick[stabilizer] <= tick <= last_tick[stabilizer]:
                     idle.append(ancilla)
             for qubit in idle:
-                circuit.depolarize1(noise.idle_rate(qubit), qubit)
+                emit_noise(
+                    circuit,
+                    noise,
+                    NoiseSite(IDLE, (qubit,), tick=tick, round_index=round_index),
+                )
         circuit.tick()
 
     # Ancilla readout.
     measurements: dict[int, int] = {}
     for stabilizer in active_stabilizers:
         ancilla = ancilla_of[stabilizer]
-        if noise is not None and noise.measurement_error > 0:
-            circuit.z_error(noise.measurement_error, ancilla)
+        if noise is not None:
+            emit_noise(
+                circuit,
+                noise,
+                NoiseSite(MEASURE, (ancilla,), tick=depth + 1, round_index=round_index),
+            )
         measurements[stabilizer] = circuit.measure(ancilla, basis="X")[0]
     return SyndromeRoundRecord(measurements)

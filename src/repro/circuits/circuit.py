@@ -19,6 +19,11 @@ syndrome-measurement experiments:
     single-qubit Pauli noise channels with probability ``p``.
 ``DEPOLARIZE1`` / ``DEPOLARIZE2``
     single- / two-qubit depolarizing channels.
+``PAULI_CHANNEL_1`` / ``PAULI_CHANNEL_2``
+    general stochastic Pauli channels carrying one probability per
+    non-identity Pauli (3 for one qubit, 15 for a pair, in
+    :data:`ONE_QUBIT_PAULIS` / :data:`TWO_QUBIT_PAULIS` order); the
+    channel realisation of biased noise (``repro.noise.channels``).
 ``TICK``
     timing barrier (purely annotational).
 ``DETECTOR``
@@ -36,15 +41,46 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Instruction", "Circuit", "GATE_NAMES", "NOISE_NAMES"]
+__all__ = [
+    "Instruction",
+    "Circuit",
+    "GATE_NAMES",
+    "NOISE_NAMES",
+    "ONE_QUBIT_PAULIS",
+    "TWO_QUBIT_PAULIS",
+]
 
 GATE_NAMES = frozenset(
     {"R", "RX", "M", "MX", "H", "S", "X", "Y", "Z", "CPAULI", "SWAP"}
 )
 NOISE_NAMES = frozenset(
-    {"X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1", "DEPOLARIZE2"}
+    {
+        "X_ERROR",
+        "Z_ERROR",
+        "Y_ERROR",
+        "DEPOLARIZE1",
+        "DEPOLARIZE2",
+        "PAULI_CHANNEL_1",
+        "PAULI_CHANNEL_2",
+    }
 )
 _ANNOTATIONS = frozenset({"TICK", "DETECTOR", "OBSERVABLE"})
+
+#: Canonical non-identity Pauli order of ``PAULI_CHANNEL_1`` probabilities.
+ONE_QUBIT_PAULIS = ("X", "Y", "Z")
+#: Canonical non-identity Pauli-pair order of ``PAULI_CHANNEL_2``
+#: probabilities (first letter outer, ``I, X, Y, Z`` inner, ``II`` skipped)
+#: — shared with the DEM decomposition so channel weights and fault
+#: mechanisms can never disagree on ordering.
+TWO_QUBIT_PAULIS = tuple(
+    (first, second)
+    for first in ("I", "X", "Y", "Z")
+    for second in ("I", "X", "Y", "Z")
+    if not (first == "I" and second == "I")
+)
+
+#: Per-(qubit group) probability count of the general Pauli channels.
+_PAULI_CHANNEL_SIZES = {"PAULI_CHANNEL_1": 3, "PAULI_CHANNEL_2": 15}
 
 
 @dataclass
@@ -58,13 +94,18 @@ class Instruction:
     qubits:
         Qubit indices the instruction acts on (empty for annotations).
     probability:
-        Error probability for noise channels, ``None`` otherwise.
+        Error probability for single-probability noise channels, ``None``
+        otherwise.
     pauli:
         Pauli letter for ``CPAULI`` instructions.
     targets:
         Measurement-record indices for ``DETECTOR`` / ``OBSERVABLE``.
     index:
         Observable index for ``OBSERVABLE`` instructions.
+    probabilities:
+        Per-Pauli probability tuple for ``PAULI_CHANNEL_1`` (3 entries,
+        :data:`ONE_QUBIT_PAULIS` order) and ``PAULI_CHANNEL_2`` (15
+        entries, :data:`TWO_QUBIT_PAULIS` order); ``None`` otherwise.
     """
 
     name: str
@@ -73,6 +114,7 @@ class Instruction:
     pauli: str | None = None
     targets: tuple[int, ...] = ()
     index: int | None = None
+    probabilities: tuple[float, ...] | None = None
 
     def is_noise(self) -> bool:
         return self.name in NOISE_NAMES
@@ -86,6 +128,8 @@ class Instruction:
             parts.append(f"[{self.pauli}]")
         if self.probability is not None:
             parts.append(f"({self.probability:g})")
+        if self.probabilities is not None:
+            parts.append("(" + ",".join(f"{p:g}" for p in self.probabilities) + ")")
         if self.qubits:
             parts.append(" ".join(str(q) for q in self.qubits))
         if self.targets:
@@ -112,7 +156,14 @@ class Circuit:
         name = instruction.name
         if name not in GATE_NAMES | NOISE_NAMES | _ANNOTATIONS:
             raise ValueError(f"unknown instruction {name!r}")
-        if name in NOISE_NAMES:
+        if name in _PAULI_CHANNEL_SIZES:
+            expected = _PAULI_CHANNEL_SIZES[name]
+            probabilities = instruction.probabilities
+            if probabilities is None or len(probabilities) != expected:
+                raise ValueError(f"{name} needs exactly {expected} probabilities")
+            if any(p < 0 for p in probabilities) or sum(probabilities) > 1 + 1e-12:
+                raise ValueError(f"{name} probabilities must be >= 0 and sum to <= 1")
+        elif name in NOISE_NAMES:
             if instruction.probability is None or not 0 <= instruction.probability <= 1:
                 raise ValueError(f"{name} needs a probability in [0, 1]")
         if name == "CPAULI":
@@ -120,7 +171,7 @@ class Circuit:
                 raise ValueError("CPAULI needs pauli in {'X', 'Y', 'Z'}")
             if len(instruction.qubits) != 2:
                 raise ValueError("CPAULI acts on exactly two qubits")
-        if name in ("SWAP", "DEPOLARIZE2") and len(instruction.qubits) % 2:
+        if name in ("SWAP", "DEPOLARIZE2", "PAULI_CHANNEL_2") and len(instruction.qubits) % 2:
             raise ValueError(f"{name} needs an even number of qubits")
 
     # Convenience emitters -------------------------------------------------
@@ -173,6 +224,47 @@ class Circuit:
     def z_error(self, probability: float, *qubits: int) -> None:
         if probability > 0 and qubits:
             self.append(Instruction("Z_ERROR", tuple(qubits), probability=probability))
+
+    def pauli_channel_1(self, probabilities, *qubits: int) -> None:
+        """General single-qubit Pauli channel (X/Y/Z probability triple)."""
+        if sum(probabilities) > 0 and qubits:
+            self.append(
+                Instruction(
+                    "PAULI_CHANNEL_1", tuple(qubits), probabilities=tuple(probabilities)
+                )
+            )
+
+    def pauli_channel_2(self, probabilities, first: int, second: int) -> None:
+        """General two-qubit Pauli channel (15 pair probabilities)."""
+        if sum(probabilities) > 0:
+            self.append(
+                Instruction(
+                    "PAULI_CHANNEL_2", (first, second), probabilities=tuple(probabilities)
+                )
+            )
+
+    def append_noise_op(self, op) -> None:
+        """Append one :class:`repro.noise.channels.NoiseOp`-like object.
+
+        Zero-probability ops are skipped entirely (no instruction is
+        appended), matching the behaviour of the dedicated emitters — this
+        keeps instruction streams from channel-based models bit-identical
+        to the legacy hand-emitted ones.  ``op`` is duck-typed (``name``,
+        ``qubits``, ``probability``, ``probabilities``) so this module
+        never imports the noise layer.
+        """
+        probabilities = getattr(op, "probabilities", None)
+        if probabilities is not None:
+            if sum(probabilities) > 0 and op.qubits:
+                self.append(
+                    Instruction(
+                        op.name, tuple(op.qubits), probabilities=tuple(probabilities)
+                    )
+                )
+            return
+        probability = op.probability or 0.0
+        if probability > 0 and op.qubits:
+            self.append(Instruction(op.name, tuple(op.qubits), probability=probability))
 
     def detector(self, measurement_indices: list[int]) -> int:
         """Append a detector; returns its index."""

@@ -59,7 +59,7 @@ class MemoryExperiment:
 def build_memory_experiment(
     code: StabilizerCode,
     schedule: Schedule,
-    noise: NoiseModel,
+    noise: "NoiseModel | object",
     *,
     basis: str = "Z",
     noisy_rounds: int = 1,
@@ -101,8 +101,10 @@ def build_memory_experiment(
     reference_record = append_syndrome_round(circuit, code, schedule, noise=None)
     previous_round = reference_record
     noisy_record = None
-    for _ in range(noisy_rounds):
-        record = append_syndrome_round(circuit, code, schedule, noise=noise)
+    for round_index in range(noisy_rounds):
+        record = append_syndrome_round(
+            circuit, code, schedule, noise=noise, round_index=round_index
+        )
         for stabilizer, measurement in record.measurements.items():
             circuit.detector([previous_round.measurements[stabilizer], measurement])
         previous_round = record

@@ -36,6 +36,7 @@ from repro.experiments.suite import (
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
+from repro.experiments.threshold import run_threshold, threshold_crossing
 
 #: Legacy-shaped registry used by ``python -m repro.experiments <asset>``
 #: and external callers: asset name -> suite-backed driver function.
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "figure13": run_figure13,
     "figure14": run_figure14,
     "figure15": run_figure15,
+    "threshold": run_threshold,
 }
 
 __all__ = [
@@ -75,4 +77,6 @@ __all__ = [
     "run_figure13",
     "run_figure14",
     "run_figure15",
+    "run_threshold",
+    "threshold_crossing",
 ]

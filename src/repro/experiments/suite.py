@@ -119,6 +119,7 @@ class SuiteConfig:
         )
 
     def replace(self, **changes) -> "SuiteConfig":
+        """Return a copy with ``changes`` applied (frozen-dataclass update)."""
         return dataclasses.replace(self, **changes)
 
     def spec(self, **overrides) -> RunSpec:
@@ -246,9 +247,11 @@ class RowView:
         self._pipelines = pipelines
 
     def pipeline(self, name: str) -> Pipeline:
+        """The executed :class:`Pipeline` of run ``name`` (full stage access)."""
         return self._pipelines[name]
 
     def spec(self, name: str) -> RunSpec:
+        """The :class:`RunSpec` run ``name`` executed."""
         return self._pipelines[name].spec
 
     def code(self, name: str):
@@ -256,12 +259,15 @@ class RowView:
         return self._pipelines[name].code
 
     def rates(self, name: str):
+        """The measured :class:`~repro.sim.LogicalErrorRates` of run ``name``."""
         return self._pipelines[name].rates
 
     def depth(self, name: str) -> int:
+        """The schedule depth of run ``name``."""
         return self._pipelines[name].schedule.depth
 
     def result(self, name: str) -> RunResult:
+        """The terminal :class:`RunResult` of run ``name``."""
         return self._pipelines[name].result
 
 
@@ -332,6 +338,7 @@ class ExperimentSuite:
     help: str = ""
 
     def rows(self, config: SuiteConfig) -> "list[ExperimentRow]":
+        """The suite's rows under ``config`` (builder output, materialised)."""
         return list(self.build(config))
 
 
@@ -354,6 +361,13 @@ def register_suite(name: str, *, help: str = "") -> Callable:
 
 
 def get_suite(name: str) -> ExperimentSuite:
+    """Resolve a registered suite by name.
+
+    Raises
+    ------
+    KeyError
+        If no suite of that name is registered (the message lists what is).
+    """
     try:
         return SUITES[name]
     except KeyError:
@@ -363,6 +377,7 @@ def get_suite(name: str) -> ExperimentSuite:
 
 
 def available_suites() -> "list[str]":
+    """Sorted names of every registered suite."""
     return sorted(SUITES)
 
 
@@ -432,21 +447,26 @@ class SuiteResult:
 
     @property
     def executed(self) -> "list[RowOutcome]":
+        """Outcomes that actually ran this time (not replayed from the store)."""
         return [outcome for outcome in self.outcomes if not outcome.loaded]
 
     @property
     def resumed(self) -> "list[RowOutcome]":
+        """Outcomes replayed from the artifact store without re-execution."""
         return [outcome for outcome in self.outcomes if outcome.loaded]
 
     @property
     def cache_hits(self) -> int:
+        """Chunk-cache replays summed over the executed rows (adaptive mode)."""
         return sum(outcome.cache_hits for outcome in self.executed)
 
     @property
     def fresh_chunks(self) -> int:
+        """Freshly sampled chunks summed over the executed rows (adaptive mode)."""
         return sum(outcome.fresh_chunks for outcome in self.executed)
 
     def summary(self) -> str:
+        """One-line human summary: row counts plus cache counters when adaptive."""
         parts = [
             f"{self.suite}: {len(self.outcomes)} rows"
             f" ({len(self.executed)} run, {len(self.resumed)} resumed)"

@@ -1,5 +1,33 @@
-"""Noise models for syndrome-measurement circuits."""
+"""Noise models for syndrome-measurement circuits.
 
+Two layers live here: :mod:`repro.noise.channels` — the composable
+channel algebra (sites, ops, channels, :class:`ComposedNoiseModel` and
+its builder) — and :mod:`repro.noise.models` — the uniform/legacy
+:class:`NoiseModel` family, now a facade over the same channels.  Every
+model, legacy or composed, talks to the circuit builders through the one
+``channel_ops(site)`` protocol.
+"""
+
+from repro.noise.channels import (
+    Channel,
+    ComposedNoiseModel,
+    Dephasing,
+    DriftingChannel,
+    IdleBiasedPauli,
+    IdleDepolarizing,
+    MeasurementFlip,
+    NoiseModelBuilder,
+    NoiseOp,
+    NoiseSite,
+    ResetFlip,
+    TwoQubitBiasedPauli,
+    TwoQubitDepolarizing,
+    biased_noise,
+    biased_pauli_rates,
+    dephasing_noise,
+    drifting_noise,
+    two_qubit_biased_rates,
+)
 from repro.noise.models import (
     BRISBANE_IDLE_ERROR,
     BRISBANE_MEASUREMENT_TIME_NS,
@@ -12,6 +40,7 @@ from repro.noise.models import (
 )
 
 __all__ = [
+    # Legacy uniform family
     "NoiseModel",
     "brisbane_noise",
     "scaled_noise",
@@ -20,4 +49,23 @@ __all__ = [
     "BRISBANE_IDLE_ERROR",
     "BRISBANE_TWO_QUBIT_TIME_NS",
     "BRISBANE_MEASUREMENT_TIME_NS",
+    # Channel algebra
+    "Channel",
+    "ComposedNoiseModel",
+    "NoiseModelBuilder",
+    "NoiseOp",
+    "NoiseSite",
+    "TwoQubitDepolarizing",
+    "IdleDepolarizing",
+    "TwoQubitBiasedPauli",
+    "IdleBiasedPauli",
+    "Dephasing",
+    "MeasurementFlip",
+    "ResetFlip",
+    "DriftingChannel",
+    "biased_noise",
+    "dephasing_noise",
+    "drifting_noise",
+    "biased_pauli_rates",
+    "two_qubit_biased_rates",
 ]

@@ -1,0 +1,695 @@
+"""Composable noise-channel algebra.
+
+This module generalises the historical "one dataclass of four rates" noise
+model into a small algebra of *channels*.  A channel is a frozen value
+object that answers one question: *which noise instructions fire at this
+circuit location?*  Locations are described by :class:`NoiseSite` (the
+site kind plus its qubits and time coordinates) and answers are
+:class:`NoiseOp` tuples (circuit noise instructions with resolved
+probabilities).  A noise model is simply a composition of channels —
+:class:`ComposedNoiseModel` — and the circuit builders talk to models
+exclusively through the ``channel_ops(site)`` protocol, so legacy uniform
+models and arbitrary compositions flow through one code path.
+
+Site kinds (see :func:`repro.circuits.builder.append_syndrome_round` for
+where each fires):
+
+``"gate"``
+    immediately after each two-qubit Pauli check; ``site.qubits`` is the
+    ``(ancilla, data)`` pair and ``site.tick`` the schedule tick.
+``"idle"``
+    once per idling qubit per tick; ``site.qubits`` is the single qubit.
+``"measure"``
+    immediately before each ancilla readout; single qubit.
+``"reset"``
+    immediately after ancilla preparation; ``site.qubits`` covers every
+    prepared ancilla at once (one multi-qubit op, matching the legacy
+    instruction stream bit for bit).
+
+``site.round_index`` is the 0-based noisy-round index of the surrounding
+syndrome round — the time coordinate consumed by :class:`DriftingChannel`.
+
+Bias convention: a biased Pauli channel of total probability ``p`` and
+bias ``eta`` splits as ``p_x = p_y = p / (eta + 2)`` and
+``p_z = p * eta / (eta + 2)``, so ``eta = 1`` reduces *exactly* to the
+depolarizing split ``p/3`` (bit-identical detector error models, pinned by
+tests) and ``eta -> inf`` approaches pure dephasing.  The two-qubit biased
+channel weights each of the 15 non-identity Pauli pairs by the product of
+per-letter weights (``I, X, Y -> 1``, ``Z -> eta``), which at ``eta = 1``
+is exactly the uniform ``p/15`` split of ``DEPOLARIZE2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.circuits.circuit import ONE_QUBIT_PAULIS, TWO_QUBIT_PAULIS
+
+__all__ = [
+    "GATE",
+    "IDLE",
+    "MEASURE",
+    "RESET",
+    "NoiseSite",
+    "NoiseOp",
+    "Channel",
+    "TwoQubitDepolarizing",
+    "IdleDepolarizing",
+    "TwoQubitBiasedPauli",
+    "IdleBiasedPauli",
+    "Dephasing",
+    "MeasurementFlip",
+    "ResetFlip",
+    "DriftingChannel",
+    "ComposedNoiseModel",
+    "NoiseModelBuilder",
+    "biased_pauli_rates",
+    "two_qubit_biased_rates",
+    "biased_noise",
+    "dephasing_noise",
+    "drifting_noise",
+]
+
+#: Canonical site kinds.
+GATE = "gate"
+IDLE = "idle"
+MEASURE = "measure"
+RESET = "reset"
+
+
+@dataclass(frozen=True)
+class NoiseSite:
+    """One circuit location where noise may fire.
+
+    Attributes
+    ----------
+    kind:
+        Site kind: ``"gate"``, ``"idle"``, ``"measure"`` or ``"reset"``.
+    qubits:
+        Qubits of the site (the gate pair, the single idling/measured
+        qubit, or every prepared ancilla for a reset site).
+    tick:
+        1-based schedule tick for gate/idle sites; ``0`` for reset sites
+        and ``depth + 1`` for measure sites.
+    round_index:
+        0-based index of the noisy syndrome round the site belongs to —
+        the time coordinate of :class:`DriftingChannel`.
+    """
+
+    kind: str
+    qubits: tuple[int, ...]
+    tick: int = 0
+    round_index: int = 0
+
+
+@dataclass(frozen=True)
+class NoiseOp:
+    """One noise instruction a channel asks the circuit to append.
+
+    Attributes
+    ----------
+    name:
+        Circuit noise mnemonic (``"DEPOLARIZE2"``, ``"Z_ERROR"``,
+        ``"PAULI_CHANNEL_1"``, ...).
+    qubits:
+        Qubits the instruction acts on.
+    probability:
+        Error probability for single-probability channels; ``None`` for
+        ``PAULI_CHANNEL_*`` ops, which carry ``probabilities`` instead.
+    probabilities:
+        Per-Pauli probability tuple for ``PAULI_CHANNEL_1`` (X, Y, Z) and
+        ``PAULI_CHANNEL_2`` (the 15 non-identity pairs in
+        :data:`repro.circuits.circuit.TWO_QUBIT_PAULIS` order).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    probability: float | None = None
+    probabilities: tuple[float, ...] | None = None
+
+    @property
+    def total_probability(self) -> float:
+        """Total firing probability (sum of ``probabilities`` when present)."""
+        if self.probabilities is not None:
+            return float(sum(self.probabilities))
+        return float(self.probability or 0.0)
+
+    def scaled(self, factor: float) -> "NoiseOp":
+        """Copy with every probability multiplied by ``factor`` (clamped to 1).
+
+        Single probabilities clamp at 1; probability tuples whose scaled sum
+        would exceed 1 are rescaled proportionally so the op stays a valid
+        distribution.
+        """
+        if self.probabilities is not None:
+            scaled = [max(0.0, p * factor) for p in self.probabilities]
+            total = sum(scaled)
+            if total > 1.0:
+                scaled = [p / total for p in scaled]
+            return replace(self, probabilities=tuple(scaled))
+        probability = min(1.0, max(0.0, (self.probability or 0.0) * factor))
+        return replace(self, probability=probability)
+
+
+def _site_rate(base: float, per_qubit: dict, qubits: tuple[int, ...]) -> float:
+    """Resolve a site's rate: the maximum per-qubit override over its qubits.
+
+    Two-qubit gates take the maximum of the two qubits' rates (the paper
+    varies the *ancilla* rate, which this rule honours); single-qubit sites
+    reduce to their one qubit's override.
+    """
+    return max(per_qubit.get(qubit, base) for qubit in qubits)
+
+
+def biased_pauli_rates(p: float, eta: float) -> tuple[float, float, float]:
+    """Split total probability ``p`` into ``(p_x, p_y, p_z)`` at bias ``eta``.
+
+    ``p_x = p_y = p / (eta + 2)`` and ``p_z = p * eta / (eta + 2)``:
+    ``eta = 1`` is exactly the depolarizing ``p/3`` split, ``eta -> inf``
+    pure dephasing.
+
+    Raises
+    ------
+    ValueError
+        If ``eta`` is negative.
+    """
+    if eta < 0:
+        raise ValueError(f"bias eta must be >= 0, got {eta}")
+    share = p / (eta + 2.0)
+    return (share, share, p * eta / (eta + 2.0))
+
+
+def two_qubit_biased_rates(p: float, eta: float) -> tuple[float, ...]:
+    """The 15 two-qubit Pauli-pair probabilities of a biased channel.
+
+    Each non-identity pair ``(P, Q)`` is weighted by the product of
+    per-letter weights (``I, X, Y -> 1``; ``Z -> eta``), normalised so the
+    total is ``p``.  At ``eta = 1`` every weight is 1 and the result is the
+    exact ``p/15`` split of ``DEPOLARIZE2``.  Pair order follows
+    :data:`repro.circuits.circuit.TWO_QUBIT_PAULIS`.
+
+    Raises
+    ------
+    ValueError
+        If ``eta`` is negative.
+    """
+    if eta < 0:
+        raise ValueError(f"bias eta must be >= 0, got {eta}")
+    letter_weight = {"I": 1.0, "X": 1.0, "Y": 1.0, "Z": eta}
+    weights = [
+        letter_weight[first] * letter_weight[second] for first, second in TWO_QUBIT_PAULIS
+    ]
+    normaliser = sum(weights)
+    if normaliser <= 0:
+        return tuple(0.0 for _ in weights)
+    return tuple(p * weight / normaliser for weight in weights)
+
+
+class Channel:
+    """Base class of all noise channels.
+
+    A channel is a frozen value object answering ``ops(site)`` — the noise
+    instructions to append at one :class:`NoiseSite`.  Channels respond
+    only to their own site kinds and return ``()`` everywhere else, so a
+    model composes channels by simple concatenation.
+    """
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """Noise ops this channel fires at ``site`` (``()`` when inactive)."""
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "Channel":
+        """Copy of the channel with every rate multiplied by ``factor``."""
+        raise NotImplementedError
+
+    def is_noiseless(self) -> bool:
+        """True when the channel can never emit an op with nonzero rate."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TwoQubitDepolarizing(Channel):
+    """Two-qubit depolarizing after each Pauli check (``DEPOLARIZE2``).
+
+    Attributes
+    ----------
+    p:
+        Default depolarizing probability.
+    per_qubit:
+        Optional per-qubit overrides; a gate uses the maximum of its two
+        qubits' rates.
+    """
+
+    p: float
+    per_qubit: dict = field(default_factory=dict)
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """One ``DEPOLARIZE2`` op on gate sites; ``()`` elsewhere."""
+        if site.kind != GATE:
+            return ()
+        rate = _site_rate(self.p, self.per_qubit, site.qubits)
+        return (NoiseOp("DEPOLARIZE2", site.qubits, probability=rate),)
+
+    def scaled(self, factor: float) -> "TwoQubitDepolarizing":
+        """Copy with the base rate and every override multiplied by ``factor``."""
+        return TwoQubitDepolarizing(
+            self.p * factor, {q: p * factor for q, p in self.per_qubit.items()}
+        )
+
+    def is_noiseless(self) -> bool:
+        """True when the base rate and every override are zero."""
+        return self.p == 0 and not any(self.per_qubit.values())
+
+
+@dataclass(frozen=True)
+class IdleDepolarizing(Channel):
+    """Single-qubit depolarizing on each idling qubit per tick (``DEPOLARIZE1``)."""
+
+    p: float
+    per_qubit: dict = field(default_factory=dict)
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """One ``DEPOLARIZE1`` op on idle sites; ``()`` elsewhere."""
+        if site.kind != IDLE:
+            return ()
+        rate = _site_rate(self.p, self.per_qubit, site.qubits)
+        return (NoiseOp("DEPOLARIZE1", site.qubits, probability=rate),)
+
+    def scaled(self, factor: float) -> "IdleDepolarizing":
+        """Copy with the base rate and every override multiplied by ``factor``."""
+        return IdleDepolarizing(
+            self.p * factor, {q: p * factor for q, p in self.per_qubit.items()}
+        )
+
+    def is_noiseless(self) -> bool:
+        """True when the base rate and every override are zero."""
+        return self.p == 0 and not any(self.per_qubit.values())
+
+
+@dataclass(frozen=True)
+class TwoQubitBiasedPauli(Channel):
+    """Z-biased two-qubit Pauli channel after each check (``PAULI_CHANNEL_2``).
+
+    Attributes
+    ----------
+    p:
+        Total error probability of the channel.
+    eta:
+        Bias: per-letter weight of Z relative to X/Y (see
+        :func:`two_qubit_biased_rates`).  ``eta = 1`` is exactly
+        ``DEPOLARIZE2``.
+    per_qubit:
+        Optional per-qubit overrides of ``p`` (maximum-of-pair rule).
+    """
+
+    p: float
+    eta: float = 1.0
+    per_qubit: dict = field(default_factory=dict)
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """One ``PAULI_CHANNEL_2`` op on gate sites; ``()`` elsewhere."""
+        if site.kind != GATE:
+            return ()
+        rate = _site_rate(self.p, self.per_qubit, site.qubits)
+        return (
+            NoiseOp(
+                "PAULI_CHANNEL_2",
+                site.qubits,
+                probabilities=two_qubit_biased_rates(rate, self.eta),
+            ),
+        )
+
+    def scaled(self, factor: float) -> "TwoQubitBiasedPauli":
+        """Copy with ``p`` and every override multiplied by ``factor`` (same bias)."""
+        return TwoQubitBiasedPauli(
+            self.p * factor, self.eta, {q: p * factor for q, p in self.per_qubit.items()}
+        )
+
+    def is_noiseless(self) -> bool:
+        """True when the base rate and every override are zero."""
+        return self.p == 0 and not any(self.per_qubit.values())
+
+
+@dataclass(frozen=True)
+class IdleBiasedPauli(Channel):
+    """Z-biased single-qubit Pauli channel on idling qubits (``PAULI_CHANNEL_1``)."""
+
+    p: float
+    eta: float = 1.0
+    per_qubit: dict = field(default_factory=dict)
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """One ``PAULI_CHANNEL_1`` op on idle sites; ``()`` elsewhere."""
+        if site.kind != IDLE:
+            return ()
+        rate = _site_rate(self.p, self.per_qubit, site.qubits)
+        return (
+            NoiseOp(
+                "PAULI_CHANNEL_1",
+                site.qubits,
+                probabilities=biased_pauli_rates(rate, self.eta),
+            ),
+        )
+
+    def scaled(self, factor: float) -> "IdleBiasedPauli":
+        """Copy with ``p`` and every override multiplied by ``factor`` (same bias)."""
+        return IdleBiasedPauli(
+            self.p * factor, self.eta, {q: p * factor for q, p in self.per_qubit.items()}
+        )
+
+    def is_noiseless(self) -> bool:
+        """True when the base rate and every override are zero."""
+        return self.p == 0 and not any(self.per_qubit.values())
+
+
+@dataclass(frozen=True)
+class Dephasing(Channel):
+    """Pure-Z dephasing on idle ticks and (optionally) after gates.
+
+    Attributes
+    ----------
+    p:
+        Z-error probability per site.
+    gates:
+        When true (the default), gate sites also dephase both gate qubits;
+        otherwise only idle sites fire.
+    """
+
+    p: float
+    gates: bool = True
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """A ``Z_ERROR`` op on idle (and optionally gate) sites."""
+        if site.kind == IDLE or (self.gates and site.kind == GATE):
+            return (NoiseOp("Z_ERROR", site.qubits, probability=self.p),)
+        return ()
+
+    def scaled(self, factor: float) -> "Dephasing":
+        """Copy with ``p`` multiplied by ``factor``."""
+        return Dephasing(self.p * factor, self.gates)
+
+    def is_noiseless(self) -> bool:
+        """True when the dephasing rate is zero."""
+        return self.p == 0
+
+
+@dataclass(frozen=True)
+class MeasurementFlip(Channel):
+    """Readout flip: ``Z_ERROR`` on the ancilla just before its X-basis readout."""
+
+    p: float
+    per_qubit: dict = field(default_factory=dict)
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """One ``Z_ERROR`` op on measure sites; ``()`` elsewhere."""
+        if site.kind != MEASURE:
+            return ()
+        rate = _site_rate(self.p, self.per_qubit, site.qubits)
+        return (NoiseOp("Z_ERROR", site.qubits, probability=rate),)
+
+    def scaled(self, factor: float) -> "MeasurementFlip":
+        """Copy with ``p`` and every override multiplied by ``factor``."""
+        return MeasurementFlip(
+            self.p * factor, {q: p * factor for q, p in self.per_qubit.items()}
+        )
+
+    def is_noiseless(self) -> bool:
+        """True when the flip rate and every override are zero."""
+        return self.p == 0 and not any(self.per_qubit.values())
+
+
+@dataclass(frozen=True)
+class ResetFlip(Channel):
+    """Preparation flip: ``Z_ERROR`` on every prepared ancilla after reset.
+
+    Fires once per round on the reset site covering *all* prepared
+    ancillas, producing a single multi-qubit instruction — the same stream
+    shape the legacy model emitted.
+    """
+
+    p: float
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """One multi-qubit ``Z_ERROR`` op on reset sites; ``()`` elsewhere."""
+        if site.kind != RESET:
+            return ()
+        return (NoiseOp("Z_ERROR", site.qubits, probability=self.p),)
+
+    def scaled(self, factor: float) -> "ResetFlip":
+        """Copy with ``p`` multiplied by ``factor``."""
+        return ResetFlip(self.p * factor)
+
+    def is_noiseless(self) -> bool:
+        """True when the flip rate is zero."""
+        return self.p == 0
+
+
+@dataclass(frozen=True)
+class DriftingChannel(Channel):
+    """Time-varying wrapper: scales an inner channel's rates per round or tick.
+
+    The scale factor at time coordinate ``t`` is ``max(0, 1 + slope * t)``
+    where ``t`` is ``site.round_index`` (``unit="round"``, the default) or
+    ``site.tick`` (``unit="tick"``).  ``slope = 0`` leaves every op
+    untouched, so a zero-slope drift model is bit-identical to its static
+    base (pinned by tests).
+
+    Attributes
+    ----------
+    channel:
+        The wrapped channel whose ops are rescaled.
+    slope:
+        Linear drift rate per time unit (may be negative; the factor
+        clamps at zero).
+    unit:
+        ``"round"`` or ``"tick"``.
+    """
+
+    channel: Channel
+    slope: float
+    unit: str = "round"
+
+    def __post_init__(self) -> None:
+        if self.unit not in ("round", "tick"):
+            raise ValueError(f"drift unit must be 'round' or 'tick', got {self.unit!r}")
+
+    def ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """The wrapped channel's ops, rescaled by the drift factor at ``site``."""
+        ops = self.channel.ops(site)
+        time = site.round_index if self.unit == "round" else site.tick
+        factor = max(0.0, 1.0 + self.slope * time)
+        if factor == 1.0 or not ops:
+            return ops
+        return tuple(op.scaled(factor) for op in ops)
+
+    def scaled(self, factor: float) -> "DriftingChannel":
+        """Copy whose wrapped channel's rates are multiplied by ``factor``."""
+        return DriftingChannel(self.channel.scaled(factor), self.slope, self.unit)
+
+    def is_noiseless(self) -> bool:
+        """True when the wrapped channel is noiseless."""
+        return self.channel.is_noiseless()
+
+
+@dataclass(frozen=True)
+class ComposedNoiseModel:
+    """A noise model as a plain composition of :class:`Channel` objects.
+
+    Implements the same ``channel_ops(site)`` protocol as the legacy
+    :class:`~repro.noise.models.NoiseModel`, so the circuit builders accept
+    either interchangeably.  Composition is concatenation: every channel is
+    asked for its ops at every site, in registration order.
+
+    Attributes
+    ----------
+    channels:
+        The composed channels, asked in order at every site.
+    name:
+        Optional label for ``repr`` and diagnostics.
+    """
+
+    channels: tuple[Channel, ...] = ()
+    name: str = "composed"
+
+    def channel_ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """All channels' ops at ``site``, concatenated in channel order."""
+        ops: list[NoiseOp] = []
+        for channel in self.channels:
+            ops.extend(channel.ops(site))
+        return tuple(ops)
+
+    def is_noiseless(self) -> bool:
+        """True when every composed channel is noiseless (or there are none)."""
+        return all(channel.is_noiseless() for channel in self.channels)
+
+    def scaled(self, factor: float) -> "ComposedNoiseModel":
+        """Copy with every channel's rates multiplied by ``factor``."""
+        return ComposedNoiseModel(
+            tuple(channel.scaled(factor) for channel in self.channels), self.name
+        )
+
+    def with_channels(self, *channels: Channel) -> "ComposedNoiseModel":
+        """Copy with ``channels`` appended to the composition."""
+        return ComposedNoiseModel(self.channels + tuple(channels), self.name)
+
+
+class NoiseModelBuilder:
+    """Fluent builder composing channels into a :class:`ComposedNoiseModel`.
+
+    Example
+    -------
+    >>> model = (
+    ...     NoiseModelBuilder("biased-demo")
+    ...     .gate_biased(1e-3, eta=10)
+    ...     .idle_biased(5e-4, eta=10)
+    ...     .measurement_flip(1e-3)
+    ...     .drift(slope=0.5)          # wraps everything added so far
+    ...     .build()
+    ... )
+    """
+
+    def __init__(self, name: str = "composed") -> None:
+        self._name = name
+        self._channels: list[Channel] = []
+
+    def add(self, *channels: Channel) -> "NoiseModelBuilder":
+        """Append arbitrary :class:`Channel` objects to the composition."""
+        self._channels.extend(channels)
+        return self
+
+    def gate_depolarizing(self, p: float, *, per_qubit: dict | None = None) -> "NoiseModelBuilder":
+        """Add :class:`TwoQubitDepolarizing` at rate ``p``."""
+        return self.add(TwoQubitDepolarizing(p, dict(per_qubit or {})))
+
+    def idle_depolarizing(self, p: float, *, per_qubit: dict | None = None) -> "NoiseModelBuilder":
+        """Add :class:`IdleDepolarizing` at rate ``p``."""
+        return self.add(IdleDepolarizing(p, dict(per_qubit or {})))
+
+    def gate_biased(
+        self, p: float, *, eta: float = 1.0, per_qubit: dict | None = None
+    ) -> "NoiseModelBuilder":
+        """Add :class:`TwoQubitBiasedPauli` at rate ``p`` and bias ``eta``."""
+        return self.add(TwoQubitBiasedPauli(p, eta, dict(per_qubit or {})))
+
+    def idle_biased(
+        self, p: float, *, eta: float = 1.0, per_qubit: dict | None = None
+    ) -> "NoiseModelBuilder":
+        """Add :class:`IdleBiasedPauli` at rate ``p`` and bias ``eta``."""
+        return self.add(IdleBiasedPauli(p, eta, dict(per_qubit or {})))
+
+    def dephasing(self, p: float, *, gates: bool = True) -> "NoiseModelBuilder":
+        """Add pure-Z :class:`Dephasing` at rate ``p``."""
+        return self.add(Dephasing(p, gates))
+
+    def measurement_flip(self, p: float, *, per_qubit: dict | None = None) -> "NoiseModelBuilder":
+        """Add :class:`MeasurementFlip` at rate ``p``."""
+        return self.add(MeasurementFlip(p, dict(per_qubit or {})))
+
+    def reset_flip(self, p: float) -> "NoiseModelBuilder":
+        """Add :class:`ResetFlip` at rate ``p``."""
+        return self.add(ResetFlip(p))
+
+    def drift(self, slope: float, *, unit: str = "round") -> "NoiseModelBuilder":
+        """Wrap every channel added *so far* in a :class:`DriftingChannel`."""
+        self._channels = [
+            DriftingChannel(channel, slope, unit) for channel in self._channels
+        ]
+        return self
+
+    def build(self) -> ComposedNoiseModel:
+        """The finished :class:`ComposedNoiseModel`."""
+        return ComposedNoiseModel(tuple(self._channels), self._name)
+
+
+# ----------------------------------------------------------------------
+# Composed-model factories behind the registry spec strings
+# ----------------------------------------------------------------------
+def biased_noise(
+    p: float = 1e-3,
+    eta: float = 10.0,
+    *,
+    idle: float | None = None,
+    measurement: float = 0.0,
+    reset: float = 0.0,
+) -> ComposedNoiseModel:
+    """Uniform Z-biased model: gate + idle biased channels plus optional flips.
+
+    Parameters
+    ----------
+    p:
+        Total two-qubit gate error probability.
+    eta:
+        Bias (``eta = 1`` is depolarizing; larger favours Z).
+    idle:
+        Idle error probability per tick (defaults to ``p``, mirroring the
+        uniform ``scaled`` model).
+    measurement:
+        Readout flip probability (default 0).
+    reset:
+        Preparation flip probability (default 0).
+
+    Returns
+    -------
+    ComposedNoiseModel
+        The composed biased model (spec string ``"biased:p=...,eta=..."``).
+    """
+    builder = NoiseModelBuilder("biased")
+    builder.gate_biased(p, eta=eta)
+    builder.idle_biased(p if idle is None else idle, eta=eta)
+    if measurement:
+        builder.measurement_flip(measurement)
+    if reset:
+        builder.reset_flip(reset)
+    return builder.build()
+
+
+def dephasing_noise(p: float = 1e-3, *, gates: bool = True) -> ComposedNoiseModel:
+    """Pure-Z dephasing model (spec string ``"dephasing:p=..."``).
+
+    Parameters
+    ----------
+    p:
+        Z-error probability per idle tick (and per gate qubit when
+        ``gates`` is true).
+    gates:
+        Also dephase both qubits after each two-qubit gate (default true).
+    """
+    return NoiseModelBuilder("dephasing").dephasing(p, gates=gates).build()
+
+
+def drifting_noise(
+    p0: float = 1e-3,
+    slope: float = 0.0,
+    *,
+    eta: float | None = None,
+    unit: str = "round",
+) -> ComposedNoiseModel:
+    """Uniform model whose rates drift linearly over time.
+
+    The instantaneous rate at time coordinate ``t`` is
+    ``p0 * max(0, 1 + slope * t)`` where ``t`` is the noisy-round index
+    (``unit="round"``, the default) or the schedule tick (``unit="tick"``).
+    With ``slope = 0`` the model is bit-identical to the static uniform
+    model at rate ``p0`` (spec ``"scaled:p=p0"`` for ``eta=None``), which
+    the regression tests pin.
+
+    Parameters
+    ----------
+    p0:
+        Base gate/idle error probability at ``t = 0``.
+    slope:
+        Linear drift per time unit (negative values decay; the factor
+        clamps at zero).
+    eta:
+        Optional bias; ``None`` (the default) uses plain depolarizing
+        channels, matching ``scaled`` exactly at ``slope = 0``.
+    unit:
+        Drift time coordinate: ``"round"`` or ``"tick"``.
+    """
+    builder = NoiseModelBuilder("drift")
+    if eta is None:
+        builder.gate_depolarizing(p0).idle_depolarizing(p0)
+    else:
+        builder.gate_biased(p0, eta=eta).idle_biased(p0, eta=eta)
+    builder.drift(slope, unit=unit)
+    return builder.build()

@@ -1,4 +1,4 @@
-"""Circuit-level noise models.
+"""Circuit-level noise models (the uniform/legacy family).
 
 The paper's main error model (Section 5.1.2) is adapted from IBM Brisbane:
 every two-qubit gate is followed by a two-qubit depolarizing channel with
@@ -7,6 +7,14 @@ single-qubit depolarizing channel with probability ``p_idle = 0.0052`` per
 tick.  Error rates may be uniform across qubits or per-qubit ("non-uniform
 error model", Section 5.7); measurement/reset flip probabilities are
 supported but default to zero to match the paper.
+
+:class:`NoiseModel` is the historical four-rate dataclass.  Since the
+channel refactor it is a thin facade over :mod:`repro.noise.channels`: its
+rates decompose into a fixed channel tuple (:meth:`NoiseModel.channels`)
+and the circuit builders consume it through the same
+``channel_ops(site)`` protocol as any composed model, so the legacy
+uniform models flow through the exact code path new channel compositions
+do — with bit-identical instruction streams, pinned by regression tests.
 """
 
 from __future__ import annotations
@@ -14,6 +22,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.noise.channels import (
+    Channel,
+    IdleDepolarizing,
+    MeasurementFlip,
+    NoiseOp,
+    NoiseSite,
+    ResetFlip,
+    TwoQubitDepolarizing,
+)
 
 __all__ = ["NoiseModel", "brisbane_noise", "scaled_noise", "non_uniform_noise"]
 
@@ -69,7 +87,43 @@ class NoiseModel:
         """Per-tick idling depolarizing probability for ``qubit``."""
         return self.per_qubit_idle.get(qubit, self.idle_error)
 
+    def channels(self) -> tuple[Channel, ...]:
+        """This model's decomposition into composable channels.
+
+        Gate depolarizing, idle depolarizing, measurement flip and reset
+        flip — asked in exactly the order the legacy emitters fired, so
+        routing through the channel path reproduces the historical
+        instruction stream bit for bit.
+
+        The tuple is computed once and cached (``channel_ops`` runs once
+        per noise site in the circuit-builder hot loop); models are
+        treated as immutable after their first use.
+        """
+        cached = self.__dict__.get("_channels")
+        if cached is None:
+            cached = (
+                TwoQubitDepolarizing(self.two_qubit_error, self.per_qubit_two_qubit),
+                IdleDepolarizing(self.idle_error, self.per_qubit_idle),
+                MeasurementFlip(self.measurement_error),
+                ResetFlip(self.reset_error),
+            )
+            self.__dict__["_channels"] = cached
+        return cached
+
+    def channel_ops(self, site: NoiseSite) -> tuple[NoiseOp, ...]:
+        """Noise ops to append at ``site`` (the shared builder protocol).
+
+        Same contract as
+        :meth:`repro.noise.channels.ComposedNoiseModel.channel_ops`: the
+        concatenated ops of :meth:`channels` at ``site``.
+        """
+        ops: list[NoiseOp] = []
+        for channel in self.channels():
+            ops.extend(channel.ops(site))
+        return tuple(ops)
+
     def is_noiseless(self) -> bool:
+        """True when every rate (and every per-qubit override) is zero."""
         return (
             self.two_qubit_error == 0
             and self.idle_error == 0

@@ -20,18 +20,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.circuits.circuit import Circuit
+from repro.circuits.circuit import ONE_QUBIT_PAULIS, TWO_QUBIT_PAULIS, Circuit
 from repro.sim.propagation import SparsePauli, propagate_fault
 
 __all__ = ["ErrorMechanism", "DetectorErrorModel", "build_detector_error_model"]
 
-_ONE_QUBIT_PAULIS = ("X", "Y", "Z")
-_TWO_QUBIT_PAULIS = tuple(
-    (first, second)
-    for first in ("I", "X", "Y", "Z")
-    for second in ("I", "X", "Y", "Z")
-    if not (first == "I" and second == "I")
-)
+# Canonical Pauli orders shared with the circuit IR (PAULI_CHANNEL_1/2
+# probability tuples are defined in exactly this order).
+_ONE_QUBIT_PAULIS = ONE_QUBIT_PAULIS
+_TWO_QUBIT_PAULIS = TWO_QUBIT_PAULIS
 
 
 @dataclass(frozen=True)
@@ -101,15 +98,31 @@ def _mechanism_paulis(instruction) -> list[tuple[float, SparsePauli]]:
         pairs = list(zip(instruction.qubits[::2], instruction.qubits[1::2]))
         for first, second in pairs:
             for letter_a, letter_b in _TWO_QUBIT_PAULIS:
-                pauli = SparsePauli()
-                if letter_a != "I":
-                    pauli.multiply_by(first, *_letter_bits(letter_a))
-                if letter_b != "I":
-                    pauli.multiply_by(second, *_letter_bits(letter_b))
-                mechanisms.append((share, pauli))
+                mechanisms.append((share, _pair_pauli(first, second, letter_a, letter_b)))
+    elif name == "PAULI_CHANNEL_1":
+        for qubit in instruction.qubits:
+            for letter, share in zip(_ONE_QUBIT_PAULIS, instruction.probabilities):
+                mechanisms.append((share, SparsePauli.single(qubit, letter)))
+    elif name == "PAULI_CHANNEL_2":
+        pairs = list(zip(instruction.qubits[::2], instruction.qubits[1::2]))
+        for first, second in pairs:
+            for (letter_a, letter_b), share in zip(
+                _TWO_QUBIT_PAULIS, instruction.probabilities
+            ):
+                mechanisms.append((share, _pair_pauli(first, second, letter_a, letter_b)))
     else:
         raise ValueError(f"not a noise instruction: {name}")
     return mechanisms
+
+
+def _pair_pauli(first: int, second: int, letter_a: str, letter_b: str) -> SparsePauli:
+    """The two-qubit :class:`SparsePauli` ``letter_a ⊗ letter_b`` on ``(first, second)``."""
+    pauli = SparsePauli()
+    if letter_a != "I":
+        pauli.multiply_by(first, *_letter_bits(letter_a))
+    if letter_b != "I":
+        pauli.multiply_by(second, *_letter_bits(letter_b))
+    return pauli
 
 
 def _letter_bits(letter: str) -> tuple[int, int]:

@@ -224,7 +224,31 @@ class TableauSimulator:
                 if self.rng.random() < instruction.probability:
                     index = int(self.rng.integers(1, 16))
                     self._apply_two_qubit_pauli(first, second, index)
+        elif name == "PAULI_CHANNEL_1":
+            gates = (self.x_gate, self.y_gate, self.z_gate)
+            for qubit in instruction.qubits:
+                choice = self._sample_channel_index(instruction.probabilities)
+                if choice is not None:
+                    gates[choice](qubit)
+        elif name == "PAULI_CHANNEL_2":
+            pairs = list(zip(instruction.qubits[::2], instruction.qubits[1::2]))
+            for first, second in pairs:
+                choice = self._sample_channel_index(instruction.probabilities)
+                if choice is not None:
+                    # Probability tuples follow TWO_QUBIT_PAULIS order, which
+                    # enumerates pair index 1..15 (II skipped).
+                    self._apply_two_qubit_pauli(first, second, choice + 1)
         # TICK / DETECTOR / OBSERVABLE are annotations.
+
+    def _sample_channel_index(self, probabilities) -> int | None:
+        """Draw which (if any) Pauli of a general channel fires this shot."""
+        draw = self.rng.random()
+        cumulative = 0.0
+        for index, probability in enumerate(probabilities):
+            cumulative += probability
+            if draw < cumulative:
+                return index
+        return None
 
     def _apply_two_qubit_pauli(self, first: int, second: int, index: int) -> None:
         first_letter = index // 4

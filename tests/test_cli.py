@@ -46,8 +46,8 @@ class TestCLI:
     def test_all_assets_registered_as_choices(self):
         from repro.experiments import EXPERIMENTS
 
-        # ``all`` plus one entry per paper asset.
-        assert len(EXPERIMENTS) == 8
+        # One entry per paper asset plus the threshold scenario suite.
+        assert len(EXPERIMENTS) == 9
 
     def test_output_directory_created(self, tmp_path):
         target = Path(tmp_path) / "nested" / "results"

@@ -66,6 +66,7 @@ class TestRegistry:
             "figure13",
             "figure14",
             "figure15",
+            "threshold",
         }
 
     def test_suite_help_strings_present(self):

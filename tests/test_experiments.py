@@ -48,6 +48,7 @@ class TestRegistry:
             "figure13",
             "figure14",
             "figure15",
+            "threshold",
         }
 
     def test_render_table_and_write_results(self, tmp_path, figure7_rows):

@@ -1,0 +1,453 @@
+"""Tests for the composable noise-channel subsystem (repro.noise.channels).
+
+The heart of this file is the bit-identity battery: the legacy uniform
+models must produce *bit-identical* detector error models through the new
+channel path (pinned against digests captured before the refactor), and
+the algebra's advertised reductions — ``eta=1`` == depolarizing, zero
+drift == static, zero rates == noiseless — must hold at DEM level, not
+just approximately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.api.pipeline import Pipeline
+from repro.api.registries import noise as noise_registry
+from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.memory import build_memory_experiment
+from repro.noise import (
+    ComposedNoiseModel,
+    Dephasing,
+    DriftingChannel,
+    IdleBiasedPauli,
+    IdleDepolarizing,
+    MeasurementFlip,
+    NoiseModel,
+    NoiseModelBuilder,
+    NoiseOp,
+    NoiseSite,
+    ResetFlip,
+    TwoQubitBiasedPauli,
+    TwoQubitDepolarizing,
+    biased_pauli_rates,
+    two_qubit_biased_rates,
+)
+from repro.sim.dem import build_detector_error_model
+from repro.sim.tableau import simulate_circuit
+
+
+def dem_digest(dem) -> str:
+    """Canonical digest of a DEM's (probability, detectors, observables) list."""
+    payload = [
+        (m.probability, sorted(m.detectors), sorted(m.observables))
+        for m in dem.mechanisms
+    ]
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def pipeline_digests(code: str, noise: str, **kwargs) -> tuple[str, str]:
+    pipeline = Pipeline(
+        code=code, noise=noise, scheduler="lowest_depth", decoder="mwpm", seed=5, **kwargs
+    )
+    return dem_digest(pipeline.dem["Z"]), dem_digest(pipeline.dem["X"])
+
+
+class TestLegacyBitIdentity:
+    """Uniform legacy models through the channel path == pre-refactor DEMs.
+
+    The digests below were captured from the repository *before* the
+    channel refactor (builder emitting depolarize2/depolarize1/z_error
+    directly from NoiseModel rates).  Any change to how legacy models
+    translate into instructions shows up here as a digest mismatch.
+    """
+
+    PINNED = {
+        ("surface:d=3", "brisbane"): (
+            "ed877640115c6796ded0f0d737ff19aea17c088afe5fde004f8513f4a1156a68",
+            "e725df9cd03e64074c28e854e86bf7ff0571b1e3052a10937172e71ecb6a38aa",
+        ),
+        ("surface:d=3", "scaled:p=0.003"): (
+            "6728156c04115bc4227f9a484b95418e6cb3ac4316d39fe767b8d4e193f7ca63",
+            "a3a4dd439c46089280366d2b3a87b2bad465f2cc4676b97a9b3c54454beb2fe0",
+        ),
+        (
+            "surface:d=3",
+            "depolarizing:two_qubit=0.004,idle=0.002,measurement=0.001,reset=0.0005",
+        ): (
+            "2d75cf5b4778433048d11a310ac96db4166db4934a8895aad1d9629ca5d4fcec",
+            "14fbb1844cd9a69e4c222bca20984111410d6806899f61ef10ba321cf8ad1da0",
+        ),
+        ("surface:d=3", "nonuniform:variance=0.5,seed=7"): (
+            "000e27449ac9275e945fd5dbed7dae2580033032c1e6cdb115f2cb94813eed71",
+            "6b3f10212124bf503608edc92e1ff9fbd2267fc02ab53f5d0b7c118704712908",
+        ),
+        ("steane", "brisbane"): (
+            "9a98a4ed7d845a6a16c9da5434a781f55f4d3b07b217b7eb2558effde5a13c7e",
+            "771d574708753ccee2a1e25ac9e9cf329c30c0307ea5692c6da236f8ee15ce13",
+        ),
+    }
+
+    @pytest.mark.parametrize("code,noise_spec", sorted(PINNED))
+    def test_dem_digests_pinned(self, code, noise_spec):
+        assert pipeline_digests(code, noise_spec) == self.PINNED[(code, noise_spec)]
+
+    def test_rates_pinned(self):
+        """End-to-end rates of a legacy model are unchanged by the refactor."""
+        pipeline = Pipeline(
+            code="surface:d=3",
+            noise="brisbane",
+            scheduler="lowest_depth",
+            decoder="mwpm",
+            shots=64,
+            seed=5,
+        )
+        assert pipeline.rates.error_x == 0.015625
+        assert pipeline.rates.error_z == 0.03125
+
+    def test_legacy_model_routes_through_channels(self):
+        """NoiseModel.channel_ops is the decomposition the builder consumes."""
+        model = NoiseModel(
+            two_qubit_error=0.01,
+            idle_error=0.002,
+            measurement_error=0.003,
+            reset_error=0.004,
+        )
+        gate_ops = model.channel_ops(NoiseSite("gate", (7, 2), tick=1))
+        assert [op.name for op in gate_ops] == ["DEPOLARIZE2"]
+        assert gate_ops[0].probability == 0.01
+        idle_ops = model.channel_ops(NoiseSite("idle", (3,), tick=2))
+        assert [op.name for op in idle_ops] == ["DEPOLARIZE1"]
+        measure_ops = model.channel_ops(NoiseSite("measure", (9,)))
+        assert [(op.name, op.probability) for op in measure_ops] == [("Z_ERROR", 0.003)]
+        reset_ops = model.channel_ops(NoiseSite("reset", (9, 10, 11)))
+        assert [(op.name, op.qubits) for op in reset_ops] == [("Z_ERROR", (9, 10, 11))]
+
+    def test_per_qubit_override_uses_pair_maximum(self):
+        model = NoiseModel(two_qubit_error=0.01, per_qubit_two_qubit={5: 0.03})
+        (op,) = model.channel_ops(NoiseSite("gate", (5, 0), tick=1))
+        assert op.probability == 0.03
+        (op,) = model.channel_ops(NoiseSite("gate", (0, 1), tick=1))
+        assert op.probability == 0.01
+
+
+class TestBiasConvention:
+    def test_eta_one_is_exact_depolarizing_split(self):
+        p = 0.003
+        assert biased_pauli_rates(p, 1.0) == (p / 3.0, p / 3.0, p / 3.0)
+        assert two_qubit_biased_rates(p, 1.0) == tuple([p / 15.0] * 15)
+
+    def test_rates_sum_to_total(self):
+        for eta in (0.0, 0.5, 1.0, 10.0, 1e6):
+            assert sum(biased_pauli_rates(0.01, eta)) == pytest.approx(0.01)
+            assert sum(two_qubit_biased_rates(0.01, eta)) == pytest.approx(0.01)
+
+    def test_large_eta_approaches_pure_dephasing(self):
+        px, py, pz = biased_pauli_rates(0.01, 1e9)
+        assert pz == pytest.approx(0.01, rel=1e-6)
+        assert px < 1e-10 and py < 1e-10
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ValueError):
+            biased_pauli_rates(0.01, -1.0)
+        with pytest.raises(ValueError):
+            two_qubit_biased_rates(0.01, -0.5)
+
+    def test_eta_one_dem_bit_identical_to_depolarizing(self):
+        """`biased:eta=1` and `scaled` produce bit-identical DEMs."""
+        assert pipeline_digests("surface:d=3", "biased:p=0.003,eta=1") == pipeline_digests(
+            "surface:d=3", "scaled:p=0.003"
+        )
+
+    def test_bias_skews_logical_error_asymmetry(self):
+        """High-eta noise produces a different DEM than depolarizing."""
+        assert pipeline_digests("surface:d=3", "biased:p=0.003,eta=20") != pipeline_digests(
+            "surface:d=3", "scaled:p=0.003"
+        )
+
+
+class TestDrift:
+    def test_zero_slope_bit_identical_to_static(self):
+        assert pipeline_digests("surface:d=3", "drift:p0=0.003,slope=0") == pipeline_digests(
+            "surface:d=3", "scaled:p=0.003"
+        )
+
+    def test_zero_slope_multi_round_bit_identical_to_static(self):
+        """The guarantee holds per round, not just for single-round circuits."""
+        assert pipeline_digests(
+            "surface:d=3", "drift:p0=0.003,slope=0", rounds=3
+        ) == pipeline_digests("surface:d=3", "scaled:p=0.003", rounds=3)
+
+    def test_drift_changes_later_rounds(self):
+        static = pipeline_digests("surface:d=3", "scaled:p=0.003", rounds=3)
+        drifting = pipeline_digests("surface:d=3", "drift:p0=0.003,slope=0.5", rounds=3)
+        assert static != drifting
+
+    def test_single_round_drift_is_static(self):
+        """With one noisy round there is no time axis; drift cannot act."""
+        assert pipeline_digests(
+            "surface:d=3", "drift:p0=0.003,slope=0.5"
+        ) == pipeline_digests("surface:d=3", "scaled:p=0.003")
+
+    def test_round_unit_scales_rates_linearly(self):
+        channel = DriftingChannel(IdleDepolarizing(0.01), slope=0.5)
+        (op0,) = channel.ops(NoiseSite("idle", (0,), tick=1, round_index=0))
+        (op2,) = channel.ops(NoiseSite("idle", (0,), tick=1, round_index=2))
+        assert op0.probability == 0.01
+        assert op2.probability == pytest.approx(0.02)
+
+    def test_tick_unit_uses_tick_coordinate(self):
+        channel = DriftingChannel(IdleDepolarizing(0.01), slope=1.0, unit="tick")
+        (op,) = channel.ops(NoiseSite("idle", (0,), tick=3, round_index=0))
+        assert op.probability == pytest.approx(0.04)
+
+    def test_negative_slope_clamps_at_zero(self):
+        channel = DriftingChannel(IdleDepolarizing(0.01), slope=-1.0)
+        (op,) = channel.ops(NoiseSite("idle", (0,), tick=1, round_index=5))
+        assert op.probability == 0.0
+
+    def test_invalid_unit_rejected(self):
+        with pytest.raises(ValueError):
+            DriftingChannel(IdleDepolarizing(0.01), slope=0.1, unit="shots")
+
+
+class TestComposition:
+    def test_zero_rate_channels_compose_to_noiseless(self):
+        model = (
+            NoiseModelBuilder()
+            .gate_biased(0.0, eta=5.0)
+            .idle_depolarizing(0.0)
+            .dephasing(0.0)
+            .measurement_flip(0.0)
+            .reset_flip(0.0)
+            .build()
+        )
+        assert model.is_noiseless()
+        # And the DEM agrees: no mechanisms at all, matching "noiseless".
+        zero_digests = _composed_digests(model)
+        noiseless_digests = pipeline_digests("surface:d=3", "noiseless")
+        assert zero_digests == noiseless_digests
+
+    def test_composition_is_concatenation_in_order(self):
+        model = ComposedNoiseModel(
+            (Dephasing(0.001), TwoQubitDepolarizing(0.002))
+        )
+        ops = model.channel_ops(NoiseSite("gate", (0, 1), tick=1))
+        assert [op.name for op in ops] == ["Z_ERROR", "DEPOLARIZE2"]
+
+    def test_builder_drift_wraps_only_prior_channels(self):
+        model = (
+            NoiseModelBuilder()
+            .gate_depolarizing(0.01)
+            .drift(slope=1.0)
+            .measurement_flip(0.005)
+            .build()
+        )
+        drifted, flat = model.channels
+        assert isinstance(drifted, DriftingChannel)
+        assert isinstance(flat, MeasurementFlip)
+
+    def test_scaled_scales_every_channel(self):
+        model = ComposedNoiseModel(
+            (TwoQubitBiasedPauli(0.01, 10.0), IdleBiasedPauli(0.004, 10.0), ResetFlip(0.002))
+        )
+        scaled = model.scaled(0.5)
+        (gate_op,) = scaled.channel_ops(NoiseSite("gate", (0, 1), tick=1))
+        assert sum(gate_op.probabilities) == pytest.approx(0.005)
+        (reset_op,) = scaled.channel_ops(NoiseSite("reset", (2,)))
+        assert reset_op.probability == pytest.approx(0.001)
+
+    def test_noise_op_scaled_clamps_and_renormalises(self):
+        assert NoiseOp("Z_ERROR", (0,), probability=0.6).scaled(2.0).probability == 1.0
+        op = NoiseOp("PAULI_CHANNEL_1", (0,), probabilities=(0.4, 0.4, 0.1)).scaled(2.0)
+        assert sum(op.probabilities) == pytest.approx(1.0)
+
+    def test_every_channel_scales_and_reports_noiselessness(self):
+        """scaled(0) yields a noiseless channel for every concrete type."""
+        channels = [
+            TwoQubitDepolarizing(0.01, {3: 0.02}),
+            IdleDepolarizing(0.01, {3: 0.02}),
+            TwoQubitBiasedPauli(0.01, 5.0, {3: 0.02}),
+            IdleBiasedPauli(0.01, 5.0, {3: 0.02}),
+            Dephasing(0.01),
+            MeasurementFlip(0.01, {3: 0.02}),
+            ResetFlip(0.01),
+            DriftingChannel(IdleDepolarizing(0.01), slope=0.5),
+        ]
+        for channel in channels:
+            assert not channel.is_noiseless(), channel
+            halved = channel.scaled(0.5)
+            assert type(halved) is type(channel)
+            assert channel.scaled(0.0).is_noiseless(), channel
+
+    def test_builder_covers_every_channel_kind(self):
+        model = (
+            NoiseModelBuilder("full")
+            .gate_depolarizing(0.01, per_qubit={1: 0.02})
+            .idle_depolarizing(0.005)
+            .gate_biased(0.01, eta=3.0)
+            .idle_biased(0.005, eta=3.0, per_qubit={2: 0.01})
+            .dephasing(0.001, gates=False)
+            .measurement_flip(0.002, per_qubit={9: 0.004})
+            .reset_flip(0.003)
+            .build()
+        )
+        assert len(model.channels) == 7
+        assert model.with_channels(ResetFlip(0.1)).channels[-1] == ResetFlip(0.1)
+        gate_ops = model.channel_ops(NoiseSite("gate", (0, 1), tick=1))
+        assert [op.name for op in gate_ops] == ["DEPOLARIZE2", "PAULI_CHANNEL_2"]
+        idle_ops = model.channel_ops(NoiseSite("idle", (2,), tick=1))
+        assert [op.name for op in idle_ops] == ["DEPOLARIZE1", "PAULI_CHANNEL_1", "Z_ERROR"]
+        # per-qubit override on the biased idle channel resolves for qubit 2
+        assert sum(idle_ops[1].probabilities) == pytest.approx(0.01)
+
+    def test_channels_pickle(self):
+        """Models must survive the process-pool boundary."""
+        import pickle
+
+        model = (
+            NoiseModelBuilder("demo").gate_biased(0.01, eta=4.0).drift(slope=0.1).build()
+        )
+        assert pickle.loads(pickle.dumps(model)) == model
+
+
+def _composed_digests(model) -> tuple[str, str]:
+    from repro.api.registries import codes
+    from repro.scheduling.baselines import lowest_depth_schedule
+
+    code = codes.build("surface:d=3")
+    schedule = lowest_depth_schedule(code)
+    digests = []
+    for basis in ("Z", "X"):
+        experiment = build_memory_experiment(code, schedule, model, basis=basis)
+        digests.append(dem_digest(build_detector_error_model(experiment.circuit)))
+    return tuple(digests)
+
+
+class TestPauliChannelInstructions:
+    def test_pauli_channel_1_validation(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            circuit.append(Instruction("PAULI_CHANNEL_1", (0,), probabilities=(0.1, 0.2)))
+        with pytest.raises(ValueError):
+            circuit.append(
+                Instruction("PAULI_CHANNEL_1", (0,), probabilities=(0.5, 0.4, 0.3))
+            )
+        with pytest.raises(ValueError):
+            circuit.append(
+                Instruction("PAULI_CHANNEL_2", (0, 1), probabilities=(0.1,) * 14)
+            )
+
+    def test_zero_probability_ops_are_skipped(self):
+        circuit = Circuit()
+        circuit.pauli_channel_1((0.0, 0.0, 0.0), 0)
+        circuit.pauli_channel_2((0.0,) * 15, 0, 1)
+        circuit.append_noise_op(NoiseOp("DEPOLARIZE1", (0,), probability=0.0))
+        assert len(circuit) == 0
+
+    def test_dem_decomposition_matches_depolarize(self):
+        """PAULI_CHANNEL mechanisms == DEPOLARIZE mechanisms at uniform shares."""
+        p = 0.15
+        one = Circuit()
+        one.reset(0)
+        one.pauli_channel_1((p / 3, p / 3, p / 3), 0)
+        one.detector(one.measure(0))
+        other = Circuit()
+        other.reset(0)
+        other.depolarize1(p, 0)
+        other.detector(other.measure(0))
+        assert dem_digest(build_detector_error_model(one)) == dem_digest(
+            build_detector_error_model(other)
+        )
+
+    def test_tableau_executes_pauli_channels(self):
+        """The reference simulator accepts the new channels (statistically sane)."""
+        flips = 0
+        shots = 400
+        for seed in range(shots):
+            circuit = Circuit()
+            circuit.reset(0)
+            circuit.pauli_channel_1((0.5, 0.0, 0.0), 0)  # X with p=0.5
+            circuit.measure(0)
+            measurements, _, _ = simulate_circuit(circuit, seed=seed)
+            flips += measurements[0]
+        assert 0.35 < flips / shots < 0.65
+
+    def test_tableau_pauli_channel_2_matches_pair_order(self):
+        """Index 15 of PAULI_CHANNEL_2 is Z⊗Z (last in canonical order)."""
+        circuit = Circuit()
+        circuit.reset(0, 1)
+        circuit.h(0, 1)
+        probabilities = [0.0] * 15
+        probabilities[14] = 1.0  # always fire Z⊗Z
+        circuit.pauli_channel_2(tuple(probabilities), 0, 1)
+        circuit.h(0, 1)
+        circuit.measure(0, 1)
+        measurements, _, _ = simulate_circuit(circuit, seed=0)
+        assert measurements == [1, 1]
+
+
+class TestRegistrySpecs:
+    def test_new_specs_registered(self):
+        for name in ("biased", "dephasing", "drift"):
+            assert name in noise_registry
+
+    def test_biased_spec_builds_composed_model(self):
+        model = noise_registry.build("biased:p=0.002,eta=5,measurement=0.001")
+        assert isinstance(model, ComposedNoiseModel)
+        assert not model.is_noiseless()
+        assert any(isinstance(c, MeasurementFlip) for c in model.channels)
+
+    def test_signature_rendering_for_discovery(self):
+        entry = noise_registry.entry("biased")
+        assert entry.signature.startswith("p=0.001,eta=10.0")
+        assert entry.spec_syntax.startswith("biased:p=")
+        # Parameterless entries render as their bare name.
+        assert noise_registry.entry("brisbane").spec_syntax == "brisbane"
+
+
+class TestRoundsAxis:
+    def test_rounds_validation(self):
+        from repro.api.spec import RunSpec
+
+        with pytest.raises(ValueError):
+            RunSpec(rounds=0)
+        assert RunSpec(rounds=3).rounds == 3
+        assert RunSpec.from_dict(RunSpec(rounds=2).to_dict()).rounds == 2
+
+    def test_pipeline_rounds_grow_detector_volume(self):
+        one = Pipeline(code="surface:d=3", noise="brisbane", decoder="mwpm", seed=0)
+        three = Pipeline(
+            code="surface:d=3", noise="brisbane", decoder="mwpm", seed=0, rounds=3
+        )
+        assert three.dem["Z"].num_detectors > one.dem["Z"].num_detectors
+
+    def test_cli_rounds_flag_and_grid_axis(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        out = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--code",
+                    "steane",
+                    "--decoder",
+                    "lookup",
+                    "--scheduler",
+                    "lowest_depth",
+                    "--shots",
+                    "32",
+                    "--grid",
+                    "rounds=1,2",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [row["spec"]["rounds"] for row in rows] == [1, 2]
