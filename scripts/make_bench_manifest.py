@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Regenerate the tracked benchmark manifest (``BENCH_<pr>.json``).
+
+Times the same substrate components as ``benchmarks/test_bench_components.py``
+— DEM extraction, dense vs packed sampling, decoder batch throughput — with
+plain best-of-N ``time.perf_counter`` loops (no pytest-benchmark dependency)
+and writes one JSON manifest to the repository root.  Committing one manifest
+per PR keeps the performance trajectory visible in-repo, so speedups and
+regressions show up in review instead of only on someone's laptop.
+
+Usage:
+
+    python scripts/make_bench_manifest.py --pr 6
+    python scripts/make_bench_manifest.py --pr 6 --out BENCH_6.json --repeats 9
+
+Numbers are machine-dependent; the manifest records the platform alongside
+the timings so cross-PR comparisons are only made within one machine class.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.api import codes, decoders  # noqa: E402
+from repro.circuits import build_memory_experiment  # noqa: E402
+from repro.noise import brisbane_noise  # noqa: E402
+from repro.scheduling import google_surface_schedule, lowest_depth_schedule  # noqa: E402
+from repro.sim import build_detector_error_model, sample_detector_error_model  # noqa: E402
+
+
+def _round(obj):
+    """Round floats to 4 decimals recursively so the manifest diffs cleanly."""
+    if isinstance(obj, float):
+        return round(obj, 4)
+    if isinstance(obj, dict):
+        return {key: _round(value) for key, value in obj.items()}
+    return obj
+
+
+def best_of(func, repeats: int) -> float:
+    """Best-of-N wall-clock seconds for ``func()`` (min over ``repeats`` runs)."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def surface_dem(distance: int):
+    """The d=3 / d=5 surface-code DEMs the component benchmarks time."""
+    code = codes.build(f"surface:d={distance}")
+    if distance == 3:
+        schedule, noisy_rounds = google_surface_schedule(code), 1
+    else:
+        schedule, noisy_rounds = lowest_depth_schedule(code), distance
+    experiment = build_memory_experiment(
+        code, schedule, brisbane_noise(), basis="Z", noisy_rounds=noisy_rounds
+    )
+    return experiment.circuit, build_detector_error_model(experiment.circuit)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pr", type=int, required=True, help="PR number to stamp the manifest")
+    parser.add_argument(
+        "--out", type=Path, default=None, help="output path (default BENCH_<pr>.json)"
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="best-of-N repeats per timing")
+    args = parser.parse_args()
+    out = args.out or REPO_ROOT / f"BENCH_{args.pr}.json"
+    repeats = args.repeats
+
+    benchmarks: dict[str, dict] = {}
+
+    print("timing DEM extraction ...")
+    circuit_d3, dem_d3 = surface_dem(3)
+    circuit_d5, dem_d5 = surface_dem(5)
+    benchmarks["dem_build_surface_d3"] = {
+        "best_ms": best_of(lambda: build_detector_error_model(circuit_d3), repeats) * 1e3,
+        "num_mechanisms": dem_d3.num_mechanisms,
+    }
+    benchmarks["dem_build_surface_d5_5rounds"] = {
+        "best_ms": best_of(lambda: build_detector_error_model(circuit_d5), repeats) * 1e3,
+        "num_mechanisms": dem_d5.num_mechanisms,
+    }
+
+    print("timing samplers (dense vs packed, d=5) ...")
+    shots = 2048
+    dense = sample_detector_error_model(dem_d5, shots, seed=11, backend="dense")
+    packed = sample_detector_error_model(dem_d5, shots, seed=11, backend="packed")
+    assert np.array_equal(dense.detectors, packed.detectors), "packed sampler diverged"
+    dense_s = best_of(
+        lambda: sample_detector_error_model(dem_d5, shots, seed=11, backend="dense"), repeats
+    )
+    packed_s = best_of(
+        lambda: sample_detector_error_model(dem_d5, shots, seed=11, backend="packed"), repeats
+    )
+    benchmarks["sampler_d5"] = {
+        "shots": shots,
+        "dense_ms": dense_s * 1e3,
+        "packed_ms": packed_s * 1e3,
+        "packed_speedup": dense_s / packed_s,
+    }
+
+    print("timing decoder batch throughput (d=3) ...")
+    decode_batch = sample_detector_error_model(dem_d3, 200, seed=1)
+    decoder_times: dict[str, dict] = {}
+    for name in ("mwpm", "unionfind", "bposd", "lookup"):
+        decoder = decoders.build(name)(dem_d3)
+        seconds = best_of(lambda: decoder.decode_batch(decode_batch.detectors), max(3, repeats - 2))
+        decoder_times[name] = {
+            "shots": decode_batch.num_shots,
+            "best_ms": seconds * 1e3,
+            "kshots_per_s": decode_batch.num_shots / seconds / 1e3,
+        }
+    benchmarks["decoder_batch_d3"] = decoder_times
+
+    print("timing vectorised lookup batch (20k shots, d=3) ...")
+    lookup = decoders.build("lookup")(dem_d3)
+    big_batch = sample_detector_error_model(dem_d3, 20000, seed=2)
+    seconds = best_of(lambda: lookup.decode_batch(big_batch.detectors), repeats)
+    benchmarks["lookup_batch_20k_d3"] = {
+        "shots": big_batch.num_shots,
+        "best_ms": seconds * 1e3,
+        "kshots_per_s": big_batch.num_shots / seconds / 1e3,
+    }
+
+    manifest = {
+        "pr": args.pr,
+        "generated_by": "scripts/make_bench_manifest.py",
+        "best_of": repeats,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "benchmarks": _round(benchmarks),
+    }
+    out.write_text(json.dumps(manifest, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

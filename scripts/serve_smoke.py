@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI smoke test for `repro serve`: boot, submit, stream, verify, shut down.
+
+Boots a real server subprocess (`python -m repro.serve`) on an ephemeral
+port, submits a quick RunSpec over HTTP, streams the NDJSON progress
+events, and asserts the served result is bit-identical to the offline
+`repro.api.Pipeline` run of the same spec.  Exits non-zero on any
+mismatch, so CI catches a serve/offline divergence immediately.
+
+Stdlib only (plus the repository itself).  Usage:
+
+    python scripts/serve_smoke.py [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.pipeline import Pipeline  # noqa: E402
+from repro.api.spec import Budget, RunSpec  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+
+SPEC = RunSpec(code="steane", decoder="lookup", budget=Budget(shots=3000), seed=7)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    print(f"offline reference: running {SPEC.code}/{SPEC.decoder} in-process ...")
+    offline = Pipeline(SPEC).run().to_dict()
+    print(f"  offline overall={offline['overall']:.6e}")
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0", "--workers", str(args.workers)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**__import__("os").environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    try:
+        banner = server.stdout.readline().strip()
+        print(banner)
+        if not banner.startswith("serving on "):
+            print("error: server did not start", file=sys.stderr)
+            return 1
+        client = ServeClient(banner.split()[-1])
+
+        submitted = client.submit(SPEC)
+        job_id = submitted["job"]["id"]
+        print(f"submitted job {job_id} (coalesced={submitted['coalesced']})")
+
+        result = None
+        for event in client.events(job_id):
+            kind = event["event"]
+            if kind == "progress":
+                print(
+                    f"  {event['basis']}: chunk {event['chunks_done']}"
+                    f"/{event['chunks_planned']} shots={event['shots']} "
+                    f"errors={event['errors']}"
+                )
+            elif kind == "failed":
+                print(f"error: job failed: {event.get('error')}", file=sys.stderr)
+                return 1
+            elif kind == "done":
+                result = event["result"]
+        if result is None:
+            print("error: event stream ended without a result", file=sys.stderr)
+            return 1
+
+        if result != offline:
+            print("error: served result differs from the offline pipeline:", file=sys.stderr)
+            print(f"  offline: {json.dumps(offline, sort_keys=True)}", file=sys.stderr)
+            print(f"  served:  {json.dumps(result, sort_keys=True)}", file=sys.stderr)
+            return 1
+        print(f"served result is bit-identical to offline (overall={result['overall']:.6e})")
+
+        # Resubmission must coalesce into the finished job: zero recomputation.
+        again = client.submit(SPEC)
+        if not (again["coalesced"] and again["job"]["id"] == job_id):
+            print("error: resubmission did not coalesce into the memo", file=sys.stderr)
+            return 1
+        stats = client.health()["stats"]
+        print(f"dedup OK: {stats['jobs_submitted']} job, {stats['jobs_coalesced']} coalesced")
+
+        urllib.request.urlopen(
+            urllib.request.Request(client.base_url + "/shutdown", method="POST"), timeout=10
+        ).read()
+        server.wait(timeout=30)
+        print("server shut down cleanly")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

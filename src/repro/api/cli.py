@@ -10,6 +10,13 @@ Subcommands::
     repro list {codes,decoders,noise,schedulers,all}
     repro experiments {run,ls,render}   declarative paper-table suites
     repro tables {table2,...,all}       legacy spelling of `experiments run`
+    repro serve [--workers N ...]       run the distributed execution service
+    repro submit [spec.json] [overrides]  submit a RunSpec to a running server
+    repro jobs [job_id]                 list / inspect jobs on a running server
+
+``submit``/``jobs`` find their server via ``--server`` or the
+``REPRO_SERVER`` environment variable (default ``http://127.0.0.1:8642``,
+the ``repro serve`` default bind).
 
 ``run``/``sweep`` accept ``--target-rse`` (with ``--max-shots`` /
 ``--confidence``) to switch evaluation to adaptive precision-targeted
@@ -479,6 +486,7 @@ def _run_suites(assets: list[str], args: argparse.Namespace, *, resume: bool = T
             args.out,
             cache=_cache_from_args(args),
             resume=resume,
+            server=getattr(args, "suite_server", None),
         )
     except SuiteRowError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -522,6 +530,126 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             print(f"{name}: {len(rows)} rows rendered to {text_path} and {json_path}")
         return status
     return _run_suites(names, args, resume=not args.fresh)
+
+
+#: Default endpoint of `repro submit` / `repro jobs` (overridden by
+#: ``--server`` or the ``REPRO_SERVER`` environment variable).
+DEFAULT_SERVER = "http://127.0.0.1:8642"
+
+
+def _add_server_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server",
+        default=None,
+        help=f"serve endpoint (default: $REPRO_SERVER or {DEFAULT_SERVER})",
+    )
+
+
+def _client_from_args(args: argparse.Namespace):
+    """The ServeClient for ``--server`` / ``$REPRO_SERVER`` (lazy import)."""
+    from repro.serve.client import ServeClient
+
+    return ServeClient(args.server or os.environ.get("REPRO_SERVER") or DEFAULT_SERVER)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serve daemon in the foreground (`repro serve`)."""
+    from repro.serve.__main__ import config_from_args, run_server
+
+    return run_server(config_from_args(args))
+
+
+def _format_progress(event: dict) -> str:
+    rse = event.get("rse")
+    rse_note = f" rse={rse:.3f}" if isinstance(rse, float) else ""
+    converged = " converged" if event.get("converged") else ""
+    return (
+        f"  {event.get('basis', '?')}: chunk {event.get('chunks_done', 0)}"
+        f"/{event.get('chunks_planned', 0)} shots={event.get('shots', 0)} "
+        f"errors={event.get('errors', 0)} rate={event.get('rate', 0.0):.3e}"
+        f"{rse_note}{converged}"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a RunSpec to a running server; stream progress until done."""
+    from repro.serve.client import ServeError
+
+    client = _client_from_args(args)
+    spec = _spec_from_args(args)
+    try:
+        submitted = client.submit(spec, priority=args.priority)
+    except (ConnectionError, OSError) as error:
+        print(
+            f"error: cannot reach {client.base_url} ({error}); "
+            "start a server with `repro serve`",
+            file=sys.stderr,
+        )
+        return 2
+    job = submitted["job"]
+    note = "coalesced into" if submitted["coalesced"] else "queued as"
+    print(f"{note} job {job['id']} (state={job['state']})")
+    if args.no_wait:
+        return 0
+    result = None
+    try:
+        for event in client.events(job["id"]):
+            kind = event.get("event")
+            if kind == "progress":
+                print(_format_progress(event))
+            elif kind == "done":
+                result = event["result"]
+            elif kind == "failed":
+                print(f"error: job failed: {event.get('error')}", file=sys.stderr)
+                return 1
+            elif kind == "job" and event["job"]["state"] == "done":
+                result = client.result(job["id"], timeout=5.0)
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if result is None:  # stream ended without a terminal event
+        result = client.result(job["id"], timeout=args.timeout)
+    print(
+        f"{result['spec']['code']} | scheduler={result['spec']['scheduler']} "
+        f"decoder={result['spec']['decoder']} noise={result['spec']['noise']}"
+    )
+    print(
+        f"  depth={result['depth']} shots={result['shots']} "
+        f"err_x={result['error_x']:.3e} err_z={result['error_z']:.3e} "
+        f"overall={result['overall']:.3e}"
+    )
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"result written to {path}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    """List jobs on a running server, or show one job's full summary."""
+    client = _client_from_args(args)
+    try:
+        if args.job_id:
+            print(json.dumps(client.job(args.job_id), indent=2))
+            return 0
+        summaries = client.jobs()
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {client.base_url} ({error})", file=sys.stderr)
+        return 2
+    print(f"{len(summaries)} job(s) on {client.base_url}")
+    for job in summaries:
+        spec = job["spec"]
+        progress = job["progress"]
+        chunks_done = sum(basis["chunks_done"] for basis in progress.values())
+        chunks_planned = sum(basis["chunks_planned"] for basis in progress.values())
+        print(
+            f"  {job['id']}  {job['state']:>7}  prio={job['priority']} "
+            f"subs={job['submissions']} chunks={chunks_done}/{chunks_planned}  "
+            f"{spec['code']} decoder={spec['decoder']} noise={spec['noise']} "
+            f"seed={spec['seed']}"
+        )
+    return 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -647,6 +775,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore rows already in the artifact store (re-run everything)",
     )
+    exp_run.add_argument(
+        "--server",
+        dest="suite_server",
+        default=None,
+        help="run cells as jobs on this `repro serve` endpoint instead of in-process",
+    )
     exp_run.add_argument("--out", default="results", help="artifact-store directory")
     exp_run.set_defaults(func=_cmd_experiments)
 
@@ -659,6 +793,47 @@ def build_parser() -> argparse.ArgumentParser:
     exp_render.add_argument("suite", help="suite name or 'all'")
     exp_render.add_argument("--out", default="results", help="artifact-store directory")
     exp_render.set_defaults(func=_cmd_experiments)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the distributed execution service (HTTP job queue)"
+    )
+    # Flags live next to the daemon so `python -m repro.serve` stays in sync.
+    from repro.serve.__main__ import add_serve_flags
+
+    add_serve_flags(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a RunSpec to a running `repro serve` endpoint"
+    )
+    submit_parser.add_argument(
+        "spec", nargs="?", default=None, help="path to a RunSpec JSON file"
+    )
+    _add_component_flags(submit_parser)
+    add_budget_flags(submit_parser)
+    _add_server_flag(submit_parser)
+    submit_parser.add_argument(
+        "--priority", type=int, default=0, help="queue priority (higher runs first)"
+    )
+    submit_parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return after queueing instead of streaming progress",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, help="seconds to wait for the result"
+    )
+    submit_parser.add_argument("--out", default=None, help="write the RunResult JSON here")
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list or inspect jobs on a running `repro serve` endpoint"
+    )
+    jobs_parser.add_argument(
+        "job_id", nargs="?", default=None, help="show this job's full summary"
+    )
+    _add_server_flag(jobs_parser)
+    jobs_parser.set_defaults(func=_cmd_jobs)
 
     tables_parser = subparsers.add_parser(
         "tables", help="regenerate the paper's tables and figures (alias of `experiments run`)"

@@ -49,7 +49,7 @@ from repro.sim.estimator import (
     rates_from_adaptive_estimates,
 )
 
-__all__ = ["Pipeline", "RunResult"]
+__all__ = ["Pipeline", "RunResult", "adaptive_report"]
 
 #: Basis artifact order; execution streams come from
 #: :func:`repro.sim.estimator.basis_streams` (basis Z reports the logical X
@@ -85,6 +85,36 @@ class RunResult:
         if self.adaptive is not None:
             payload["adaptive"] = self.adaptive
         return payload
+
+
+def adaptive_report(budget: Budget, estimates: "dict[str, AdaptiveEstimate]") -> dict:
+    """JSON-ready summary of one adaptive run's per-basis estimates.
+
+    The single encoding of the report shape, shared by
+    :attr:`Pipeline.adaptive_report` and the ``repro serve`` job finalizer
+    (:mod:`repro.serve.jobs`) so offline and served results carry identical
+    adaptive blocks.
+    """
+    return {
+        "target_rse": budget.target_rse,
+        "confidence": budget.confidence,
+        "max_shots": budget.plan_shots,
+        "converged": all(estimate.converged for estimate in estimates.values()),
+        "cache_hits": sum(estimate.cache_hits for estimate in estimates.values()),
+        "fresh_chunks": sum(estimate.fresh_chunks for estimate in estimates.values()),
+        "bases": {
+            basis: {
+                "shots": estimate.shots,
+                "errors": estimate.errors,
+                "rate": estimate.rate,
+                "chunks": estimate.chunks,
+                "converged": estimate.converged,
+                "cache_hits": estimate.cache_hits,
+                "fresh_chunks": estimate.fresh_chunks,
+            }
+            for basis, estimate in estimates.items()
+        },
+    }
 
 
 class Pipeline:
@@ -309,27 +339,7 @@ class Pipeline:
         estimates = self.estimates
         if estimates is None:
             return None
-        budget = self.spec.budget
-        return {
-            "target_rse": budget.target_rse,
-            "confidence": budget.confidence,
-            "max_shots": budget.plan_shots,
-            "converged": all(estimate.converged for estimate in estimates.values()),
-            "cache_hits": sum(estimate.cache_hits for estimate in estimates.values()),
-            "fresh_chunks": sum(estimate.fresh_chunks for estimate in estimates.values()),
-            "bases": {
-                basis: {
-                    "shots": estimate.shots,
-                    "errors": estimate.errors,
-                    "rate": estimate.rate,
-                    "chunks": estimate.chunks,
-                    "converged": estimate.converged,
-                    "cache_hits": estimate.cache_hits,
-                    "fresh_chunks": estimate.fresh_chunks,
-                }
-                for basis, estimate in estimates.items()
-            },
-        }
+        return adaptive_report(self.spec.budget, estimates)
 
     def _require_materialised(self, artifact: str) -> None:
         if self.adaptive:

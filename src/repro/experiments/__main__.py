@@ -49,6 +49,7 @@ def run_assets(
     *,
     cache=None,
     resume: bool = True,
+    server=None,
 ) -> list[Path]:
     """Regenerate ``assets``, print each table and return the written paths.
 
@@ -58,10 +59,14 @@ def run_assets(
     AlphaSyndrome syntheses shared between suites (e.g. Table 2's and
     Table 4's ``hexagonal_color_d3``/``bposd`` search) run once.  Raises
     :class:`SuiteRowError` on the first failed row.
+
+    ``server`` (a ``repro serve`` URL or client) switches execution to a
+    running service: cells become deduplicated jobs instead of in-process
+    pipelines, with bit-identical rows either way.
     """
     if not isinstance(config, SuiteConfig):
         config = SuiteConfig.from_experiment_budget(config)
-    runner = SuiteRunner(config, cache=cache, store=ArtifactStore(out_dir))
+    runner = SuiteRunner(config, cache=cache, store=ArtifactStore(out_dir), server=server)
     paths = []
     for asset in assets:
         result = runner.run(asset, resume=resume)
@@ -107,6 +112,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="ignore rows already in the artifact store (re-run everything)",
     )
+    parser.add_argument(
+        "--server",
+        default=None,
+        help="run cells as jobs on this `repro serve` endpoint instead of in-process",
+    )
     parser.add_argument("--out", default="results", help="output directory")
     args = parser.parse_args(argv)
 
@@ -116,7 +126,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(error))
     assets = available_suites() if args.asset == "all" else [args.asset]
     try:
-        run_assets(assets, config, args.out, cache=_cache_from_args(args), resume=not args.fresh)
+        run_assets(
+            assets,
+            config,
+            args.out,
+            cache=_cache_from_args(args),
+            resume=not args.fresh,
+            server=args.server,
+        )
     except SuiteRowError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -40,6 +40,7 @@ import dataclasses
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
+from types import SimpleNamespace
 
 from repro.api.pipeline import Pipeline, RunResult
 from repro.api.registries import schedulers
@@ -47,6 +48,7 @@ from repro.api.registry import parse_spec
 from repro.api.spec import Budget, RunSpec
 from repro.experiments.artifacts import ArtifactStore, row_fingerprint
 from repro.seeding import stage_seed
+from repro.sim.estimator import LogicalErrorRates
 
 __all__ = [
     "EVALUATION_STAGE",
@@ -478,6 +480,51 @@ class SuiteResult:
         return " ".join(parts)
 
 
+class _RemoteRun:
+    """Duck-typed stand-in for an executed :class:`Pipeline` in server mode.
+
+    Built from a ``repro serve`` RunResult payload; exposes exactly the
+    attributes :class:`RowView` reaches for (``spec``, ``code``, ``rates``,
+    ``schedule.depth``, ``result``).  The reconstructed
+    :class:`RunResult` round-trips to the served payload bit for bit, so
+    artifact-store rows are identical whichever mode produced them.
+    """
+
+    def __init__(self, spec: RunSpec, payload: dict) -> None:
+        self.spec = spec
+        adaptive = payload.get("adaptive")
+        shots_by_basis = converged = None
+        if adaptive is not None:
+            shots_by_basis = {
+                basis: entry["shots"] for basis, entry in adaptive["bases"].items()
+            }
+            converged = adaptive["converged"]
+        self.rates = LogicalErrorRates(
+            error_x=payload["error_x"],
+            error_z=payload["error_z"],
+            shots=payload["shots"],
+            depth=payload["depth"],
+            shots_by_basis=shots_by_basis,
+            converged=converged,
+        )
+        self.schedule = SimpleNamespace(depth=payload["depth"])
+        self.result = RunResult(
+            spec=spec,
+            rates=self.rates,
+            depth=payload["depth"],
+            synthesis_evaluations=payload.get("synthesis_evaluations"),
+            baseline_overall=payload.get("baseline_overall"),
+            adaptive=adaptive,
+        )
+
+    @property
+    def code(self):
+        """The constructed code object (built locally; codes are cheap)."""
+        from repro.api import registries
+
+        return registries.codes.build(self.spec.code)
+
+
 class SuiteRunner:
     """Executes suite rows: cached, parallel, adaptive and resumable.
 
@@ -493,9 +540,24 @@ class SuiteRunner:
         Optional :class:`~repro.experiments.artifacts.ArtifactStore` (or
         its directory).  With a store, completed rows are appended as they
         finish and replayed on the next run instead of re-executed.
+    server:
+        Optional ``repro serve`` endpoint (URL string or
+        :class:`repro.serve.client.ServeClient`).  With a server, rows are
+        not executed in this process: every cell is submitted as a job
+        (identical cells across suites coalesce server-side) and results
+        stream back — bit-identical to local execution, so resumed stores
+        mix freely with either mode.
     """
 
-    def __init__(self, config: SuiteConfig | None = None, *, cache=None, store=None) -> None:
+    def __init__(
+        self,
+        config: SuiteConfig | None = None,
+        *,
+        cache=None,
+        store=None,
+        server=None,
+        server_timeout: float = 900.0,
+    ) -> None:
         self.config = config or SuiteConfig()
         if isinstance(cache, (str, Path)):
             from repro.cache import ResultCache
@@ -505,6 +567,12 @@ class SuiteRunner:
         if isinstance(store, (str, Path)):
             store = ArtifactStore(store)
         self.store: ArtifactStore | None = store
+        if isinstance(server, str):
+            from repro.serve.client import ServeClient
+
+            server = ServeClient(server)
+        self.server = server
+        self.server_timeout = server_timeout
         #: SynthesisResult memo shared by every row this runner executes.
         self._syntheses: dict = {}
 
@@ -516,6 +584,8 @@ class SuiteRunner:
     # ------------------------------------------------------------------
     def run_row(self, row: ExperimentRow) -> "tuple[dict, list[RunResult]]":
         """Execute one row's pipelines and derive its published dictionary."""
+        if self.server is not None:
+            return self._run_row_remote(row)
         pipelines: dict[str, Pipeline] = {}
         for run in row.runs:
             pipeline = Pipeline(run.spec, cache=self.cache)
@@ -531,6 +601,26 @@ class SuiteRunner:
             pipelines[run.name] = pipeline
         view = RowView(row, pipelines)
         return row.derive(view), [pipelines[run.name].result for run in row.runs]
+
+    def _run_row_remote(self, row: ExperimentRow) -> "tuple[dict, list[RunResult]]":
+        """Run one row against the configured server.
+
+        Every cell is submitted before any result is awaited, so the
+        server's worker fleet runs a row's cells concurrently (and
+        deduplicates cells shared with other rows or other clients).
+        """
+        job_ids = {
+            run.name: self.server.submit(run.spec)["job"]["id"] for run in row.runs
+        }
+        remotes = {
+            run.name: _RemoteRun(
+                run.spec,
+                self.server.result(job_ids[run.name], timeout=self.server_timeout),
+            )
+            for run in row.runs
+        }
+        view = RowView(row, remotes)
+        return row.derive(view), [remotes[run.name].result for run in row.runs]
 
     def run_rows(self, rows: "Iterable[ExperimentRow]") -> "list[dict]":
         """Execute ``rows`` (no store) and return their dictionaries."""

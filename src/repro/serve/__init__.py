@@ -1,0 +1,49 @@
+"""``repro serve`` — a distributed execution service over the chunk fabric.
+
+The service turns the repository's existing scale substrate — the
+worker-count-invariant chunk plan (:mod:`repro.parallel`) and the
+content-addressed chunk cache (:mod:`repro.cache`) — into a long-running
+compute fabric that many clients share:
+
+:mod:`repro.serve.jobs`
+    the deduplicating priority job queue and the chunk-lease scheduler.
+    Identical canonical :class:`~repro.api.spec.RunSpec` submissions
+    coalesce into one job; workers lease fixed 1024-shot chunk ranges with
+    deadlines, so a killed worker never strands a job.
+
+:mod:`repro.serve.worker`
+    the worker process: builds the pipeline stages for a job once, then
+    executes leased chunks through :func:`repro.parallel.chunk_error_counts`,
+    replaying and publishing ``(shots, errors)`` summaries through the
+    shared :class:`repro.cache.ResultCache`.
+
+:mod:`repro.serve.server`
+    the asyncio HTTP service (stdlib only): ``POST /jobs``,
+    ``GET /jobs/<id>/events`` (NDJSON streaming progress with live Wilson
+    estimates), ``GET /jobs/<id>/result`` and ``GET /healthz``.
+
+:mod:`repro.serve.client`
+    a stdlib client used by ``repro submit`` / ``repro jobs``, the suite
+    runner's server mode and the integration tests.
+
+Because jobs consume the exact chunk plan, seed streams and stopping rule
+the offline :class:`repro.api.Pipeline` uses, a served result is
+**bit-identical** to the same RunSpec run offline, for every server worker
+count — pinned by ``tests/test_serve_integration.py``.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.jobs import Job, JobQueueStats, JobScheduler, JobState, job_key
+from repro.serve.server import ReproServer, ServeConfig, serve_in_thread
+
+__all__ = [
+    "Job",
+    "JobQueueStats",
+    "JobScheduler",
+    "JobState",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "job_key",
+    "serve_in_thread",
+]

@@ -1,0 +1,126 @@
+"""Stdlib HTTP client for a running ``repro serve`` endpoint.
+
+Used by the ``repro submit`` / ``repro jobs`` CLI verbs, the suite
+runner's server mode and the integration tests.  One
+:class:`http.client.HTTPConnection` per request (the server is
+``Connection: close``), so a :class:`ServeClient` is cheap, stateless and
+safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from urllib.parse import urlsplit
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP error response from the serve endpoint (carries the status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talk to a ``repro serve`` endpoint given its base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {split.scheme!r} (http only)")
+        if not split.hostname:
+            raise ValueError(f"no host in server URL {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        """The normalized endpoint URL."""
+        return f"http://{self.host}:{self.port}"
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {"Accept": "application/json"}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode("utf-8") or "{}")
+            if response.status >= 400:
+                raise ServeError(response.status, data.get("error", response.reason))
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz`` — worker liveness, job tallies, fabric counters."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec, priority: int = 0) -> dict:
+        """``POST /jobs`` — submit a RunSpec (object or payload dict).
+
+        Returns ``{"job": summary, "coalesced": bool}``.
+        """
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        return self._request("POST", "/jobs", {"spec": payload, "priority": priority})
+
+    def jobs(self) -> "list[dict]":
+        """``GET /jobs`` — all job summaries."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>`` — one job summary."""
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str, timeout: float = 300.0) -> dict:
+        """``GET /jobs/<id>/result`` — block until done, return the RunResult payload."""
+        data = self._request("GET", f"/jobs/{job_id}/result?timeout={timeout}")
+        job = data["job"]
+        if job["state"] == "failed":
+            raise ServeError(500, job.get("error") or "job failed")
+        return data["result"]
+
+    def events(self, job_id: str):
+        """``GET /jobs/<id>/events`` — yield NDJSON events until the terminal one.
+
+        A generator of dicts: a ``job`` snapshot first, then ``progress``
+        events, ending with ``done`` (carrying the result) or ``failed``.
+        """
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "GET", f"/jobs/{job_id}/events", headers={"Accept": "application/x-ndjson"}
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                data = json.loads(response.read().decode("utf-8") or "{}")
+                raise ServeError(response.status, data.get("error", response.reason))
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                event = json.loads(line.decode("utf-8"))
+                yield event
+                if event.get("event") in ("done", "failed"):
+                    return
+        finally:
+            connection.close()
+
+    def run(self, spec, priority: int = 0, timeout: float = 600.0) -> dict:
+        """Submit a spec and block for its result payload (convenience)."""
+        job_id = self.submit(spec, priority=priority)["job"]["id"]
+        return self.result(job_id, timeout=timeout)
+
+    def shutdown(self) -> dict:
+        """``POST /shutdown`` — ask the server to stop."""
+        return self._request("POST", "/shutdown")

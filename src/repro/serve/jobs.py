@@ -1,0 +1,579 @@
+"""Deduplicating priority job queue and chunk-lease scheduler.
+
+This module is the service's brain, written as plain synchronous state
+machines so the queue semantics are unit-testable without sockets or
+processes (the asyncio server and the worker pool are thin shells around
+it — ``tests/test_serve_queue.py`` drives it directly with a fake clock).
+
+**Deduplication.**  A submitted :class:`~repro.api.spec.RunSpec` is reduced
+to its canonical payload (:func:`repro.api.spec.canonical_spec` — the same
+normalisation sweeps and suite rows resume on, so ``workers`` never splits
+a job) and hashed into a :func:`job_key`.  Two submissions with the same
+key *coalesce*: the second subscriber attaches to the first job and exactly
+one computation runs.  Because results are deterministic functions of the
+canonical spec, a completed job is a permanent memo — resubmitting a done
+spec returns the finished job immediately.
+
+**Chunk plan.**  A job's work is the exact chunk plan the offline
+:class:`repro.api.Pipeline` would execute: per basis (``Z``/``X``), fixed
+1024-shot chunks laid out for ``budget.plan_shots``
+(:func:`repro.parallel.chunk_sizes`) with per-chunk spawned seed streams.
+Chunk *results* are consumed strictly in chunk order through the budget's
+:class:`~repro.analysis.stats.StoppingRule`; out-of-order completions are
+buffered and speculative chunks past an adaptive stopping point are
+discarded — byte-for-byte the offline engine's contract, which is what
+makes served results bit-identical to offline runs.
+
+**Leases.**  Workers are granted chunk ranges under a deadline
+(``lease_timeout``); every reported chunk renews the lease.  An expired
+lease — a worker that died, hung, or was killed mid-job — has its
+unfinished chunks requeued ahead of fresh dispatch, so the job still
+completes (and completes *identically*, since a chunk's content depends
+only on its index and stream, never on which worker runs it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import relative_error
+from repro.api.pipeline import RunResult, adaptive_report
+from repro.api.spec import RunSpec, canonical_spec
+from repro.parallel import DEFAULT_CHUNK_SHOTS, AdaptiveEstimate, chunk_sizes
+from repro.sim.estimator import LogicalErrorRates, rates_from_adaptive_estimates
+
+__all__ = [
+    "BasisProgress",
+    "ChunkTask",
+    "Job",
+    "JobQueueStats",
+    "JobScheduler",
+    "JobState",
+    "Lease",
+    "job_key",
+]
+
+#: Basis execution order; matches ``repro.api.pipeline._BASES``.
+BASES = ("Z", "X")
+
+
+def job_key(spec: RunSpec) -> str:
+    """Content address of one job: SHA-256 of the canonical spec payload.
+
+    ``workers`` (and nothing else) is dropped by the canonicalisation, so
+    submissions that differ only in an execution detail share a key.
+    """
+    payload = canonical_spec(spec.to_dict())
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class JobState:
+    """Job lifecycle states (plain strings so summaries JSON-serialise)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    #: States in which no further work will be dispatched.
+    TERMINAL = (DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One leased unit of work: chunk ``index`` of ``basis`` of a job."""
+
+    job_id: str
+    basis: str
+    index: int
+    shots: int
+
+
+class BasisProgress:
+    """Strictly-ordered consumption of one basis' chunk plan.
+
+    Chunk results arrive in any order (workers race) but are *consumed* —
+    accumulated into ``shots``/``errors`` and fed to the stopping rule —
+    strictly by chunk index, exactly like
+    :func:`repro.parallel.adaptive_sample_and_decode`.  ``done`` flips when
+    the rule converges or the plan is exhausted; anything buffered or
+    reported after that is speculation and is discarded.
+    """
+
+    def __init__(self, sizes: list[int], rule) -> None:
+        self.sizes = sizes
+        self.rule = rule
+        self.next_consume = 0
+        self.next_dispatch = 0
+        self.buffered: dict[int, tuple[int, int, bool]] = {}
+        self.shots = 0
+        self.errors = 0
+        self.chunk_counts: list[tuple[int, int]] = []
+        self.cache_hits = 0
+        self.fresh_chunks = 0
+        self.converged = False
+        self.done = not sizes
+
+    def record(self, index: int, shots: int, errors: int, cached: bool) -> bool:
+        """Buffer one chunk result; consume in order.  True if the frontier moved."""
+        if self.done or index < self.next_consume or index in self.buffered:
+            return False
+        self.buffered[index] = (shots, errors, cached)
+        moved = False
+        while not self.done and self.next_consume in self.buffered:
+            shots, errors, cached = self.buffered.pop(self.next_consume)
+            self.next_consume += 1
+            self.shots += shots
+            self.errors += errors
+            self.chunk_counts.append((shots, errors))
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.fresh_chunks += 1
+            moved = True
+            if self.rule.converged(self.errors, self.shots):
+                self.converged = True
+                self.done = True
+            elif self.next_consume >= len(self.sizes):
+                self.done = True
+        if self.done:
+            self.buffered.clear()
+        return moved
+
+    def dispatchable(self, window: int) -> "list[int]":
+        """Chunk indices ready to hand out, bounded by the speculation window.
+
+        ``window`` caps how far past the consumption frontier the scheduler
+        speculates — pools on the offline path do the same via
+        ``lookahead`` — so an adaptive job that stops early never fans its
+        whole ``max_shots`` plan out to the fleet.
+        """
+        if self.done:
+            return []
+        horizon = min(len(self.sizes), self.next_consume + max(1, window))
+        indices = list(range(max(self.next_dispatch, self.next_consume), horizon))
+        return indices
+
+    def mark_dispatched(self, index: int) -> None:
+        """Advance the dispatch frontier past ``index``."""
+        self.next_dispatch = max(self.next_dispatch, index + 1)
+
+    @property
+    def rate(self) -> float:
+        """Observed error fraction of the consumed prefix."""
+        return self.errors / self.shots if self.shots else 0.0
+
+    def rse(self) -> float | None:
+        """Current Wilson relative error (``None`` while it is infinite)."""
+        value = relative_error(self.errors, self.shots, z=self.rule.z)
+        return None if value != value or value == float("inf") else value
+
+    def estimate(self) -> AdaptiveEstimate:
+        """The consumed prefix as an :class:`~repro.parallel.AdaptiveEstimate`."""
+        return AdaptiveEstimate(
+            shots=self.shots,
+            errors=self.errors,
+            converged=self.converged,
+            chunk_counts=list(self.chunk_counts),
+            cache_hits=self.cache_hits,
+            fresh_chunks=self.fresh_chunks,
+        )
+
+    def summary(self) -> dict:
+        """JSON-ready progress snapshot of this basis."""
+        return {
+            "chunks_done": self.next_consume,
+            "chunks_planned": len(self.sizes),
+            "shots": self.shots,
+            "errors": self.errors,
+            "rate": self.rate,
+            "rse": self.rse(),
+            "converged": self.converged,
+            "done": self.done,
+        }
+
+
+class Job:
+    """One deduplicated computation: a spec, its chunk plan, its progress."""
+
+    def __init__(self, job_id: str, key: str, spec: RunSpec, priority: int, seq: int) -> None:
+        self.id = job_id
+        self.key = key
+        self.spec = spec
+        self.priority = priority
+        self.seq = seq
+        self.state = JobState.QUEUED
+        self.submissions = 1
+        sizes = chunk_sizes(spec.budget.plan_shots, DEFAULT_CHUNK_SHOTS)
+        rule = spec.budget.stopping_rule()
+        self.progress: dict[str, BasisProgress] = {
+            basis: BasisProgress(list(sizes), rule) for basis in BASES
+        }
+        #: Expired-lease chunks to re-dispatch before fresh speculation.
+        self.requeued: list[ChunkTask] = []
+        #: Pipeline facts reported by the first worker to build the job's
+        #: stages (schedule depth, synthesis counters) — needed to assemble
+        #: a RunResult identical to the offline pipeline's.
+        self.depth: int | None = None
+        self.synthesis_evaluations: int | None = None
+        self.baseline_overall: float | None = None
+        self.result: dict | None = None
+        self.error: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def adaptive(self) -> bool:
+        """True when the job's budget streams through a precision target."""
+        return self.spec.budget.adaptive
+
+    @property
+    def complete(self) -> bool:
+        """True when every basis has consumed its plan (or converged)."""
+        return all(progress.done for progress in self.progress.values())
+
+    def chunk_task(self, basis: str, index: int) -> ChunkTask:
+        """The :class:`ChunkTask` for one chunk of one basis."""
+        return ChunkTask(self.id, basis, index, self.progress[basis].sizes[index])
+
+    def absorb_info(self, info: dict | None) -> None:
+        """Record the worker-reported pipeline facts (first reporter wins)."""
+        if not info or self.depth is not None:
+            return
+        self.depth = info.get("depth")
+        self.synthesis_evaluations = info.get("synthesis_evaluations")
+        self.baseline_overall = info.get("baseline_overall")
+
+    def finalize(self) -> dict:
+        """Assemble the RunResult payload — the offline pipeline's, bit for bit.
+
+        Adaptive jobs reduce exactly like
+        :func:`repro.sim.estimator.rates_from_adaptive_estimates`; fixed
+        jobs reproduce ``count_wrong / shots`` (integer counts divided once,
+        the same float the offline ``fraction_wrong`` computes over the
+        merged batch).
+        """
+        depth = self.depth if self.depth is not None else 0
+        estimates = {basis: progress.estimate() for basis, progress in self.progress.items()}
+        if self.adaptive:
+            rates = rates_from_adaptive_estimates(depth, estimates)
+            report = adaptive_report(self.spec.budget, estimates)
+        else:
+            shots = self.spec.budget.shots
+            rates = LogicalErrorRates(
+                error_x=self.progress["Z"].rate,
+                error_z=self.progress["X"].rate,
+                shots=shots,
+                depth=depth,
+            )
+            report = None
+        self.result = RunResult(
+            spec=self.spec,
+            rates=rates,
+            depth=depth,
+            synthesis_evaluations=self.synthesis_evaluations,
+            baseline_overall=self.baseline_overall,
+            adaptive=report,
+        ).to_dict()
+        self.state = JobState.DONE
+        return self.result
+
+    def summary(self) -> dict:
+        """JSON-ready job snapshot (the ``GET /jobs/<id>`` payload)."""
+        payload = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "priority": self.priority,
+            "submissions": self.submissions,
+            "adaptive": self.adaptive,
+            "spec": self.spec.to_dict(),
+            "depth": self.depth,
+            "progress": {basis: progress.summary() for basis, progress in self.progress.items()},
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class Lease:
+    """One worker's claim on a set of chunks, valid until ``deadline``."""
+
+    worker_id: str
+    tasks: "set[ChunkTask]" = field(default_factory=set)
+    deadline: float = 0.0
+
+
+@dataclass
+class JobQueueStats:
+    """Fabric-wide counters (the dedup/lease acceptance evidence)."""
+
+    jobs_submitted: int = 0
+    jobs_coalesced: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    chunks_executed: int = 0
+    chunks_cached: int = 0
+    chunks_discarded: int = 0
+    leases_granted: int = 0
+    leases_expired: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict view for ``/healthz``."""
+        return dict(vars(self))
+
+
+class JobScheduler:
+    """Priority queue + dedup map + lease table, driven by an external clock.
+
+    Every mutating call takes ``now`` (any monotonic float) and returns the
+    NDJSON-ready events it produced, so the asyncio server stays a thin
+    transport: it forwards worker messages in and fans events out.
+    """
+
+    def __init__(
+        self,
+        *,
+        lease_timeout: float = 30.0,
+        lease_chunks: int = 4,
+        window: int = 8,
+    ) -> None:
+        self.lease_timeout = lease_timeout
+        self.lease_chunks = max(1, lease_chunks)
+        self.window = max(1, window)
+        self.jobs: dict[str, Job] = {}
+        self._by_key: dict[str, str] = {}
+        #: Min-heap of ``(-priority, seq, job_id)`` — higher priority first,
+        #: FIFO within a priority level.  Entries go stale when a job
+        #: finishes or its priority is raised; stale entries are dropped
+        #: lazily during dispatch scans.
+        self._heap: list[tuple[int, int, str]] = []
+        self._leases: dict[str, Lease] = {}
+        self._seq = 0
+        self.stats = JobQueueStats()
+
+    # ------------------------------------------------------------------
+    # Submission / dedup
+    # ------------------------------------------------------------------
+    def submit(self, spec: RunSpec, *, priority: int = 0) -> "tuple[Job, bool, list[dict]]":
+        """Submit a spec; returns ``(job, coalesced, events)``.
+
+        A spec whose canonical payload matches a live (or completed) job
+        coalesces into it — ``coalesced=True`` and no new computation.  A
+        coalescing submission with a *higher* priority raises the job's
+        priority (the fabric serves the most urgent subscriber).  Specs
+        that previously **failed** are retried with a fresh job.
+        """
+        if spec.budget.plan_shots <= 0:
+            raise ValueError("serve jobs need budget.shots (or max_shots) >= 1")
+        key = job_key(spec)
+        existing_id = self._by_key.get(key)
+        if existing_id is not None:
+            job = self.jobs[existing_id]
+            if job.state != JobState.FAILED:
+                job.submissions += 1
+                self.stats.jobs_coalesced += 1
+                if priority > job.priority and job.state not in JobState.TERMINAL:
+                    job.priority = priority
+                    self._push(job)
+                return job, True, []
+        self._seq += 1
+        job = Job(f"j{self._seq:04d}-{key[:12]}", key, spec, priority, self._seq)
+        self.jobs[job.id] = job
+        self._by_key[key] = job.id
+        self._push(job)
+        self.stats.jobs_submitted += 1
+        return job, False, [{"event": "queued", "job_id": job.id}]
+
+    def _push(self, job: Job) -> None:
+        heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
+
+    def get(self, job_id: str) -> Job | None:
+        """The job with ``job_id`` (or ``None``)."""
+        return self.jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Dispatch / leases
+    # ------------------------------------------------------------------
+    def assign(self, worker_id: str, now: float) -> "list[ChunkTask]":
+        """Lease up to ``lease_chunks`` chunks of the best runnable job.
+
+        Requeued chunks (from expired leases) go out first; fresh chunks
+        follow the basis plans within the speculation window.  Returns an
+        empty list when nothing is runnable.  The granted lease expires at
+        ``now + lease_timeout`` unless renewed by reported results.
+        """
+        job = self._next_runnable()
+        if job is None:
+            return []
+        tasks: list[ChunkTask] = []
+        while job.requeued and len(tasks) < self.lease_chunks:
+            tasks.append(job.requeued.pop(0))
+        if len(tasks) < self.lease_chunks:
+            for basis in BASES:
+                progress = job.progress[basis]
+                for index in progress.dispatchable(self.window):
+                    if len(tasks) >= self.lease_chunks:
+                        break
+                    tasks.append(job.chunk_task(basis, index))
+                    progress.mark_dispatched(index)
+        if not tasks:
+            return []
+        if job.state == JobState.QUEUED:
+            job.state = JobState.RUNNING
+        lease = self._leases.setdefault(worker_id, Lease(worker_id))
+        lease.tasks.update(tasks)
+        lease.deadline = now + self.lease_timeout
+        self.stats.leases_granted += 1
+        return tasks
+
+    def _next_runnable(self) -> Job | None:
+        """Highest-priority job with dispatchable work (stale entries dropped)."""
+        kept: list[tuple[int, int, str]] = []
+        found: Job | None = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            neg_priority, _, job_id = entry
+            job = self.jobs.get(job_id)
+            if job is None or job.state in JobState.TERMINAL or -neg_priority != job.priority:
+                continue  # stale: finished, or superseded by a priority raise
+            kept.append(entry)
+            if job.requeued or any(
+                job.progress[basis].dispatchable(self.window) for basis in BASES
+            ):
+                found = job
+                break
+        for entry in kept:
+            heapq.heappush(self._heap, entry)
+        return found
+
+    def has_dispatchable(self) -> bool:
+        """True when some job could use an idle worker right now."""
+        return self._next_runnable() is not None
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def record_result(
+        self,
+        worker_id: str,
+        task: ChunkTask,
+        shots: int,
+        errors: int,
+        cached: bool,
+        info: dict | None,
+        now: float,
+    ) -> "list[dict]":
+        """Fold one worker-reported chunk back into its job.
+
+        Renews the worker's lease (a reporting worker is alive), advances
+        the ordered consumption frontier, and — when the last basis
+        finishes — finalizes the job.  Results for finished jobs (adaptive
+        speculation past the stopping point, or a lease that expired and
+        was re-run) are counted as discarded and otherwise ignored.
+        """
+        lease = self._leases.get(worker_id)
+        if lease is not None:
+            lease.tasks.discard(task)
+            lease.deadline = now + self.lease_timeout
+            if not lease.tasks:
+                del self._leases[worker_id]
+        job = self.jobs.get(task.job_id)
+        if job is None or job.state in JobState.TERMINAL:
+            self.stats.chunks_discarded += 1
+            return []
+        job.absorb_info(info)
+        progress = job.progress.get(task.basis)
+        if progress is None:
+            self.stats.chunks_discarded += 1
+            return []
+        if not progress.record(task.index, shots, errors, cached):
+            if progress.done and task.index >= progress.next_consume:
+                self.stats.chunks_discarded += 1
+            # buffered out of order: counted when consumed
+        if cached:
+            self.stats.chunks_cached += 1
+        else:
+            self.stats.chunks_executed += 1
+        events = [
+            {
+                "event": "progress",
+                "job_id": job.id,
+                "basis": task.basis,
+                **progress.summary(),
+            }
+        ]
+        if job.complete:
+            result = job.finalize()
+            self.stats.jobs_completed += 1
+            self._drop_job_tasks(job.id)
+            events.append({"event": "done", "job_id": job.id, "result": result})
+        return events
+
+    def fail_job(self, job_id: str, message: str) -> "list[dict]":
+        """Mark a job failed (worker could not build or execute it)."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state in JobState.TERMINAL:
+            return []
+        job.state = JobState.FAILED
+        job.error = message
+        self.stats.jobs_failed += 1
+        self._drop_job_tasks(job_id)
+        return [{"event": "failed", "job_id": job_id, "error": message}]
+
+    def _drop_job_tasks(self, job_id: str) -> None:
+        """Remove a finished job's chunks from every outstanding lease."""
+        for worker_id in list(self._leases):
+            lease = self._leases[worker_id]
+            lease.tasks = {task for task in lease.tasks if task.job_id != job_id}
+            if not lease.tasks:
+                del self._leases[worker_id]
+
+    # ------------------------------------------------------------------
+    # Lease expiry / worker death
+    # ------------------------------------------------------------------
+    def reap(self, now: float) -> "list[ChunkTask]":
+        """Requeue the chunks of every lease whose deadline has passed."""
+        requeued: list[ChunkTask] = []
+        for worker_id, lease in list(self._leases.items()):
+            if lease.deadline <= now:
+                requeued.extend(self._expire(worker_id))
+        return requeued
+
+    def worker_lost(self, worker_id: str) -> "list[ChunkTask]":
+        """Requeue a dead worker's leased chunks immediately.
+
+        The lease *timeout* alone would eventually recover them; death
+        detection just recovers faster when the process demonstrably exited.
+        """
+        if worker_id not in self._leases:
+            return []
+        return self._expire(worker_id)
+
+    def _expire(self, worker_id: str) -> "list[ChunkTask]":
+        lease = self._leases.pop(worker_id)
+        self.stats.leases_expired += 1
+        requeued = []
+        for task in sorted(lease.tasks, key=lambda t: (t.basis, t.index)):
+            job = self.jobs.get(task.job_id)
+            if job is None or job.state in JobState.TERMINAL:
+                continue
+            progress = job.progress[task.basis]
+            if task.index >= progress.next_consume and task.index not in progress.buffered:
+                job.requeued.append(task)
+                requeued.append(task)
+        return requeued
+
+    # ------------------------------------------------------------------
+    def job_counts(self) -> dict:
+        """Job tallies by state (for ``/healthz``)."""
+        counts = {state: 0 for state in (
+            JobState.QUEUED, JobState.RUNNING, JobState.DONE, JobState.FAILED
+        )}
+        for job in self.jobs.values():
+            counts[job.state] += 1
+        return counts

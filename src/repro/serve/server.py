@@ -1,0 +1,500 @@
+"""The ``repro serve`` asyncio HTTP service (stdlib only, no framework).
+
+One process hosts the :class:`~repro.serve.jobs.JobScheduler` plus a pool
+of worker *processes* (:mod:`repro.serve.worker`); HTTP is a thin
+transport over both.  Endpoints:
+
+``POST /jobs``
+    Submit ``{"spec": {...RunSpec...}, "priority": N}`` (or a bare RunSpec
+    payload).  Identical canonical specs coalesce into one job; the
+    response carries the job summary and a ``coalesced`` flag.
+
+``GET /jobs`` / ``GET /jobs/<id>``
+    List job summaries / fetch one.
+
+``GET /jobs/<id>/events``
+    NDJSON event stream: a ``job`` snapshot, then one ``progress`` line
+    per consumed chunk (shots, errors, current rate, live Wilson relative
+    error, convergence flag), then a terminal ``done`` (with the full
+    RunResult payload) or ``failed`` line.
+
+``GET /jobs/<id>/result?timeout=S``
+    Block until the job finishes and return its result payload.
+
+``GET /healthz``
+    Worker liveness, job tallies and the fabric counters
+    (:class:`~repro.serve.jobs.JobQueueStats`).
+
+``POST /shutdown``
+    Ask the server to stop (used by the CI smoke harness).
+
+Responses are single-shot ``Connection: close`` HTTP/1.1 — one request
+per connection keeps the stdlib parser honest; event streams simply write
+NDJSON until the terminal event and close.
+
+Workers are started via the ``spawn`` context (safe to combine with the
+server's threads), watched by a reaper task that requeues expired leases,
+detects dead processes (``Process.is_alive``), and respawns replacements —
+a SIGKILLed worker delays a job by at most one lease timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.spec import RunSpec
+from repro.serve.jobs import JobScheduler, JobState
+from repro.serve.worker import worker_main
+
+__all__ = ["ReproServer", "ServeConfig", "serve_in_thread"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service configuration: bind address, fleet size and lease policy.
+
+    ``port=0`` binds an ephemeral port (the bound port is reported by
+    :attr:`ReproServer.url`).  ``lease_timeout`` is the watchdog horizon
+    for worker death; ``lease_chunks`` the chunk-range size one lease
+    grants; ``window`` the per-basis speculation bound (defaults to enough
+    chunks to keep the whole fleet busy).  ``throttle`` artificially slows
+    workers (seconds per chunk) — a test/debug knob only.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    workers: int = 2
+    cache_dir: str | None = None
+    lease_timeout: float = 30.0
+    lease_chunks: int = 4
+    window: int | None = None
+    poll_interval: float = 0.25
+    respawn: bool = True
+    throttle: float = 0.0
+
+    @property
+    def effective_window(self) -> int:
+        """The speculation window: explicit, or sized to saturate the fleet."""
+        if self.window is not None:
+            return max(1, self.window)
+        return max(8, 2 * self.workers * self.lease_chunks)
+
+
+class _WorkerHandle:
+    """Server-side view of one worker process."""
+
+    def __init__(self, worker_id: str, process, inbox) -> None:
+        self.id = worker_id
+        self.process = process
+        self.inbox = inbox
+        self.outstanding = 0
+        self.lost = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.lost and self.process.is_alive()
+
+
+class ReproServer:
+    """The serve fabric: scheduler + worker pool + HTTP front end."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.scheduler = JobScheduler(
+            lease_timeout=self.config.lease_timeout,
+            lease_chunks=self.config.lease_chunks,
+            window=self.config.effective_window,
+        )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._outbox = self._ctx.Queue()
+        self._workers: dict[str, _WorkerHandle] = {}
+        self._worker_serial = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._reader: threading.Thread | None = None
+        self._reaper: asyncio.Task | None = None
+        self._subscribers: dict[str, set[asyncio.Queue]] = {}
+        self._done_events: dict[str, asyncio.Event] = {}
+        self._stopping = asyncio.Event()
+        self.workers_respawned = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL of the bound HTTP endpoint."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return f"http://{host}:{port}"
+
+    async def start(self) -> None:
+        """Bind the socket, spawn the worker fleet and start the pumps."""
+        self._loop = asyncio.get_running_loop()
+        for _ in range(self.config.workers):
+            self._spawn_worker()
+        self._reader = threading.Thread(target=self._pump_outbox, daemon=True)
+        self._reader.start()
+        self._reaper = asyncio.ensure_future(self._reap_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`request_stop` (or ``POST /shutdown``), then clean up."""
+        await self._stopping.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask the serving loop to exit (threadsafe from the loop's thread)."""
+        self._stopping.set()
+
+    async def stop(self) -> None:
+        """Tear everything down: HTTP, reaper, workers, reader thread."""
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        if self._reaper is not None:
+            self._reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper
+        for handle in self._workers.values():
+            if handle.alive:
+                with contextlib.suppress(Exception):
+                    handle.inbox.put(("stop",))
+        deadline = time.monotonic() + 2.0
+        for handle in self._workers.values():
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        self._outbox.put(("__exit__",))
+        if self._reader is not None:
+            self._reader.join(timeout=2.0)
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        self._worker_serial += 1
+        worker_id = f"w{self._worker_serial}"
+        inbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, inbox, self._outbox, self.config.cache_dir, self.config.throttle),
+            daemon=True,
+            name=f"repro-serve-{worker_id}",
+        )
+        process.start()
+        handle = _WorkerHandle(worker_id, process, inbox)
+        self._workers[worker_id] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    # Worker plumbing
+    # ------------------------------------------------------------------
+    def _pump_outbox(self) -> None:
+        """(Reader thread) forward worker messages into the event loop."""
+        while True:
+            message = self._outbox.get()
+            if message[0] == "__exit__":
+                return
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            loop.call_soon_threadsafe(self._on_worker_message, message)
+
+    def _on_worker_message(self, message) -> None:
+        now = time.monotonic()
+        kind = message[0]
+        if kind == "result":
+            _, worker_id, task, shots, errors, cached, info = message
+            handle = self._workers.get(worker_id)
+            if handle is not None:
+                handle.outstanding = max(0, handle.outstanding - 1)
+            events = self.scheduler.record_result(
+                worker_id, task, shots, errors, cached, info, now
+            )
+        elif kind == "error":
+            _, worker_id, job_id, error_message = message
+            handle = self._workers.get(worker_id)
+            if handle is not None:
+                handle.outstanding = max(0, handle.outstanding - 1)
+            events = self.scheduler.fail_job(job_id, error_message)
+        else:  # pragma: no cover - future message kinds
+            events = []
+        self._publish(events)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Hand leases to every idle worker while work is available."""
+        now = time.monotonic()
+        for handle in self._workers.values():
+            if not handle.alive or handle.outstanding > 0:
+                continue
+            tasks = self.scheduler.assign(handle.id, now)
+            if not tasks:
+                continue
+            specs = {}
+            for task in tasks:
+                if task.job_id not in specs:
+                    specs[task.job_id] = self.scheduler.jobs[task.job_id].spec.to_dict()
+            handle.inbox.put(("run", tasks, specs))
+            handle.outstanding += len(tasks)
+
+    async def _reap_loop(self) -> None:
+        """Periodic watchdog: expired leases, dead workers, respawns.
+
+        Respawns are capped (``4 + 4 * workers``): a fleet whose processes
+        die instantly — a broken environment, not a transient kill — must
+        not fork-bomb the host.  With the cap exhausted and every worker
+        dead, pending jobs are failed so clients see the outage instead of
+        a silent hang.
+        """
+        respawn_budget = 4 + 4 * self.config.workers
+        while True:
+            await asyncio.sleep(self.config.poll_interval)
+            now = time.monotonic()
+            self.scheduler.reap(now)
+            for worker_id, handle in list(self._workers.items()):
+                if handle.lost or handle.process.is_alive():
+                    continue
+                handle.lost = True
+                handle.outstanding = 0
+                self.scheduler.worker_lost(worker_id)
+                if self.config.respawn and self.workers_respawned < respawn_budget:
+                    self._spawn_worker()
+                    self.workers_respawned += 1
+            if not any(handle.alive for handle in self._workers.values()):
+                for job in list(self.scheduler.jobs.values()):
+                    if job.state not in JobState.TERMINAL:
+                        self._publish(
+                            self.scheduler.fail_job(job.id, "no live workers remain")
+                        )
+                continue
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _publish(self, events: "list[dict]") -> None:
+        for event in events:
+            job_id = event.get("job_id")
+            for queue in self._subscribers.get(job_id, ()):  # type: ignore[arg-type]
+                queue.put_nowait(event)
+            if event["event"] in ("done", "failed"):
+                self._done_event(job_id).set()
+
+    def _done_event(self, job_id: str) -> asyncio.Event:
+        event = self._done_events.get(job_id)
+        if event is None:
+            event = self._done_events[job_id] = asyncio.Event()
+        return event
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0].upper(), parts[1]
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length") or 0)
+            if length > 0:
+                body = await reader.readexactly(length)
+            await self._route(method, target, body, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, method: str, target: str, body: bytes, writer) -> None:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        if method == "GET" and path == "/healthz":
+            await _respond(writer, 200, self._health())
+        elif method == "POST" and path == "/jobs":
+            await self._post_jobs(body, writer)
+        elif method == "GET" and path == "/jobs":
+            await _respond(
+                writer,
+                200,
+                {"jobs": [job.summary() for job in self.scheduler.jobs.values()]},
+            )
+        elif method == "POST" and path == "/shutdown":
+            await _respond(writer, 200, {"status": "stopping"})
+            self.request_stop()
+        elif method == "GET" and path.startswith("/jobs/"):
+            await self._get_job(path, query, writer)
+        else:
+            await _respond(writer, 404, {"error": f"no route for {method} {split.path}"})
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "workers": [
+                {
+                    "id": handle.id,
+                    "pid": handle.process.pid,
+                    "alive": handle.alive,
+                    "outstanding": handle.outstanding,
+                }
+                for handle in self._workers.values()
+            ],
+            "workers_respawned": self.workers_respawned,
+            "jobs": self.scheduler.job_counts(),
+            "stats": self.scheduler.stats.to_dict(),
+        }
+
+    async def _post_jobs(self, body: bytes, writer) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            spec_payload = payload.get("spec", payload)
+            priority = int(payload.get("priority", 0)) if "priority" in payload else 0
+            spec = RunSpec.from_dict(spec_payload)
+            job, coalesced, events = self.scheduler.submit(spec, priority=priority)
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as error:
+            await _respond(writer, 400, {"error": str(error)})
+            return
+        self._publish(events)
+        if job.state in JobState.TERMINAL:
+            self._done_event(job.id).set()
+        self._dispatch()
+        status = 200 if coalesced else 201
+        await _respond(writer, status, {"job": job.summary(), "coalesced": coalesced})
+
+    async def _get_job(self, path: str, query: dict, writer) -> None:
+        segments = path.split("/")  # ["", "jobs", "<id>"] or ["", "jobs", "<id>", "<verb>"]
+        job = self.scheduler.get(segments[2])
+        if job is None:
+            await _respond(writer, 404, {"error": f"unknown job {segments[2]!r}"})
+            return
+        verb = segments[3] if len(segments) > 3 else None
+        if verb is None:
+            await _respond(writer, 200, {"job": job.summary()})
+        elif verb == "result":
+            timeout = float(query.get("timeout", 300.0))
+            try:
+                await asyncio.wait_for(self._done_event(job.id).wait(), timeout=timeout)
+            except asyncio.TimeoutError:
+                await _respond(
+                    writer, 504, {"error": "timed out waiting for job", "job": job.summary()}
+                )
+                return
+            await _respond(writer, 200, {"job": job.summary(), "result": job.result})
+        elif verb == "events":
+            await self._stream_events(job, writer)
+        else:
+            await _respond(writer, 404, {"error": f"unknown job endpoint {verb!r}"})
+
+    async def _stream_events(self, job, writer) -> None:
+        """NDJSON event stream: snapshot, live progress, terminal event."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job.id, set()).add(queue)
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Cache-Control: no-store\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await _write_line(writer, {"event": "job", "job": job.summary()})
+            if job.state in JobState.TERMINAL:
+                await _write_line(writer, _terminal_event(job))
+                return
+            while True:
+                event = await queue.get()
+                await _write_line(writer, event)
+                if event["event"] in ("done", "failed"):
+                    return
+        finally:
+            self._subscribers.get(job.id, set()).discard(queue)
+
+
+def _terminal_event(job) -> dict:
+    if job.state == JobState.FAILED:
+        return {"event": "failed", "job_id": job.id, "error": job.error}
+    return {"event": "done", "job_id": job.id, "result": job.result}
+
+
+async def _write_line(writer, payload: dict) -> None:
+    writer.write(json.dumps(payload, allow_nan=False).encode("utf-8") + b"\n")
+    await writer.drain()
+
+
+async def _respond(writer, status: int, payload: dict) -> None:
+    reasons = {
+        200: "OK",
+        201: "Created",
+        400: "Bad Request",
+        404: "Not Found",
+        504: "Gateway Timeout",
+    }
+    body = json.dumps(payload, allow_nan=False).encode("utf-8")
+    writer.write(
+        f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n".encode("latin-1")
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+@contextlib.contextmanager
+def serve_in_thread(config: ServeConfig | None = None):
+    """Run a :class:`ReproServer` on a background thread; yields the server.
+
+    The embedding entry point the integration tests (and any library user)
+    rely on: the event loop, worker fleet and HTTP endpoint live on a
+    daemon thread; the caller talks to ``server.url`` over HTTP and the
+    context manager tears everything down on exit.
+    """
+    server = ReproServer(config)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: list[BaseException] = []
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as error:  # pragma: no cover - startup failure
+            failure.append(error)
+            started.set()
+            return
+        started.set()
+        loop.run_until_complete(server.wait_stopped())
+        loop.close()
+
+    thread = threading.Thread(target=_run, daemon=True, name="repro-serve")
+    thread.start()
+    started.wait(timeout=60.0)
+    if failure:  # pragma: no cover - startup failure
+        raise failure[0]
+    try:
+        yield server
+    finally:
+        loop.call_soon_threadsafe(server.request_stop)
+        thread.join(timeout=30.0)

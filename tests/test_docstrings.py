@@ -26,6 +26,10 @@ AUDITED_MODULES = (
     "repro.noise.channels",
     "repro.noise.models",
     "repro.experiments.suite",
+    "repro.serve.client",
+    "repro.serve.jobs",
+    "repro.serve.server",
+    "repro.serve.worker",
 )
 
 

@@ -1,0 +1,186 @@
+"""Integration tests for `repro serve`: real workers, real HTTP.
+
+The acceptance contract of the service:
+
+* a served job's RunResult payload is **bit-identical** to the offline
+  `repro.api.Pipeline` for every server worker count;
+* concurrent submissions of one canonical spec coalesce into exactly one
+  computation (pinned via the fabric counters);
+* a worker SIGKILLed mid-job is recovered by the lease machinery and the
+  job still completes with the identical result;
+* adaptive (target_rse) jobs stop at the same prefix as offline;
+* served chunks replay from the shared content-addressed cache.
+
+Each test boots its own in-process server (`serve_in_thread`) on an
+ephemeral port with spawn-context worker processes, so the module is
+slower than the unit layer; budgets are sized to keep it tolerable.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.api.pipeline import Pipeline
+from repro.api.spec import Budget, RunSpec
+from repro.cache import ResultCache
+from repro.serve import ServeClient, ServeConfig, serve_in_thread
+
+#: Multi-chunk spec (3 chunks per basis) that stays laptop-fast.
+SPEC = RunSpec(code="steane", decoder="lookup", budget=Budget(shots=3000), seed=7)
+
+ADAPTIVE_SPEC = SPEC.replace(
+    budget=Budget(shots=1000, target_rse=0.35, max_shots=16384)
+)
+
+
+@pytest.fixture(scope="module")
+def offline_result():
+    return Pipeline(SPEC).run().to_dict()
+
+
+def fast_config(**overrides):
+    defaults = dict(port=0, workers=2, poll_interval=0.05, lease_timeout=15.0)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_served_result_bit_identical_to_offline(workers, offline_result):
+    with serve_in_thread(fast_config(workers=workers)) as server:
+        client = ServeClient(server.url)
+        result = client.run(SPEC, timeout=180.0)
+    assert result == offline_result
+
+
+def test_concurrent_identical_submissions_run_one_computation(offline_result):
+    # throttle widens the window in which the second submission arrives
+    # while the first is still running.
+    with serve_in_thread(fast_config(throttle=0.1)) as server:
+        client = ServeClient(server.url)
+        results, errors = [], []
+
+        def submit_and_wait():
+            try:
+                results.append(client.run(SPEC, timeout=180.0))
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(error)
+
+        threads = [threading.Thread(target=submit_and_wait) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180.0)
+        stats = client.health()["stats"]
+    assert not errors
+    # Both clients got the full (identical, offline-equal) result...
+    assert results == [offline_result, offline_result]
+    # ...from exactly one computation: one job, six chunks (3 per basis),
+    # nothing executed twice.
+    assert stats["jobs_submitted"] == 1
+    assert stats["jobs_coalesced"] == 1
+    assert stats["jobs_completed"] == 1
+    assert stats["chunks_executed"] == 6
+
+
+def test_killed_worker_recovered_by_lease_timeout(offline_result):
+    config = fast_config(workers=2, lease_timeout=1.5, throttle=0.4)
+    with serve_in_thread(config) as server:
+        client = ServeClient(server.url)
+        job_id = client.submit(SPEC)["job"]["id"]
+        # Wait until a worker actually holds work, then kill it dead.
+        victim = None
+        deadline = time.monotonic() + 30.0
+        while victim is None and time.monotonic() < deadline:
+            for worker in client.health()["workers"]:
+                if worker["alive"] and worker["outstanding"] > 0:
+                    victim = worker
+                    break
+            time.sleep(0.05)
+        assert victim is not None, "no worker ever held a lease"
+        os.kill(victim["pid"], signal.SIGKILL)
+        result = client.result(job_id, timeout=180.0)
+        health = client.health()
+    assert result == offline_result
+    assert health["workers_respawned"] >= 1
+    assert health["stats"]["leases_expired"] >= 1
+
+
+def test_adaptive_job_matches_offline_early_stop():
+    offline = Pipeline(ADAPTIVE_SPEC).run().to_dict()
+    with serve_in_thread(fast_config()) as server:
+        result = ServeClient(server.url).run(ADAPTIVE_SPEC, timeout=180.0)
+    # Cache-hit counters legitimately differ between a cacheless server and
+    # an offline run; everything statistical must match bit for bit.
+    for payload in (offline, result):
+        payload["adaptive"].pop("cache_hits")
+        payload["adaptive"].pop("fresh_chunks")
+        for basis in payload["adaptive"]["bases"].values():
+            basis.pop("cache_hits")
+            basis.pop("fresh_chunks")
+    assert result == offline
+    assert result["adaptive"]["converged"] is True
+    assert result["shots"] < ADAPTIVE_SPEC.budget.plan_shots
+
+
+def test_served_chunks_replay_from_shared_cache(tmp_path, offline_result):
+    cache_dir = str(tmp_path / "cache")
+    # A first server publishes the job's chunks into the shared cache...
+    with serve_in_thread(fast_config(cache_dir=cache_dir)) as server:
+        client = ServeClient(server.url)
+        first = client.run(SPEC, timeout=180.0)
+        first_stats = client.health()["stats"]
+    assert first == offline_result
+    assert first_stats["chunks_executed"] == 6
+    # ...so a fresh server (a restart) replays them all and samples nothing.
+    with serve_in_thread(fast_config(cache_dir=cache_dir)) as server:
+        client = ServeClient(server.url)
+        result = client.run(SPEC, timeout=180.0)
+        stats = client.health()["stats"]
+    assert result == offline_result
+    assert stats["chunks_executed"] == 0
+    assert stats["chunks_cached"] == 6
+    # The published summaries live in the same content-addressed store the
+    # offline adaptive engine reads.
+    assert len(ResultCache(cache_dir).entries()) == 6
+
+
+def test_failed_job_reports_error():
+    with serve_in_thread(fast_config(workers=1)) as server:
+        client = ServeClient(server.url)
+        bad = SPEC.replace(decoder="lookup:radius=oops")
+        job = client.submit(bad)["job"]
+        deadline = time.monotonic() + 60.0
+        state = job["state"]
+        while state != "failed" and time.monotonic() < deadline:
+            state = client.job(job["id"])["state"]
+            time.sleep(0.05)
+        assert state == "failed"
+        assert client.job(job["id"])["error"]
+        # The fleet survives a failed job and still serves good specs.
+        assert client.run(SPEC, timeout=180.0)["shots"] == 3000
+
+
+def test_events_stream_progress_then_done(offline_result):
+    with serve_in_thread(fast_config()) as server:
+        client = ServeClient(server.url)
+        job_id = client.submit(SPEC)["job"]["id"]
+        events = list(client.events(job_id))
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "job"
+    assert kinds[-1] == "done"
+    assert "progress" in kinds
+    assert events[-1]["result"] == offline_result
+    # Per-basis progress reports a monotonically advancing chunk frontier.
+    frontier = {}
+    for event in events:
+        if event["event"] != "progress":
+            continue
+        basis = event["basis"]
+        assert event["chunks_done"] >= frontier.get(basis, 0)
+        frontier[basis] = event["chunks_done"]
+    assert frontier == {"Z": 3, "X": 3}

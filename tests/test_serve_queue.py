@@ -1,0 +1,272 @@
+"""Queue-semantics tests for the serve scheduler (no sockets, no processes).
+
+`repro.serve.jobs.JobScheduler` is a synchronous state machine driven by
+an injected clock, so dedup coalescing, priority ordering, lease-timeout
+requeue, adaptive early stop and ordered consumption are all pinned here
+with plain function calls; `tests/test_serve_integration.py` covers the
+same semantics through real worker processes and HTTP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.spec import Budget, RunSpec
+from repro.parallel import DEFAULT_CHUNK_SHOTS, chunk_sizes
+from repro.serve.jobs import BASES, JobScheduler, JobState, job_key
+
+
+def make_spec(**overrides):
+    defaults = dict(code="steane", decoder="lookup", budget=Budget(shots=3000), seed=7)
+    defaults.update(overrides)
+    return RunSpec(**defaults)
+
+
+def drain(scheduler, worker_id="w1", *, now=0.0, info=None):
+    """Run every dispatchable chunk with deterministic fake results."""
+    events = []
+    while True:
+        tasks = scheduler.assign(worker_id, now)
+        if not tasks:
+            return events
+        for task in tasks:
+            events.extend(
+                scheduler.record_result(
+                    worker_id, task, task.shots, task.index + 1, False, info, now
+                )
+            )
+
+
+class TestJobKey:
+    def test_workers_do_not_split_jobs(self):
+        assert job_key(make_spec(workers=1)) == job_key(make_spec(workers=4))
+
+    def test_distinct_specs_distinct_keys(self):
+        assert job_key(make_spec(seed=7)) != job_key(make_spec(seed=8))
+
+
+class TestDedup:
+    def test_identical_specs_coalesce_into_one_job(self):
+        scheduler = JobScheduler()
+        job_a, coalesced_a, _ = scheduler.submit(make_spec(workers=1))
+        job_b, coalesced_b, _ = scheduler.submit(make_spec(workers=4))
+        assert job_a is job_b
+        assert (coalesced_a, coalesced_b) == (False, True)
+        assert job_a.submissions == 2
+        assert scheduler.stats.jobs_submitted == 1
+        assert scheduler.stats.jobs_coalesced == 1
+
+    def test_coalesced_job_runs_exactly_one_computation(self):
+        scheduler = JobScheduler(lease_chunks=64, window=64)
+        job, _, _ = scheduler.submit(make_spec())
+        scheduler.submit(make_spec())
+        events = drain(scheduler)
+        assert job.state == JobState.DONE
+        assert events[-1]["event"] == "done"
+        planned = 2 * len(chunk_sizes(3000, DEFAULT_CHUNK_SHOTS))
+        assert scheduler.stats.chunks_executed == planned
+        assert scheduler.stats.jobs_completed == 1
+        # Both "clients" observe the same finished job and result.
+        resubmitted, coalesced, _ = scheduler.submit(make_spec())
+        assert coalesced and resubmitted is job and resubmitted.result is job.result
+
+    def test_done_job_is_a_permanent_memo(self):
+        scheduler = JobScheduler(lease_chunks=64, window=64)
+        job, _, _ = scheduler.submit(make_spec())
+        drain(scheduler)
+        executed = scheduler.stats.chunks_executed
+        again, coalesced, events = scheduler.submit(make_spec())
+        assert coalesced and again.state == JobState.DONE
+        assert events == []
+        assert scheduler.assign("w2", 0.0) == []
+        assert scheduler.stats.chunks_executed == executed
+
+    def test_failed_job_is_retried_fresh(self):
+        scheduler = JobScheduler()
+        job, _, _ = scheduler.submit(make_spec())
+        scheduler.fail_job(job.id, "boom")
+        retry, coalesced, _ = scheduler.submit(make_spec())
+        assert not coalesced
+        assert retry.id != job.id
+        assert retry.state == JobState.QUEUED
+
+    def test_zero_shot_budget_rejected(self):
+        scheduler = JobScheduler()
+        with pytest.raises(ValueError, match="budget.shots"):
+            scheduler.submit(make_spec(budget=Budget(shots=0)))
+
+
+class TestPriority:
+    def test_higher_priority_dispatches_first(self):
+        scheduler = JobScheduler(lease_chunks=1)
+        low, _, _ = scheduler.submit(make_spec(seed=1), priority=0)
+        high, _, _ = scheduler.submit(make_spec(seed=2), priority=5)
+        tasks = scheduler.assign("w1", 0.0)
+        assert tasks and tasks[0].job_id == high.id
+
+    def test_fifo_within_a_priority_level(self):
+        scheduler = JobScheduler(lease_chunks=1)
+        first, _, _ = scheduler.submit(make_spec(seed=1))
+        scheduler.submit(make_spec(seed=2))
+        tasks = scheduler.assign("w1", 0.0)
+        assert tasks[0].job_id == first.id
+
+    def test_coalescing_can_raise_priority(self):
+        scheduler = JobScheduler(lease_chunks=1)
+        scheduler.submit(make_spec(seed=1), priority=3)
+        job, _, _ = scheduler.submit(make_spec(seed=2), priority=0)
+        raised, coalesced, _ = scheduler.submit(make_spec(seed=2), priority=9)
+        assert coalesced and raised is job and job.priority == 9
+        tasks = scheduler.assign("w1", 0.0)
+        assert tasks[0].job_id == job.id
+
+
+class TestLeases:
+    def test_expired_lease_requeues_unfinished_chunks(self):
+        scheduler = JobScheduler(lease_timeout=10.0, lease_chunks=4)
+        job, _, _ = scheduler.submit(make_spec())
+        lost_tasks = scheduler.assign("w1", now=0.0)
+        assert len(lost_tasks) == 4
+        assert scheduler.reap(now=5.0) == []  # still within the lease
+        requeued = scheduler.reap(now=10.0)
+        assert sorted(t.index for t in requeued) == sorted(t.index for t in lost_tasks)
+        assert scheduler.stats.leases_expired == 1
+        # A healthy worker picks the requeued chunks up first and the job
+        # still completes.
+        events = drain(scheduler, "w2", now=11.0)
+        assert job.state == JobState.DONE
+        assert events[-1]["event"] == "done"
+
+    def test_reported_results_renew_the_lease(self):
+        scheduler = JobScheduler(lease_timeout=10.0, lease_chunks=4)
+        scheduler.submit(make_spec())
+        tasks = scheduler.assign("w1", now=0.0)
+        scheduler.record_result("w1", tasks[0], tasks[0].shots, 1, False, None, now=8.0)
+        assert scheduler.reap(now=12.0) == []  # renewed at t=8 -> expires t=18
+        assert scheduler.reap(now=18.0) != []
+
+    def test_worker_lost_requeues_immediately(self):
+        scheduler = JobScheduler(lease_timeout=1000.0)
+        job, _, _ = scheduler.submit(make_spec())
+        tasks = scheduler.assign("w1", now=0.0)
+        requeued = scheduler.worker_lost("w1")
+        assert sorted(t.index for t in requeued) == sorted(t.index for t in tasks)
+        drain(scheduler, "w2")
+        assert job.state == JobState.DONE
+
+    def test_duplicate_result_after_requeue_is_discarded(self):
+        scheduler = JobScheduler(lease_timeout=10.0, lease_chunks=64, window=64)
+        job, _, _ = scheduler.submit(make_spec())
+        tasks = scheduler.assign("w1", now=0.0)
+        scheduler.reap(now=10.0)  # w1 presumed dead; chunks requeued
+        drain(scheduler, "w2", now=11.0)  # w2 completes the whole job
+        assert job.state == JobState.DONE
+        before = (job.progress["Z"].shots, job.progress["Z"].errors)
+        discarded = scheduler.stats.chunks_discarded
+        # The "dead" worker reports late; the result must change nothing.
+        scheduler.record_result(
+            "w1", tasks[0], tasks[0].shots, 999, False, None, now=12.0
+        )
+        assert (job.progress["Z"].shots, job.progress["Z"].errors) == before
+        assert scheduler.stats.chunks_discarded == discarded + 1
+
+
+class TestOrderedConsumption:
+    def test_out_of_order_results_are_buffered_until_contiguous(self):
+        scheduler = JobScheduler(lease_chunks=64, window=64)
+        job, _, _ = scheduler.submit(make_spec())
+        tasks = [t for t in scheduler.assign("w1", 0.0) if t.basis == "Z"]
+        by_index = {t.index: t for t in tasks}
+        progress = job.progress["Z"]
+        scheduler.record_result("w1", by_index[2], 1000, 5, False, None, 0.0)
+        scheduler.record_result("w1", by_index[1], 1000, 3, False, None, 0.0)
+        assert progress.next_consume == 0 and progress.shots == 0
+        scheduler.record_result("w1", by_index[0], 1000, 2, False, None, 0.0)
+        assert progress.next_consume == 3
+        assert (progress.shots, progress.errors) == (3000, 10)
+        assert progress.chunk_counts == [(1000, 2), (1000, 3), (1000, 5)]
+
+    def test_fixed_rate_is_single_division_of_summed_counts(self):
+        scheduler = JobScheduler(lease_chunks=64, window=64)
+        job, _, _ = scheduler.submit(make_spec())
+        drain(scheduler)
+        result = job.result
+        for basis, field in (("Z", "error_x"), ("X", "error_z")):
+            progress = job.progress[basis]
+            assert result[field] == progress.errors / progress.shots
+
+
+class TestAdaptive:
+    def adaptive_spec(self):
+        return make_spec(
+            budget=Budget(shots=1000, target_rse=0.5, max_shots=16 * DEFAULT_CHUNK_SHOTS)
+        )
+
+    def test_early_stop_honours_target_rse(self):
+        scheduler = JobScheduler(lease_chunks=2, window=2)
+        job, _, _ = scheduler.submit(self.adaptive_spec())
+        rule = job.spec.budget.stopping_rule()
+        drain(scheduler)
+        assert job.state == JobState.DONE
+        for basis in BASES:
+            progress = job.progress[basis]
+            assert progress.converged
+            assert rule.converged(progress.errors, progress.shots)
+            # Strictly fewer chunks than the plan: the stop was early.
+            assert progress.next_consume < len(progress.sizes)
+            # The stop is the *first* qualifying prefix: the rule must not
+            # already hold one chunk earlier.
+            shots, errors = 0, 0
+            for chunk_shots, chunk_errors in progress.chunk_counts[:-1]:
+                shots += chunk_shots
+                errors += chunk_errors
+                assert not rule.converged(errors, shots)
+
+    def test_speculative_chunks_past_the_stop_are_discarded(self):
+        scheduler = JobScheduler(lease_chunks=64, window=64)
+        job, _, _ = scheduler.submit(self.adaptive_spec())
+        tasks = scheduler.assign("w1", 0.0)
+        done_events = 0
+        for task in tasks:
+            events = scheduler.record_result(
+                "w1", task, task.shots, task.shots // 2, False, None, 0.0
+            )
+            done_events += sum(1 for event in events if event["event"] == "done")
+        assert job.state == JobState.DONE
+        assert done_events == 1
+        assert scheduler.stats.chunks_discarded > 0
+        report = job.result["adaptive"]
+        assert report["converged"] is True
+
+    def test_adaptive_window_bounds_speculation(self):
+        scheduler = JobScheduler(lease_chunks=64, window=2)
+        job, _, _ = scheduler.submit(self.adaptive_spec())
+        tasks = scheduler.assign("w1", 0.0)
+        for basis in BASES:
+            indices = [t.index for t in tasks if t.basis == basis]
+            assert indices == [0, 1]
+            assert max(indices) < len(job.progress[basis].sizes)
+
+
+class TestEvents:
+    def test_progress_and_done_events_are_emitted(self):
+        scheduler = JobScheduler(lease_chunks=64, window=64)
+        job, _, submit_events = scheduler.submit(make_spec())
+        assert submit_events == [{"event": "queued", "job_id": job.id}]
+        events = drain(scheduler, info={"depth": 9})
+        kinds = [event["event"] for event in events]
+        assert kinds.count("done") == 1 and kinds[-1] == "done"
+        assert all(kind == "progress" for kind in kinds[:-1])
+        assert job.depth == 9
+        assert events[-1]["result"] == job.result
+        assert job.result["depth"] == 9
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        scheduler = JobScheduler()
+        job, _, _ = scheduler.submit(make_spec())
+        drain(scheduler)
+        payload = json.loads(json.dumps(job.summary()))
+        assert payload["state"] == "done"
+        assert payload["progress"]["Z"]["chunks_done"] == 3
