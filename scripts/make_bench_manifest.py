@@ -77,9 +77,20 @@ def main() -> int:
         "--out", type=Path, default=None, help="output path (default BENCH_<pr>.json)"
     )
     parser.add_argument("--repeats", type=int, default=5, help="best-of-N repeats per timing")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="previous manifest to record decoder speedup ratios against "
+        "(default BENCH_<pr-1>.json when it exists)",
+    )
     args = parser.parse_args()
     out = args.out or REPO_ROOT / f"BENCH_{args.pr}.json"
     repeats = args.repeats
+    baseline_path = args.baseline or REPO_ROOT / f"BENCH_{args.pr - 1}.json"
+    baseline = (
+        json.loads(baseline_path.read_text()) if baseline_path.exists() else None
+    )
 
     benchmarks: dict[str, dict] = {}
 
@@ -114,17 +125,52 @@ def main() -> int:
     }
 
     print("timing decoder batch throughput (d=3) ...")
+    # 200 shots matches the entry every manifest since BENCH_4 records, so
+    # the cross-PR trajectory stays directly comparable.
     decode_batch = sample_detector_error_model(dem_d3, 200, seed=1)
+    baseline_decoders = (
+        baseline["benchmarks"].get("decoder_batch_d3", {}) if baseline else {}
+    )
     decoder_times: dict[str, dict] = {}
     for name in ("mwpm", "unionfind", "bposd", "lookup"):
         decoder = decoders.build(name)(dem_d3)
         seconds = best_of(lambda: decoder.decode_batch(decode_batch.detectors), max(3, repeats - 2))
-        decoder_times[name] = {
+        entry = {
             "shots": decode_batch.num_shots,
             "best_ms": seconds * 1e3,
             "kshots_per_s": decode_batch.num_shots / seconds / 1e3,
         }
+        previous = baseline_decoders.get(name, {}).get("kshots_per_s")
+        if previous:
+            entry["speedup_vs_bench%d" % baseline["pr"]] = (
+                entry["kshots_per_s"] / previous
+            )
+        decoder_times[name] = entry
     benchmarks["decoder_batch_d3"] = decoder_times
+
+    print("timing decoder batch vs per-shot loop (4096 shots, d=3) ...")
+    # The batch-first acceptance numbers: dedup front end + vectorised
+    # unique-block decode against a naive [decoder.decode(s) for s in batch]
+    # loop.  4096 shots at Brisbane d=3 rates collapse to ~200 unique
+    # syndromes, which is where the dedup front end earns its keep.
+    loop_batch = sample_detector_error_model(dem_d3, 4096, seed=1)
+    loop_slice = loop_batch.detectors[:128]
+    loop_times: dict[str, dict] = {}
+    for name in ("mwpm", "unionfind", "bposd", "lookup"):
+        decoder = decoders.build(name)(dem_d3)
+        loop_s = best_of(
+            lambda: [decoder.decode(syndrome) for syndrome in loop_slice], 3
+        ) / len(loop_slice)
+        batch_s = best_of(
+            lambda: decoder.decode_batch(loop_batch.detectors), max(3, repeats - 2)
+        ) / loop_batch.num_shots
+        loop_times[name] = {
+            "shots": loop_batch.num_shots,
+            "loop_kshots_per_s": 1 / loop_s / 1e3,
+            "batch_kshots_per_s": 1 / batch_s / 1e3,
+            "batch_speedup_vs_loop": loop_s / batch_s,
+        }
+    benchmarks["decoder_batch_vs_loop_4k_d3"] = loop_times
 
     print("timing vectorised lookup batch (20k shots, d=3) ...")
     lookup = decoders.build("lookup")(dem_d3)

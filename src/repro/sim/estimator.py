@@ -125,15 +125,17 @@ def basis_streams(
 
 
 def decode_predictions(decoder, batch: SampleBatch) -> np.ndarray:
-    """Decode a batch, preferring the bit-packed syndrome path when it helps.
+    """Decode a batch, preferring the bit-packed syndrome path when available.
 
-    Syndromes are handed over in packed ``uint64`` form only when the
-    decoder advertises ``has_packed_fast_path`` (e.g. the lookup decoder
-    with an applicable key table, whose keys *are* the packed words).
-    Everything else is given the already dense ``batch.detectors`` directly
-    — routing it through the packed form would just unpack a second copy of
-    an array the batch carries anyway.  Predictions are bit-identical
-    either way.
+    Since the decoder stack went batch-first, ``has_packed_fast_path`` is
+    the norm rather than a lookup-table exception: the shared front end in
+    :class:`repro.decoders.Decoder` deduplicates repeated syndromes on the
+    packed ``uint64`` words themselves and unpacks only the unique rows, so
+    handing over ``batch.packed_detectors`` skips both a pack pass and a
+    dense materialisation of duplicate shots.  The dense ``batch.detectors``
+    fallback remains for decoders outside that hierarchy (the attribute
+    defaults to False via ``getattr`` for duck-typed third-party decoders).
+    Predictions are bit-identical either way.
     """
     if batch.packed_detectors is not None and getattr(
         decoder, "has_packed_fast_path", False

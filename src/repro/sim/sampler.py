@@ -46,9 +46,12 @@ class SampleBatch:
     ``faults`` (shots x num_mechanisms) is retained for tests and ablations.
     ``packed_detectors`` is the bit-packed form of ``detectors`` (shape
     ``(shots, ceil(num_detectors / 64))``, little-endian ``uint64`` words as
-    produced by :func:`repro.sim.bitops.pack_rows`); decoders with a
-    ``decode_batch_packed`` fast path consume it directly.  It is ``None``
-    when the batch came from the dense reference backend.
+    produced by :func:`repro.sim.bitops.pack_rows`).  Every decoder's batch
+    front end now consumes it directly — ``decode_batch_packed``
+    deduplicates repeated syndromes on the packed words and unpacks only
+    the unique rows — so the packed form is the primary hand-off from
+    sampler to decoder, not a fast-path extra.  It is ``None`` only when
+    the batch came from the dense reference backend.
     """
 
     detectors: np.ndarray

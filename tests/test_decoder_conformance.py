@@ -4,11 +4,14 @@ Every decoder in the ``repro.api`` registry must honour a small set of
 behavioural contracts on small codes, independent of its algorithm:
 
 * the all-zero syndrome decodes to "no logical flip" (single-shot and batch);
+* an empty batch decodes to shape ``(0, num_observables)`` (dense and packed);
 * ``decode_batch`` on a bit-packed batch (``decode_batch_packed``) agrees
   bit for bit with the dense path, whether or not the decoder advertises a
   packed fast path;
-* ``decode_batch`` agrees with per-shot ``decode`` (the default batch
-  implementation decoders are allowed to override for speed);
+* ``decode_batch`` agrees with per-shot ``decode`` (the shared dedup front
+  end must be a pure routing change), including on duplicate-heavy batches
+  where most shots collapse onto few unique syndromes, and on the degenerate
+  single-shot batch;
 * decoding quality respects the known hierarchy at fixed seeds:
   near-maximum-likelihood lookup <= minimum-weight matching <= union-find.
 
@@ -98,6 +101,46 @@ class TestDecoderContracts:
             [decoder.decode(syndrome) for syndrome in subset], dtype=np.uint8
         ).reshape(len(subset), dem.num_observables)
         assert np.array_equal(decoder.decode_batch(subset), per_shot)
+
+    def test_empty_batch_has_observable_width(self, problems, decoder_name, code_name):
+        # Regression pin: decode_batch([]) must be (0, num_observables), not
+        # the shapeless (0,) the pre-batch-first default produced.
+        dem, _batch = problems[code_name]
+        decoder = _build(decoder_name, dem)
+        empty = np.zeros((0, dem.num_detectors), dtype=np.uint8)
+        predictions = decoder.decode_batch(empty)
+        assert predictions.shape == (0, dem.num_observables)
+        assert predictions.dtype == np.uint8
+        packed = decoder.decode_batch_packed(pack_rows(empty))
+        assert packed.shape == (0, dem.num_observables)
+
+    def test_single_shot_batch_matches_decode(self, problems, decoder_name, code_name):
+        dem, batch = problems[code_name]
+        decoder = _build(decoder_name, dem)
+        syndrome = batch.detectors[7]
+        single = decoder.decode_batch(syndrome.reshape(1, -1))
+        assert single.shape == (1, dem.num_observables)
+        assert np.array_equal(single[0], decoder.decode(syndrome))
+
+    def test_duplicate_heavy_batch_matches_naive_loop(
+        self, problems, decoder_name, code_name
+    ):
+        # Resample the 96-shot batch into 300 rows: every syndrome appears
+        # several times, so the dedup front end's unique/scatter machinery is
+        # exercised hard.  The scattered result must equal the naive per-shot
+        # loop bit for bit, on the dense and the packed entry points alike.
+        dem, batch = problems[code_name]
+        decoder = _build(decoder_name, dem)
+        rng = np.random.default_rng(7)
+        rows = rng.integers(0, batch.detectors.shape[0], size=300)
+        duplicated = batch.detectors[rows]
+        naive = np.array(
+            [decoder.decode(syndrome) for syndrome in duplicated], dtype=np.uint8
+        ).reshape(len(duplicated), dem.num_observables)
+        assert np.array_equal(decoder.decode_batch(duplicated), naive)
+        assert np.array_equal(
+            decoder.decode_batch_packed(pack_rows(duplicated)), naive
+        )
 
 
 class TestDecoderHierarchy:
