@@ -1,23 +1,34 @@
 #!/usr/bin/env python3
 """CI smoke test for `repro serve`: boot, submit, stream, verify, shut down.
 
-Boots a real server subprocess (`python -m repro.serve`) on an ephemeral
-port, submits a quick RunSpec over HTTP, streams the NDJSON progress
-events, and asserts the served result is bit-identical to the offline
-`repro.api.Pipeline` run of the same spec.  Exits non-zero on any
-mismatch, so CI catches a serve/offline divergence immediately.
+Phase 1 boots a real server subprocess (`python -m repro.serve`) on an
+ephemeral port, submits a quick RunSpec over HTTP, streams the NDJSON
+progress events, and asserts the served result is bit-identical to the
+offline `repro.api.Pipeline` run of the same spec.
 
-Stdlib only (plus the repository itself).  Usage:
+Phase 2 exercises the scale-out and durability paths end to end: a
+journalled server with a local worker plus one remote HTTP worker
+(`python -m repro.serve.remote`) is SIGKILLed mid-job; a restarted server
+on the same journal and chunk cache must restore the job under its
+original id and finish it bit-identically, replaying every
+already-published chunk from the cache instead of re-executing it.
 
-    python scripts/serve_smoke.py [--workers N]
+Exits non-zero on any mismatch, so CI catches a serve/offline divergence
+immediately.  Stdlib only (plus the repository itself).  Usage:
+
+    python scripts/serve_smoke.py [--workers N] [--skip-restart]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import subprocess
 import sys
+import tempfile
+import time
 import urllib.request
 from pathlib import Path
 
@@ -30,32 +41,48 @@ from repro.serve.client import ServeClient  # noqa: E402
 
 SPEC = RunSpec(code="steane", decoder="lookup", budget=Budget(shots=3000), seed=7)
 
+ENV = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workers", type=int, default=2)
-    args = parser.parse_args()
 
-    print(f"offline reference: running {SPEC.code}/{SPEC.decoder} in-process ...")
-    offline = Pipeline(SPEC).run().to_dict()
-    print(f"  offline overall={offline['overall']:.6e}")
-
+def start_server(*extra: str) -> "tuple[subprocess.Popen, ServeClient]":
+    """Boot a server subprocess on an ephemeral port; return (proc, client)."""
     server = subprocess.Popen(
-        [sys.executable, "-m", "repro.serve", "--port", "0", "--workers", str(args.workers)],
+        [sys.executable, "-m", "repro.serve", "--port", "0", *extra],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
         cwd=REPO_ROOT,
-        env={**__import__("os").environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        env=ENV,
     )
-    try:
-        banner = server.stdout.readline().strip()
-        print(banner)
-        if not banner.startswith("serving on "):
-            print("error: server did not start", file=sys.stderr)
-            return 1
-        client = ServeClient(banner.split()[-1])
+    banner = server.stdout.readline().strip()
+    print(banner)
+    if not banner.startswith("serving on "):
+        raise RuntimeError("server did not start")
+    return server, ServeClient(banner.split()[-1])
 
+
+def reap(process: subprocess.Popen) -> None:
+    """Terminate a subprocess if it is still running."""
+    if process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+def shutdown(client: ServeClient, server: subprocess.Popen) -> None:
+    """Graceful ``POST /shutdown`` and wait for the subprocess to exit."""
+    urllib.request.urlopen(
+        urllib.request.Request(client.base_url + "/shutdown", method="POST"), timeout=10
+    ).read()
+    server.wait(timeout=30)
+
+
+def phase_basic(offline: dict, workers: int) -> int:
+    """Submit/stream/verify against a plain server; assert dedup works."""
+    server, client = start_server("--workers", str(workers))
+    try:
         submitted = client.submit(SPEC)
         job_id = submitted["job"]["id"]
         print(f"submitted job {job_id} (coalesced={submitted['coalesced']})")
@@ -93,19 +120,112 @@ def main() -> int:
         stats = client.health()["stats"]
         print(f"dedup OK: {stats['jobs_submitted']} job, {stats['jobs_coalesced']} coalesced")
 
-        urllib.request.urlopen(
-            urllib.request.Request(client.base_url + "/shutdown", method="POST"), timeout=10
-        ).read()
-        server.wait(timeout=30)
+        shutdown(client, server)
         print("server shut down cleanly")
         return 0
     finally:
-        if server.poll() is None:
-            server.terminate()
-            try:
-                server.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                server.kill()
+        reap(server)
+
+
+def phase_restart(offline: dict) -> int:
+    """Kill a journalled mixed-fleet server mid-job; restart must resume."""
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        cache_dir = str(Path(tmp) / "cache")
+        durable = (
+            "--workers", "1", "--cache-dir", cache_dir, "--journal",
+            "--throttle", "0.5", "--poll-interval", "0.1",
+        )
+        server, client = start_server(*durable)
+        # Launch the worker through the `repro worker` CLI verb, the way a
+        # remote host would join the fleet.
+        worker = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "import sys; from repro.api.cli import main; sys.exit(main())",
+                "worker",
+                "--server", client.base_url,
+                "--cache-dir", cache_dir,
+                "--poll-interval", "0.1",
+                "--throttle", "0.5",
+                "--max-idle", "60",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=REPO_ROOT,
+            env=ENV,
+        )
+        try:
+            print(worker.stdout.readline().strip())
+            job_id = client.submit(SPEC)["job"]["id"]
+            print(f"submitted job {job_id} to the mixed fleet")
+
+            deadline = time.monotonic() + 60.0
+            published = 0
+            while published < 2 and time.monotonic() < deadline:
+                published = client.health()["stats"]["chunks_executed"]
+                time.sleep(0.05)
+            if published < 2:
+                print("error: fleet made no progress before the kill", file=sys.stderr)
+                return 1
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=10)
+            print(f"killed server mid-job after {published} published chunks")
+
+            server, client = start_server(*durable)
+            health = client.health()
+            if health["jobs_restored"] != 1:
+                print(f"error: journal restored {health['jobs_restored']} jobs", file=sys.stderr)
+                return 1
+            if client.job(job_id)["id"] != job_id:
+                print("error: job identity lost across the restart", file=sys.stderr)
+                return 1
+            result = client.result(job_id, timeout=180.0)
+            stats = client.health()["stats"]
+            if result != offline:
+                print("error: resumed result differs from offline:", file=sys.stderr)
+                print(f"  offline: {json.dumps(offline, sort_keys=True)}", file=sys.stderr)
+                print(f"  resumed: {json.dumps(result, sort_keys=True)}", file=sys.stderr)
+                return 1
+            executed, cached = stats["chunks_executed"], stats["chunks_cached"]
+            if executed + cached != 6 or cached < published:
+                print(
+                    f"error: restart re-executed published chunks "
+                    f"(executed={executed} cached={cached} published={published})",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"restart resumed bit-identically: {cached} chunks replayed "
+                f"from cache, {executed} executed fresh"
+            )
+            shutdown(client, server)
+            print("restarted server shut down cleanly")
+            return 0
+        finally:
+            reap(worker)
+            reap(server)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--skip-restart",
+        action="store_true",
+        help="run only the basic submit/stream/verify phase",
+    )
+    args = parser.parse_args()
+
+    print(f"offline reference: running {SPEC.code}/{SPEC.decoder} in-process ...")
+    offline = Pipeline(SPEC).run().to_dict()
+    print(f"  offline overall={offline['overall']:.6e}")
+
+    status = phase_basic(offline, args.workers)
+    if status or args.skip_restart:
+        return status
+    print("--- restart/durability phase ---")
+    return phase_restart(offline)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,18 @@ compute fabric that many clients share:
     a stdlib client used by ``repro submit`` / ``repro jobs``, the suite
     runner's server mode and the integration tests.
 
+:mod:`repro.serve.remote`
+    the scale-out path: ``repro worker --server URL`` leases chunk ranges
+    over HTTP (``POST /lease`` / ``/chunks`` / ``/heartbeat``) from any
+    host, interoperating with local workers in one fleet.
+
+:mod:`repro.serve.journal`
+    the durable queue: submissions and terminal transitions journal to an
+    append-only JSONL so a restarted server resumes in-flight jobs (their
+    published chunks replaying from the cache) and keeps completed memos,
+    which in turn live under a TTL and LRU cap so the job table stays
+    bounded.
+
 Because jobs consume the exact chunk plan, seed streams and stopping rule
 the offline :class:`repro.api.Pipeline` uses, a served result is
 **bit-identical** to the same RunSpec run offline, for every server worker
@@ -34,16 +46,21 @@ count — pinned by ``tests/test_serve_integration.py``.
 
 from repro.serve.client import ServeClient
 from repro.serve.jobs import Job, JobQueueStats, JobScheduler, JobState, job_key
+from repro.serve.journal import JobJournal, load_journal
+from repro.serve.remote import RemoteWorker
 from repro.serve.server import ReproServer, ServeConfig, serve_in_thread
 
 __all__ = [
     "Job",
+    "JobJournal",
     "JobQueueStats",
     "JobScheduler",
     "JobState",
+    "RemoteWorker",
     "ReproServer",
     "ServeClient",
     "ServeConfig",
     "job_key",
+    "load_journal",
     "serve_in_thread",
 ]

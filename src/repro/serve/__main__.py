@@ -27,12 +27,38 @@ def add_serve_flags(parser: argparse.ArgumentParser) -> None:
         help="bind port; 0 picks an ephemeral port (default %(default)s)",
     )
     parser.add_argument(
-        "--workers", type=int, default=2, help="worker processes (default %(default)s)"
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes; 0 serves remote workers only (default %(default)s)",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
         help="content-addressed chunk cache directory shared with offline runs",
+    )
+    parser.add_argument(
+        "--journal",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="PATH",
+        help="durable-queue journal JSONL; bare --journal places it at "
+        "<cache-dir>/journal.jsonl (default: durability off)",
+    )
+    parser.add_argument(
+        "--memo-ttl",
+        type=float,
+        default=3600.0,
+        help="seconds an idle completed-job memo is retained; 0 disables the "
+        "TTL (default %(default)s)",
+    )
+    parser.add_argument(
+        "--memo-cap",
+        type=int,
+        default=1024,
+        help="max completed-job memos retained (LRU evicted past this); 0 "
+        "disables the cap (default %(default)s)",
     )
     parser.add_argument(
         "--lease-timeout",
@@ -77,6 +103,9 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         port=args.port,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        journal=args.journal,
+        memo_ttl=args.memo_ttl or None,
+        memo_cap=args.memo_cap or None,
         lease_timeout=args.lease_timeout,
         lease_chunks=args.lease_chunks,
         poll_interval=args.poll_interval,

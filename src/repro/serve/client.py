@@ -1,19 +1,39 @@
 """Stdlib HTTP client for a running ``repro serve`` endpoint.
 
-Used by the ``repro submit`` / ``repro jobs`` CLI verbs, the suite
-runner's server mode and the integration tests.  One
+Used by the ``repro submit`` / ``repro jobs`` / ``repro worker`` CLI
+verbs, the suite runner's server mode, the remote worker loop
+(:mod:`repro.serve.remote`) and the integration tests.  One
 :class:`http.client.HTTPConnection` per request (the server is
 ``Connection: close``), so a :class:`ServeClient` is cheap, stateless and
 safe to share across threads.
+
+Two edges are handled here rather than pushed onto callers:
+
+* :meth:`ServeClient.result` long-polls in bounded windows.  The server
+  expires a poll after its own ``?timeout=`` seconds with a ``504``; the
+  client treats that as "not done yet" and re-polls until *its* deadline,
+  and clamps each request's socket timeout to the poll window plus a
+  margin — so ``result(job_id, timeout=900)`` genuinely waits 900 s
+  instead of dying at a default socket timeout.
+* :meth:`ServeClient.events` survives a dropped connection.  The server
+  numbers every job-scoped event with a monotonically increasing ``seq``
+  and replays history from ``?since=N``; the client reconnects with the
+  last sequence it saw and discards replayed duplicates, so the caller
+  observes each event exactly once, in order.
 """
 
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection
+import time
+from http.client import HTTPConnection, HTTPException
 from urllib.parse import urlsplit
 
 __all__ = ["ServeClient", "ServeError"]
+
+#: Socket-timeout margin over the server-side long-poll window: covers
+#: connection setup plus the response round trip for one poll request.
+POLL_MARGIN = 30.0
 
 
 class ServeError(RuntimeError):
@@ -42,8 +62,16 @@ class ServeClient:
         """The normalized endpoint URL."""
         return f"http://{self.host}:{self.port}"
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        connection = HTTPConnection(
+            self.host, self.port, timeout=self.timeout if timeout is None else timeout
+        )
         try:
             body = None
             headers = {"Accept": "application/json"}
@@ -82,25 +110,107 @@ class ServeClient:
         """``GET /jobs/<id>`` — one job summary."""
         return self._request("GET", f"/jobs/{job_id}")["job"]
 
-    def result(self, job_id: str, timeout: float = 300.0) -> dict:
-        """``GET /jobs/<id>/result`` — block until done, return the RunResult payload."""
-        data = self._request("GET", f"/jobs/{job_id}/result?timeout={timeout}")
-        job = data["job"]
-        if job["state"] == "failed":
-            raise ServeError(500, job.get("error") or "job failed")
-        return data["result"]
+    def result(self, job_id: str, timeout: float = 300.0, poll_window: float = 60.0) -> dict:
+        """Block until the job finishes; return the RunResult payload.
 
-    def events(self, job_id: str):
+        Long-polls ``GET /jobs/<id>/result`` in windows of at most
+        ``poll_window`` seconds.  A server-side ``504`` (its poll window
+        expired before the job finished) is *not* an error — the client
+        re-polls until its own ``timeout`` deadline, then raises
+        :class:`ServeError` with status 504.  Each request's socket
+        timeout is clamped to its window plus a margin, so no caller
+        deadline is cut short by the default socket timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(504, f"job {job_id} did not finish within {timeout:g}s")
+            window = max(0.05, min(poll_window, remaining))
+            try:
+                data = self._request(
+                    "GET",
+                    f"/jobs/{job_id}/result?timeout={window:g}",
+                    timeout=window + POLL_MARGIN,
+                )
+            except ServeError as error:
+                if error.status == 504:
+                    continue  # server's window expired; poll again
+                raise
+            except TimeoutError:
+                continue  # socket-level hiccup inside our deadline; retry
+            job = data["job"]
+            if job["state"] == "failed":
+                raise ServeError(500, job.get("error") or "job failed")
+            return data["result"]
+
+    def events(
+        self,
+        job_id: str,
+        since: int = 0,
+        reconnect: bool = True,
+        max_reconnects: int = 5,
+        reconnect_delay: float = 0.5,
+    ):
         """``GET /jobs/<id>/events`` — yield NDJSON events until the terminal one.
 
         A generator of dicts: a ``job`` snapshot first, then ``progress``
         events, ending with ``done`` (carrying the result) or ``failed``.
+        Every job-scoped event carries a server-assigned ``seq``; if the
+        connection drops mid-stream the client reconnects with
+        ``?since=<last seq>`` and resumes where it left off, discarding
+        any replayed duplicates — the caller sees each event exactly once,
+        in order.  ``max_reconnects`` consecutive failed reconnects raise
+        :class:`ServeError`; a successfully resumed stream resets the
+        budget.  Terminal events are always yielded, whatever their
+        sequence number, so the generator cannot hang on a resume edge.
         """
+        last_seq = int(since)
+        yielded_snapshot = False
+        failures = 0
+        while True:
+            try:
+                for event in self._events_once(job_id, last_seq):
+                    failures = 0
+                    kind = event.get("event")
+                    if kind == "job":
+                        if yielded_snapshot:
+                            continue  # reconnects re-send the snapshot
+                        yielded_snapshot = True
+                        yield event
+                        continue
+                    seq = event.get("seq")
+                    terminal = kind in ("done", "failed")
+                    if seq is not None:
+                        if seq <= last_seq and not terminal:
+                            continue  # replayed duplicate after a reconnect
+                        last_seq = max(last_seq, seq)
+                    yield event
+                    if terminal:
+                        return
+                # The stream closed without a terminal event: the server
+                # dropped the connection mid-job.  Resume from last_seq.
+                raise ConnectionError("event stream ended before a terminal event")
+            except (ConnectionError, TimeoutError, HTTPException, OSError) as error:
+                if not reconnect:
+                    raise
+                failures += 1
+                if failures > max_reconnects:
+                    raise ServeError(
+                        503,
+                        f"event stream for {job_id} lost after "
+                        f"{max_reconnects} reconnect attempts: {error}",
+                    ) from error
+                time.sleep(reconnect_delay)
+
+    def _events_once(self, job_id: str, since: int):
+        """One event-stream connection: yield parsed NDJSON lines until EOF."""
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            connection.request(
-                "GET", f"/jobs/{job_id}/events", headers={"Accept": "application/x-ndjson"}
-            )
+            path = f"/jobs/{job_id}/events"
+            if since:
+                path += f"?since={since}"
+            connection.request("GET", path, headers={"Accept": "application/x-ndjson"})
             response = connection.getresponse()
             if response.status >= 400:
                 data = json.loads(response.read().decode("utf-8") or "{}")
@@ -109,10 +219,7 @@ class ServeClient:
                 line = raw.strip()
                 if not line:
                     continue
-                event = json.loads(line.decode("utf-8"))
-                yield event
-                if event.get("event") in ("done", "failed"):
-                    return
+                yield json.loads(line.decode("utf-8"))
         finally:
             connection.close()
 
@@ -124,3 +231,37 @@ class ServeClient:
     def shutdown(self) -> dict:
         """``POST /shutdown`` — ask the server to stop."""
         return self._request("POST", "/shutdown")
+
+    # ------------------------------------------------------------------
+    # Worker protocol (used by `repro worker` / repro.serve.remote)
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str) -> dict:
+        """``POST /lease`` — claim a chunk range for ``worker_id``.
+
+        Returns ``{"tasks": [...], "specs": {job_id: payload},
+        "lease_timeout": S}``; an empty task list means nothing is
+        currently runnable (poll again later).
+        """
+        return self._request("POST", "/lease", {"worker_id": worker_id})
+
+    def heartbeat(self, worker_id: str) -> dict:
+        """``POST /heartbeat`` — renew ``worker_id``'s lease deadline.
+
+        ``{"renewed": false}`` means the lease is gone (expired or fully
+        reported); the worker should stop and lease afresh.
+        """
+        return self._request("POST", "/heartbeat", {"worker_id": worker_id})
+
+    def report(self, worker_id: str, results=(), failures=()) -> dict:
+        """``POST /chunks`` — report executed chunk summaries (and/or failures).
+
+        ``results`` entries are ``{"task": {job_id, basis, index, shots},
+        "shots": n, "errors": n, "cached": bool, "info": {...}}``;
+        ``failures`` entries are ``{"job_id": ..., "error": "..."}``.
+        Reporting renews the lease exactly like the in-process path.
+        """
+        return self._request(
+            "POST",
+            "/chunks",
+            {"worker_id": worker_id, "results": list(results), "failures": list(failures)},
+        )

@@ -25,11 +25,26 @@ discarded — byte-for-byte the offline engine's contract, which is what
 makes served results bit-identical to offline runs.
 
 **Leases.**  Workers are granted chunk ranges under a deadline
-(``lease_timeout``); every reported chunk renews the lease.  An expired
-lease — a worker that died, hung, or was killed mid-job — has its
+(``lease_timeout``); every reported chunk renews the lease, and remote
+workers may also :meth:`~JobScheduler.renew` explicitly (heartbeat).  An
+expired lease — a worker that died, hung, or was killed mid-job — has its
 unfinished chunks requeued ahead of fresh dispatch, so the job still
 completes (and completes *identically*, since a chunk's content depends
-only on its index and stream, never on which worker runs it).
+only on its index and stream, never on which worker runs it).  The lease
+protocol is transport-agnostic: the in-process pool and the HTTP
+``POST /lease`` / ``POST /chunks`` path (:mod:`repro.serve.remote`) drive
+the same table.
+
+**Durability.**  With a :class:`~repro.serve.journal.JobJournal` attached,
+every new submission and terminal transition is appended as one JSONL
+record; :meth:`~JobScheduler.restore` replays a journal after a restart so
+pending/running jobs resume (their published chunks replaying from the
+shared cache at ``chunks_executed == 0``) and completed memos survive.
+
+**TTL / eviction.**  Terminal jobs are memos with a bounded lifetime:
+:meth:`~JobScheduler.evict` sweeps memos idle past ``memo_ttl`` and trims
+the LRU table past ``memo_cap``, so a long-lived server's job table stays
+bounded no matter how many specs pass through it.
 """
 
 from __future__ import annotations
@@ -37,6 +52,7 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.analysis.stats import relative_error
@@ -316,11 +332,14 @@ class JobQueueStats:
     jobs_coalesced: int = 0
     jobs_completed: int = 0
     jobs_failed: int = 0
+    jobs_evicted: int = 0
+    jobs_restored: int = 0
     chunks_executed: int = 0
     chunks_cached: int = 0
     chunks_discarded: int = 0
     leases_granted: int = 0
     leases_expired: int = 0
+    leases_renewed: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict view for ``/healthz``."""
@@ -341,10 +360,16 @@ class JobScheduler:
         lease_timeout: float = 30.0,
         lease_chunks: int = 4,
         window: int = 8,
+        memo_ttl: float | None = None,
+        memo_cap: int | None = None,
+        journal=None,
     ) -> None:
         self.lease_timeout = lease_timeout
         self.lease_chunks = max(1, lease_chunks)
         self.window = max(1, window)
+        self.memo_ttl = memo_ttl if memo_ttl and memo_ttl > 0 else None
+        self.memo_cap = memo_cap if memo_cap and memo_cap > 0 else None
+        self.journal = journal
         self.jobs: dict[str, Job] = {}
         self._by_key: dict[str, str] = {}
         #: Min-heap of ``(-priority, seq, job_id)`` — higher priority first,
@@ -353,20 +378,28 @@ class JobScheduler:
         #: lazily during dispatch scans.
         self._heap: list[tuple[int, int, str]] = []
         self._leases: dict[str, Lease] = {}
+        #: Terminal jobs in LRU order: ``job_id -> last_touch`` clock value.
+        #: Iteration order is recency (oldest first); the TTL/cap sweep in
+        #: :meth:`evict` pops from the front.
+        self._memos: "OrderedDict[str, float]" = OrderedDict()
         self._seq = 0
         self.stats = JobQueueStats()
 
     # ------------------------------------------------------------------
     # Submission / dedup
     # ------------------------------------------------------------------
-    def submit(self, spec: RunSpec, *, priority: int = 0) -> "tuple[Job, bool, list[dict]]":
+    def submit(
+        self, spec: RunSpec, *, priority: int = 0, now: float = 0.0
+    ) -> "tuple[Job, bool, list[dict]]":
         """Submit a spec; returns ``(job, coalesced, events)``.
 
         A spec whose canonical payload matches a live (or completed) job
         coalesces into it — ``coalesced=True`` and no new computation.  A
         coalescing submission with a *higher* priority raises the job's
         priority (the fabric serves the most urgent subscriber).  Specs
-        that previously **failed** are retried with a fresh job.
+        that previously **failed** are retried with a fresh job.  ``now``
+        feeds the memo LRU: touching a completed memo keeps it warm
+        against the TTL/cap sweep of :meth:`evict`.
         """
         if spec.budget.plan_shots <= 0:
             raise ValueError("serve jobs need budget.shots (or max_shots) >= 1")
@@ -377,7 +410,9 @@ class JobScheduler:
             if job.state != JobState.FAILED:
                 job.submissions += 1
                 self.stats.jobs_coalesced += 1
-                if priority > job.priority and job.state not in JobState.TERMINAL:
+                if job.state in JobState.TERMINAL:
+                    self._touch_memo(job.id, now)
+                elif priority > job.priority:
                     job.priority = priority
                     self._push(job)
                 return job, True, []
@@ -387,7 +422,25 @@ class JobScheduler:
         self._by_key[key] = job.id
         self._push(job)
         self.stats.jobs_submitted += 1
+        self._journal(
+            {
+                "record": "submit",
+                "job_id": job.id,
+                "key": key,
+                "seq": job.seq,
+                "priority": priority,
+                "spec": spec.to_dict(),
+            }
+        )
         return job, False, [{"event": "queued", "job_id": job.id}]
+
+    def _journal(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def _touch_memo(self, job_id: str, now: float) -> None:
+        self._memos[job_id] = now
+        self._memos.move_to_end(job_id)
 
     def _push(self, job: Job) -> None:
         heapq.heappush(self._heap, (-job.priority, job.seq, job.id))
@@ -491,10 +544,18 @@ class JobScheduler:
         if progress is None:
             self.stats.chunks_discarded += 1
             return []
-        if not progress.record(task.index, shots, errors, cached):
-            if progress.done and task.index >= progress.next_consume:
-                self.stats.chunks_discarded += 1
-            # buffered out of order: counted when consumed
+        if (
+            progress.done
+            or task.index < progress.next_consume
+            or task.index in progress.buffered
+        ):
+            # Speculation past an adaptive stop, or a duplicate of a chunk
+            # another worker (possibly before a server restart) already
+            # delivered — drop it before it reaches any counter, so the
+            # fabric stats never double-count a chunk.
+            self.stats.chunks_discarded += 1
+            return []
+        progress.record(task.index, shots, errors, cached)
         if cached:
             self.stats.chunks_cached += 1
         else:
@@ -511,10 +572,14 @@ class JobScheduler:
             result = job.finalize()
             self.stats.jobs_completed += 1
             self._drop_job_tasks(job.id)
+            self._touch_memo(job.id, now)
+            self._journal(
+                {"record": "state", "job_id": job.id, "state": JobState.DONE, "result": result}
+            )
             events.append({"event": "done", "job_id": job.id, "result": result})
         return events
 
-    def fail_job(self, job_id: str, message: str) -> "list[dict]":
+    def fail_job(self, job_id: str, message: str, now: float = 0.0) -> "list[dict]":
         """Mark a job failed (worker could not build or execute it)."""
         job = self.jobs.get(job_id)
         if job is None or job.state in JobState.TERMINAL:
@@ -523,6 +588,10 @@ class JobScheduler:
         job.error = message
         self.stats.jobs_failed += 1
         self._drop_job_tasks(job_id)
+        self._touch_memo(job_id, now)
+        self._journal(
+            {"record": "state", "job_id": job_id, "state": JobState.FAILED, "error": message}
+        )
         return [{"event": "failed", "job_id": job_id, "error": message}]
 
     def _drop_job_tasks(self, job_id: str) -> None:
@@ -532,6 +601,156 @@ class JobScheduler:
             lease.tasks = {task for task in lease.tasks if task.job_id != job_id}
             if not lease.tasks:
                 del self._leases[worker_id]
+
+    def renew(self, worker_id: str, now: float) -> bool:
+        """Extend a worker's lease deadline (the ``POST /heartbeat`` path).
+
+        Remote workers executing a long chunk heartbeat between reports so
+        the reaper does not requeue work that is still making progress.
+        Returns ``False`` when the worker holds no lease (it expired, or
+        every chunk was already reported) — the worker should simply lease
+        again.
+        """
+        lease = self._leases.get(worker_id)
+        if lease is None:
+            return False
+        lease.deadline = now + self.lease_timeout
+        self.stats.leases_renewed += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Memo TTL / eviction
+    # ------------------------------------------------------------------
+    def evict(self, now: float) -> "list[str]":
+        """Drop terminal memos past ``memo_ttl`` or beyond ``memo_cap`` (LRU).
+
+        Completed jobs are permanent memos *while they live*; this sweep
+        bounds how long (and how many) they live, so a long-running server
+        stops leaking job-table memory.  Returns the evicted job ids so the
+        server can drop its per-job event state too.  A resubmission of an
+        evicted spec simply runs fresh (and, with a chunk cache, replays
+        published chunks at zero sampling cost).
+        """
+        evicted: list[str] = []
+        if self.memo_ttl is not None:
+            while self._memos:
+                job_id, touched = next(iter(self._memos.items()))
+                if now - touched < self.memo_ttl:
+                    break
+                evicted.append(job_id)
+                del self._memos[job_id]
+        if self.memo_cap is not None:
+            while len(self._memos) > self.memo_cap:
+                job_id, _ = self._memos.popitem(last=False)
+                evicted.append(job_id)
+        for job_id in evicted:
+            job = self.jobs.pop(job_id, None)
+            if job is not None and self._by_key.get(job.key) == job_id:
+                del self._by_key[job.key]
+            self.stats.jobs_evicted += 1
+            self._journal({"record": "evict", "job_id": job_id})
+        return evicted
+
+    @property
+    def memo_count(self) -> int:
+        """Number of terminal jobs currently retained as memos."""
+        return len(self._memos)
+
+    # ------------------------------------------------------------------
+    # Durability: journal replay / snapshot
+    # ------------------------------------------------------------------
+    def restore(self, records: "list[dict]", now: float = 0.0) -> "list[Job]":
+        """Rebuild the job table from journal ``records`` (in file order).
+
+        Non-terminal jobs re-enter the queue as ``queued`` with their
+        original id/key/seq/priority — their chunk progress restarts from
+        zero, but workers replay already-published chunk summaries through
+        the shared content-addressed cache, so the completed prefix costs
+        ``chunks_executed == 0``.  ``done`` records restore the full result
+        memo; ``evict`` records keep swept memos dead.  Returns the jobs
+        that re-entered the queue (the ones a server should re-dispatch).
+        """
+        for record in records:
+            kind = record.get("record")
+            if kind == "submit":
+                spec = RunSpec.from_dict(record["spec"])
+                job = Job(
+                    record["job_id"],
+                    record["key"],
+                    spec,
+                    int(record.get("priority", 0)),
+                    int(record["seq"]),
+                )
+                self.jobs[job.id] = job
+                self._by_key[job.key] = job.id
+                self._seq = max(self._seq, job.seq)
+            elif kind == "state":
+                job = self.jobs.get(record["job_id"])
+                if job is None:
+                    continue
+                job.state = record["state"]
+                if job.state == JobState.DONE:
+                    job.result = record.get("result")
+                    job.depth = (job.result or {}).get("depth")
+                else:
+                    job.error = record.get("error")
+                self._touch_memo(job.id, now)
+            elif kind == "evict":
+                job = self.jobs.pop(record["job_id"], None)
+                self._memos.pop(record["job_id"], None)
+                if job is not None and self._by_key.get(job.key) == job.id:
+                    del self._by_key[job.key]
+            else:
+                raise ValueError(f"unknown journal record kind {kind!r}")
+        requeued: list[Job] = []
+        for job in self.jobs.values():
+            if job.state in JobState.TERMINAL:
+                continue
+            job.state = JobState.QUEUED
+            self._push(job)
+            requeued.append(job)
+        self.stats.jobs_restored = len(requeued)
+        return requeued
+
+    def snapshot_records(self) -> "list[dict]":
+        """The compacted journal equivalent of the current job table.
+
+        One ``submit`` record (plus a terminal ``state`` record where
+        applicable) per live job, in submission order — what
+        :meth:`repro.serve.journal.JobJournal.compact` rewrites the file
+        with after a restart replay.
+        """
+        records: list[dict] = []
+        for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+            records.append(
+                {
+                    "record": "submit",
+                    "job_id": job.id,
+                    "key": job.key,
+                    "seq": job.seq,
+                    "priority": job.priority,
+                    "spec": job.spec.to_dict(),
+                }
+            )
+            if job.state == JobState.DONE:
+                records.append(
+                    {
+                        "record": "state",
+                        "job_id": job.id,
+                        "state": JobState.DONE,
+                        "result": job.result,
+                    }
+                )
+            elif job.state == JobState.FAILED:
+                records.append(
+                    {
+                        "record": "state",
+                        "job_id": job.id,
+                        "state": JobState.FAILED,
+                        "error": job.error,
+                    }
+                )
+        return records
 
     # ------------------------------------------------------------------
     # Lease expiry / worker death

@@ -1,0 +1,130 @@
+"""Durable job journal: append-only JSONL behind the serve scheduler.
+
+PR 6's server kept the whole job table in memory — a restart forgot every
+in-flight job and every completed memo.  This module makes the queue
+durable with the cheapest machinery that survives ``kill -9``: every
+scheduler state transition is appended as one JSON line to a journal file
+(conventionally ``journal.jsonl`` next to the chunk cache), and a
+restarting server replays the journal through
+:meth:`repro.serve.jobs.JobScheduler.restore` to rebuild the table.
+
+Three record kinds cover the whole lifecycle:
+
+``{"record": "submit", "job_id", "key", "seq", "priority", "spec"}``
+    a *new* job entered the queue (coalesced submissions mutate nothing
+    durable and are not journaled);
+
+``{"record": "state", "job_id", "state", ["result"|"error"]}``
+    a terminal transition — ``done`` carries the full RunResult payload so
+    completed memos survive a restart, ``failed`` carries the message;
+
+``{"record": "evict", "job_id"}``
+    the TTL/LRU sweep dropped a terminal memo, so replay must not
+    resurrect it.
+
+Replay semantics: records are applied in file order; a restored
+non-terminal job re-enters the queue as ``queued`` with its original id,
+key, seq and priority, and its chunks re-execute through the shared
+content-addressed chunk cache — already-published chunk summaries replay
+with ``chunks_executed == 0``, so a restart costs only the unpublished
+tail.  After replay the journal is *compacted*: the file is atomically
+rewritten with one ``submit`` (plus terminal ``state``) line per surviving
+job, so repeated restarts do not grow it without bound.
+
+Writes are append + flush + fsync per record — the scheduler mutates at
+chunk granularity (milliseconds of sampling work each), so durability is
+nowhere near the hot path.  A torn final line (the crash happened
+mid-write) is tolerated on load and dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["JobJournal", "load_journal"]
+
+
+def load_journal(path: str | Path) -> "list[dict]":
+    """Read every intact record of a journal file (missing file → ``[]``).
+
+    A truncated final line — the process died mid-append — is silently
+    dropped; any other malformed line raises, since it means the file is
+    not a journal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: list[dict] = []
+    raw = path.read_bytes().decode("utf-8")
+    lines = raw.split("\n")
+    for position, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if position >= len(lines) - 2:
+                break  # torn tail from a mid-append crash
+            raise ValueError(f"corrupt journal line {position + 1} in {path}") from None
+        if not isinstance(record, dict) or "record" not in record:
+            raise ValueError(f"journal line {position + 1} in {path} is not a record")
+        records.append(record)
+    return records
+
+
+class JobJournal:
+    """Append-only JSONL journal of scheduler state transitions.
+
+    The scheduler calls :meth:`append` for every durable transition; the
+    server calls :meth:`compact` after a restart replay.  The file handle
+    stays open in append mode for the journal's lifetime.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def __repr__(self) -> str:
+        return f"JobJournal({str(self.path)!r})"
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync before returning)."""
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def compact(self, records: "list[dict]") -> None:
+        """Atomically rewrite the journal to exactly ``records``.
+
+        Called after a restart replay with the surviving jobs' snapshot
+        (one ``submit`` plus optional terminal ``state`` per job), so the
+        file size tracks the live table instead of the full history.
+        """
+        self._handle.close()
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, self.path)
+        except BaseException:
+            with open(self.path, "a", encoding="utf-8"):
+                pass  # journal must stay openable even if compaction failed
+            if os.path.exists(temp_name):
+                os.unlink(temp_name)
+            raise
+        finally:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._handle.close()

@@ -1,0 +1,289 @@
+"""Remote worker: lease chunks from a ``repro serve`` endpoint over HTTP.
+
+PR 6's fleet was bounded by one machine — workers were spawn-context
+processes fed by a multiprocessing queue.  This module is the scale-out
+path: ``repro worker --server URL`` runs the same chunk executor
+(:class:`repro.serve.worker.JobContext`) on *any* host that can reach the
+server, speaking the lease protocol over three endpoints:
+
+``POST /lease``
+    claim up to ``lease_chunks`` chunks of the best runnable job; the
+    response carries the chunk tasks, the spec payload of every named job
+    (so a worker joining mid-flight can rebuild its context) and the
+    server's lease timeout;
+
+``POST /heartbeat``
+    renew the lease deadline while a long chunk executes (a background
+    thread pings at a third of the lease timeout);
+
+``POST /chunks``
+    report ``(shots, errors, cached)`` per chunk — reporting renews the
+    lease exactly like the in-process path, and job build failures are
+    reported the same way so the server can fail the job.
+
+Because a chunk's content is a pure function of ``(spec, basis, index)``,
+remote and local workers interoperate freely in one fleet and the served
+result stays bit-identical to the offline :class:`repro.api.Pipeline` for
+any worker mix — the lease/requeue reasoning of
+:mod:`repro.serve.jobs` is transport-agnostic.  A remote worker that dies
+mid-lease is recovered by the ordinary lease timeout; a report the server
+has already requeued elsewhere is discarded as a duplicate.
+
+With ``--cache-dir`` pointing at a shared (e.g. network) directory, remote
+workers publish and replay chunk summaries through the same
+content-addressed cache as everyone else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import time
+import uuid
+
+from repro.api.spec import RunSpec
+from repro.serve.client import ServeClient
+from repro.serve.jobs import ChunkTask
+from repro.serve.worker import JobContext
+
+__all__ = ["RemoteWorker", "add_worker_flags", "build_parser", "main", "worker_from_args"]
+
+
+def _default_worker_id() -> str:
+    """A fleet-unique worker id: host, pid and a random suffix."""
+    return f"r-{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class RemoteWorker:
+    """One remote worker loop: lease → execute → report, until stopped.
+
+    The loop is deliberately dumb: all scheduling intelligence (dedup,
+    priorities, speculation windows, requeue) lives server-side in
+    :class:`repro.serve.jobs.JobScheduler`; the worker just executes the
+    chunks it is handed through the exact offline machinery and reports
+    summaries back.  Server outages are survived by backing off and
+    re-leasing — the lease timeout guarantees nothing is lost meanwhile.
+    """
+
+    def __init__(
+        self,
+        server_url: str,
+        *,
+        worker_id: str | None = None,
+        cache_dir: str | None = None,
+        poll_interval: float = 0.5,
+        max_idle: float | None = None,
+        throttle: float = 0.0,
+    ) -> None:
+        self.client = ServeClient(server_url, timeout=60.0)
+        self.worker_id = worker_id or _default_worker_id()
+        self.poll_interval = max(0.05, poll_interval)
+        self.max_idle = max_idle
+        self.throttle = throttle
+        self.cache = None
+        if cache_dir:
+            from repro.cache import ResultCache
+
+            self.cache = ResultCache(cache_dir)
+        self._contexts: dict[str, JobContext] = {}
+        self._stop = threading.Event()
+        self.chunks_executed = 0
+        self.chunks_cached = 0
+        self.chunks_failed = 0
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current chunk (threadsafe)."""
+        self._stop.set()
+
+    def run_forever(self) -> int:
+        """Lease and execute chunks until :meth:`stop` or ``max_idle``.
+
+        Returns the number of chunks this worker reported.  A server that
+        is down (or restarting) is retried with a backed-off poll; with
+        ``max_idle`` set, that many consecutive seconds without obtaining
+        work end the loop — the CI smoke harness uses this so worker
+        processes terminate on their own.
+        """
+        idle_since = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                leased = self.client.lease(self.worker_id)
+            except (ConnectionError, TimeoutError, OSError):
+                if self._idle_expired(idle_since):
+                    break
+                self._stop.wait(4 * self.poll_interval)
+                continue
+            tasks = leased.get("tasks", [])
+            if not tasks:
+                if self._idle_expired(idle_since):
+                    break
+                self._stop.wait(self.poll_interval)
+                continue
+            self._execute(tasks, leased.get("specs", {}), float(leased.get("lease_timeout", 30.0)))
+            idle_since = time.monotonic()
+        return self.chunks_executed + self.chunks_cached
+
+    def _idle_expired(self, idle_since: float) -> bool:
+        return self.max_idle is not None and time.monotonic() - idle_since >= self.max_idle
+
+    def _execute(self, tasks: "list[dict]", specs: dict, lease_timeout: float) -> None:
+        """Run one leased chunk range, heartbeating while chunks execute."""
+        stop_heartbeat = threading.Event()
+
+        def _heartbeat() -> None:
+            interval = max(0.2, lease_timeout / 3.0)
+            while not stop_heartbeat.wait(interval):
+                try:
+                    self.client.heartbeat(self.worker_id)
+                except Exception:
+                    pass  # transient; reports and the next lease recover
+
+        pinger = threading.Thread(target=_heartbeat, daemon=True, name="repro-worker-heartbeat")
+        pinger.start()
+        try:
+            for payload in tasks:
+                if self._stop.is_set():
+                    return
+                task = ChunkTask(
+                    payload["job_id"],
+                    payload["basis"],
+                    int(payload["index"]),
+                    int(payload["shots"]),
+                )
+                try:
+                    context = self._contexts.get(task.job_id)
+                    if context is None:
+                        spec = RunSpec.from_dict(specs[task.job_id])
+                        context = self._contexts[task.job_id] = JobContext(spec, self.cache)
+                    if self.throttle > 0.0:
+                        time.sleep(self.throttle)
+                    shots, errors, cached = context.run_chunk(task)
+                except Exception as error:  # job is unbuildable/unrunnable
+                    self.chunks_failed += 1
+                    self._deliver(
+                        failures=[
+                            {"job_id": task.job_id, "error": f"{type(error).__name__}: {error}"}
+                        ]
+                    )
+                    continue
+                if cached:
+                    self.chunks_cached += 1
+                else:
+                    self.chunks_executed += 1
+                self._deliver(
+                    results=[
+                        {
+                            "task": {
+                                "job_id": task.job_id,
+                                "basis": task.basis,
+                                "index": task.index,
+                                "shots": task.shots,
+                            },
+                            "shots": shots,
+                            "errors": errors,
+                            "cached": cached,
+                            "info": context.info(),
+                        }
+                    ]
+                )
+        finally:
+            stop_heartbeat.set()
+
+    def _deliver(self, results=(), failures=()) -> None:
+        """Report with bounded retries; an undeliverable chunk is abandoned.
+
+        The lease timeout requeues anything the server never hears about,
+        and (with a shared cache) the chunk summary was already published,
+        so abandonment costs a replay, never a divergence.
+        """
+        for attempt in range(3):
+            try:
+                self.client.report(self.worker_id, results=results, failures=failures)
+                return
+            except (ConnectionError, TimeoutError, OSError):
+                if attempt == 2:
+                    return
+                self._stop.wait(self.poll_interval)
+
+
+def add_worker_flags(parser: argparse.ArgumentParser) -> None:
+    """Add the remote-worker flags (shared with the ``repro worker`` verb)."""
+    parser.add_argument(
+        "--server",
+        default=None,
+        help="serve endpoint to lease from (default: $REPRO_SERVER or http://127.0.0.1:8642)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="fleet-unique worker id (default: derived from host/pid)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed chunk cache directory shared with the fleet",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between empty lease polls (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many consecutive seconds without work (default: run forever)",
+    )
+    parser.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        help="debug: sleep this many seconds before each chunk",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """CLI for the standalone remote worker (``python -m repro.serve.remote``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Lease and execute chunks from a repro serve endpoint over HTTP.",
+    )
+    add_worker_flags(parser)
+    return parser
+
+
+def worker_from_args(args: argparse.Namespace) -> RemoteWorker:
+    """Build the :class:`RemoteWorker` for parsed worker arguments."""
+    server = args.server or os.environ.get("REPRO_SERVER") or "http://127.0.0.1:8642"
+    return RemoteWorker(
+        server,
+        worker_id=args.worker_id,
+        cache_dir=args.cache_dir,
+        poll_interval=args.poll_interval,
+        max_idle=args.max_idle,
+        throttle=args.throttle,
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point: run one remote worker in the foreground until idle/Ctrl-C."""
+    worker = worker_from_args(build_parser().parse_args(argv))
+    print(f"worker {worker.worker_id} leasing from {worker.client.base_url}", flush=True)
+    try:
+        reported = worker.run_forever()
+    except KeyboardInterrupt:
+        reported = worker.chunks_executed + worker.chunks_cached
+    print(
+        f"worker {worker.worker_id} exiting: "
+        f"{worker.chunks_executed} executed, {worker.chunks_cached} cached, "
+        f"{worker.chunks_failed} failed ({reported} reported)",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

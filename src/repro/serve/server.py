@@ -1,8 +1,9 @@
 """The ``repro serve`` asyncio HTTP service (stdlib only, no framework).
 
 One process hosts the :class:`~repro.serve.jobs.JobScheduler` plus a pool
-of worker *processes* (:mod:`repro.serve.worker`); HTTP is a thin
-transport over both.  Endpoints:
+of local worker *processes* (:mod:`repro.serve.worker`); HTTP is a thin
+transport over both, and remote workers (:mod:`repro.serve.remote`) drive
+the same lease table over three extra endpoints.  Endpoints:
 
 ``POST /jobs``
     Submit ``{"spec": {...RunSpec...}, "priority": N}`` (or a bare RunSpec
@@ -12,30 +13,50 @@ transport over both.  Endpoints:
 ``GET /jobs`` / ``GET /jobs/<id>``
     List job summaries / fetch one.
 
-``GET /jobs/<id>/events``
+``GET /jobs/<id>/events?since=N``
     NDJSON event stream: a ``job`` snapshot, then one ``progress`` line
     per consumed chunk (shots, errors, current rate, live Wilson relative
     error, convergence flag), then a terminal ``done`` (with the full
-    RunResult payload) or ``failed`` line.
+    RunResult payload) or ``failed`` line.  Every job-scoped event carries
+    a monotonically increasing ``seq``; ``since=N`` replays retained
+    history after sequence ``N`` before going live, so a client whose
+    connection dropped resumes without duplicates.
 
 ``GET /jobs/<id>/result?timeout=S``
-    Block until the job finishes and return its result payload.
+    Block until the job finishes and return its result payload (``504``
+    when the poll window expires first — clients re-poll).
+
+``POST /lease`` / ``POST /chunks`` / ``POST /heartbeat``
+    The remote-worker protocol: claim a chunk range, report chunk
+    summaries (or job failures), renew a lease mid-chunk.  Remote and
+    local workers share one scheduler, so any mix yields bit-identical
+    results.
 
 ``GET /healthz``
-    Worker liveness, job tallies and the fabric counters
-    (:class:`~repro.serve.jobs.JobQueueStats`).
+    Worker liveness (local and remote), job tallies, memo/TTL counters
+    and the fabric counters (:class:`~repro.serve.jobs.JobQueueStats`).
 
 ``POST /shutdown``
     Ask the server to stop (used by the CI smoke harness).
 
 Responses are single-shot ``Connection: close`` HTTP/1.1 — one request
 per connection keeps the stdlib parser honest; event streams simply write
-NDJSON until the terminal event and close.
+NDJSON until the terminal event and close.  Malformed bodies and query
+parameters answer ``400`` with a JSON error instead of dropping the
+connection.
 
-Workers are started via the ``spawn`` context (safe to combine with the
-server's threads), watched by a reaper task that requeues expired leases,
-detects dead processes (``Process.is_alive``), and respawns replacements —
-a SIGKILLed worker delays a job by at most one lease timeout.
+Local workers are started via the ``spawn`` context (safe to combine with
+the server's threads), watched by a reaper task that requeues expired
+leases, detects dead processes (``Process.is_alive``), respawns
+replacements, and sweeps expired job memos — a SIGKILLed worker delays a
+job by at most one lease timeout.  ``workers=0`` runs a server with no
+local fleet at all (remote workers do everything).
+
+With a journal configured (``journal=...``, conventionally next to the
+chunk cache), submissions and terminal transitions are appended to an
+append-only JSONL (:mod:`repro.serve.journal`); a restarted server
+replays it, resumes unfinished jobs (published chunks replay from the
+cache with ``chunks_executed == 0``) and keeps completed memos.
 """
 
 from __future__ import annotations
@@ -43,38 +64,99 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 import multiprocessing
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api.spec import RunSpec
-from repro.serve.jobs import JobScheduler, JobState
+from repro.serve.jobs import ChunkTask, JobScheduler, JobState
+from repro.serve.journal import JobJournal, load_journal
 from repro.serve.worker import worker_main
 
 __all__ = ["ReproServer", "ServeConfig", "serve_in_thread"]
 
+#: Per-job event-history retention: the replay buffer for reconnecting
+#: clients keeps this many recent events (terminal events always survive).
+EVENT_HISTORY_LIMIT = 512
+
+#: A remote worker is considered part of the fleet while its last lease,
+#: report or heartbeat is at most this many lease timeouts old.
+REMOTE_ACTIVE_LEASES = 3.0
+
+
+class _BadRequest(ValueError):
+    """A client error that should answer HTTP 400 with a JSON message."""
+
+
+def _query_float(query: dict, name: str, default: float) -> float:
+    """Parse a float query parameter; malformed values raise ``_BadRequest``."""
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _BadRequest(f"query parameter {name}={raw!r} is not a number") from None
+    if not math.isfinite(value):
+        raise _BadRequest(f"query parameter {name}={raw!r} must be finite")
+    return value
+
+
+def _query_int(query: dict, name: str, default: int) -> int:
+    """Parse an integer query parameter; malformed values raise ``_BadRequest``."""
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise _BadRequest(f"query parameter {name}={raw!r} is not an integer") from None
+
+
+def _json_body(body: bytes) -> dict:
+    """Decode a JSON object request body; anything else raises ``_BadRequest``."""
+    try:
+        payload = json.loads(body.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _BadRequest(f"request body is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise _BadRequest("request body must be a JSON object")
+    return payload
+
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Service configuration: bind address, fleet size and lease policy.
+    """Service configuration: bind address, fleet size and queue policy.
 
     ``port=0`` binds an ephemeral port (the bound port is reported by
-    :attr:`ReproServer.url`).  ``lease_timeout`` is the watchdog horizon
-    for worker death; ``lease_chunks`` the chunk-range size one lease
-    grants; ``window`` the per-basis speculation bound (defaults to enough
-    chunks to keep the whole fleet busy).  ``throttle`` artificially slows
-    workers (seconds per chunk) — a test/debug knob only.
+    :attr:`ReproServer.url`).  ``workers=0`` starts no local processes —
+    remote workers carry the whole load.  ``lease_timeout`` is the
+    watchdog horizon for worker death; ``lease_chunks`` the chunk-range
+    size one lease grants; ``window`` the per-basis speculation bound
+    (defaults to enough chunks to keep the whole fleet busy).
+
+    ``journal`` is the durable queue's JSONL path (``"auto"`` places it at
+    ``<cache_dir>/journal.jsonl``); ``None`` disables durability.
+    ``memo_ttl``/``memo_cap`` bound how long and how many terminal job
+    memos are retained (``None`` disables the respective bound).
+    ``throttle`` artificially slows workers (seconds per chunk) — a
+    test/debug knob only.
     """
 
     host: str = "127.0.0.1"
     port: int = 8642
     workers: int = 2
     cache_dir: str | None = None
+    journal: str | None = None
     lease_timeout: float = 30.0
     lease_chunks: int = 4
     window: int | None = None
+    memo_ttl: float | None = 3600.0
+    memo_cap: int | None = 1024
     poll_interval: float = 0.25
     respawn: bool = True
     throttle: float = 0.0
@@ -84,11 +166,20 @@ class ServeConfig:
         """The speculation window: explicit, or sized to saturate the fleet."""
         if self.window is not None:
             return max(1, self.window)
-        return max(8, 2 * self.workers * self.lease_chunks)
+        return max(8, 2 * max(1, self.workers) * self.lease_chunks)
+
+    @property
+    def journal_path(self) -> str | None:
+        """The resolved journal path (``"auto"`` → next to the chunk cache)."""
+        if self.journal != "auto":
+            return self.journal
+        if not self.cache_dir:
+            raise ValueError("journal='auto' needs cache_dir to place the journal next to")
+        return str(Path(self.cache_dir) / "journal.jsonl")
 
 
 class _WorkerHandle:
-    """Server-side view of one worker process."""
+    """Server-side view of one local worker process."""
 
     def __init__(self, worker_id: str, process, inbox) -> None:
         self.id = worker_id
@@ -107,23 +198,34 @@ class ReproServer:
 
     def __init__(self, config: ServeConfig | None = None) -> None:
         self.config = config or ServeConfig()
+        journal_path = self.config.journal_path
+        self.journal = JobJournal(journal_path) if journal_path else None
         self.scheduler = JobScheduler(
             lease_timeout=self.config.lease_timeout,
             lease_chunks=self.config.lease_chunks,
             window=self.config.effective_window,
+            memo_ttl=self.config.memo_ttl,
+            memo_cap=self.config.memo_cap,
+            journal=self.journal,
         )
         self._ctx = multiprocessing.get_context("spawn")
         self._outbox = self._ctx.Queue()
         self._workers: dict[str, _WorkerHandle] = {}
         self._worker_serial = 0
+        #: Remote workers by id → monotonic time of their last contact.
+        self._remote_seen: dict[str, float] = {}
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._reader: threading.Thread | None = None
         self._reaper: asyncio.Task | None = None
         self._subscribers: dict[str, set[asyncio.Queue]] = {}
         self._done_events: dict[str, asyncio.Event] = {}
+        #: Per-job numbered event history (the ``?since=`` replay buffer).
+        self._event_log: dict[str, list[dict]] = {}
+        self._event_seq: dict[str, int] = {}
         self._stopping = asyncio.Event()
         self.workers_respawned = 0
+        self.jobs_restored = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -137,8 +239,9 @@ class ReproServer:
         return f"http://{host}:{port}"
 
     async def start(self) -> None:
-        """Bind the socket, spawn the worker fleet and start the pumps."""
+        """Restore the journal, bind the socket, spawn workers, start pumps."""
         self._loop = asyncio.get_running_loop()
+        self._restore_journal()
         for _ in range(self.config.workers):
             self._spawn_worker()
         self._reader = threading.Thread(target=self._pump_outbox, daemon=True)
@@ -147,6 +250,18 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        self._dispatch()
+
+    def _restore_journal(self) -> None:
+        """Replay (then compact) the journal so the job table survives restarts."""
+        if self.journal is None:
+            return
+        records = load_journal(self.journal.path)
+        if not records:
+            return
+        requeued = self.scheduler.restore(records, now=time.monotonic())
+        self.jobs_restored = len(requeued)
+        self.journal.compact(self.scheduler.snapshot_records())
 
     async def wait_stopped(self) -> None:
         """Block until :meth:`request_stop` (or ``POST /shutdown``), then clean up."""
@@ -158,7 +273,7 @@ class ReproServer:
         self._stopping.set()
 
     async def stop(self) -> None:
-        """Tear everything down: HTTP, reaper, workers, reader thread."""
+        """Tear everything down: HTTP, reaper, workers, reader thread, journal."""
         if self._server is not None:
             self._server.close()
             with contextlib.suppress(Exception):
@@ -180,6 +295,8 @@ class ReproServer:
         self._outbox.put(("__exit__",))
         if self._reader is not None:
             self._reader.join(timeout=2.0)
+        if self.journal is not None:
+            self.journal.close()
 
     def _spawn_worker(self) -> _WorkerHandle:
         self._worker_serial += 1
@@ -226,14 +343,14 @@ class ReproServer:
             handle = self._workers.get(worker_id)
             if handle is not None:
                 handle.outstanding = max(0, handle.outstanding - 1)
-            events = self.scheduler.fail_job(job_id, error_message)
+            events = self.scheduler.fail_job(job_id, error_message, now)
         else:  # pragma: no cover - future message kinds
             events = []
         self._publish(events)
         self._dispatch()
 
     def _dispatch(self) -> None:
-        """Hand leases to every idle worker while work is available."""
+        """Hand leases to every idle local worker while work is available."""
         now = time.monotonic()
         for handle in self._workers.values():
             if not handle.alive or handle.outstanding > 0:
@@ -248,20 +365,32 @@ class ReproServer:
             handle.inbox.put(("run", tasks, specs))
             handle.outstanding += len(tasks)
 
+    def _remote_active(self, now: float) -> bool:
+        """True while any remote worker has been heard from recently."""
+        horizon = REMOTE_ACTIVE_LEASES * self.config.lease_timeout
+        return any(now - seen <= horizon for seen in self._remote_seen.values())
+
     async def _reap_loop(self) -> None:
-        """Periodic watchdog: expired leases, dead workers, respawns.
+        """Periodic watchdog: expired leases, dead workers, respawns, eviction.
 
         Respawns are capped (``4 + 4 * workers``): a fleet whose processes
         die instantly — a broken environment, not a transient kill — must
-        not fork-bomb the host.  With the cap exhausted and every worker
-        dead, pending jobs are failed so clients see the outage instead of
-        a silent hang.
+        not fork-bomb the host.  With the cap exhausted, every local
+        worker dead and no remote worker in contact, pending jobs are
+        failed so clients see the outage instead of a silent hang.  The
+        same tick sweeps expired job memos and their event state.
         """
         respawn_budget = 4 + 4 * self.config.workers
         while True:
             await asyncio.sleep(self.config.poll_interval)
             now = time.monotonic()
             self.scheduler.reap(now)
+            for job_id in self.scheduler.evict(now):
+                self._drop_job_state(job_id)
+            stale_horizon = 10 * REMOTE_ACTIVE_LEASES * self.config.lease_timeout
+            for worker_id, seen in list(self._remote_seen.items()):
+                if now - seen > stale_horizon:
+                    del self._remote_seen[worker_id]
             for worker_id, handle in list(self._workers.items()):
                 if handle.lost or handle.process.is_alive():
                     continue
@@ -271,21 +400,41 @@ class ReproServer:
                 if self.config.respawn and self.workers_respawned < respawn_budget:
                     self._spawn_worker()
                     self.workers_respawned += 1
-            if not any(handle.alive for handle in self._workers.values()):
+            local_fleet_down = self._workers and not any(
+                handle.alive for handle in self._workers.values()
+            )
+            if local_fleet_down and not self._remote_active(now):
                 for job in list(self.scheduler.jobs.values()):
                     if job.state not in JobState.TERMINAL:
                         self._publish(
-                            self.scheduler.fail_job(job.id, "no live workers remain")
+                            self.scheduler.fail_job(job.id, "no live workers remain", now)
                         )
                 continue
             self._dispatch()
+
+    def _drop_job_state(self, job_id: str) -> None:
+        """Forget an evicted job's event history, done flag and subscribers."""
+        self._event_log.pop(job_id, None)
+        self._event_seq.pop(job_id, None)
+        self._done_events.pop(job_id, None)
+        self._subscribers.pop(job_id, None)
 
     # ------------------------------------------------------------------
     # Events
     # ------------------------------------------------------------------
     def _publish(self, events: "list[dict]") -> None:
+        """Number, retain and fan out job-scoped events to subscribers."""
         for event in events:
             job_id = event.get("job_id")
+            if job_id is not None:
+                seq = self._event_seq.get(job_id, 0) + 1
+                self._event_seq[job_id] = seq
+                event = {**event, "seq": seq}
+                log = self._event_log.setdefault(job_id, [])
+                log.append(event)
+                if len(log) > EVENT_HISTORY_LIMIT:
+                    # keep the tail (and thereby any terminal event)
+                    del log[: len(log) - EVENT_HISTORY_LIMIT]
             for queue in self._subscribers.get(job_id, ()):  # type: ignore[arg-type]
                 queue.put_nowait(event)
             if event["event"] in ("done", "failed"):
@@ -315,10 +464,21 @@ class ReproServer:
                 name, _, value = line.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
             body = b""
-            length = int(headers.get("content-length") or 0)
+            try:
+                length = int(headers.get("content-length") or 0)
+            except ValueError:
+                await _respond(
+                    writer,
+                    400,
+                    {"error": f"malformed Content-Length {headers.get('content-length')!r}"},
+                )
+                return
             if length > 0:
                 body = await reader.readexactly(length)
-            await self._route(method, target, body, writer)
+            try:
+                await self._route(method, target, body, writer)
+            except _BadRequest as error:
+                await _respond(writer, 400, {"error": str(error)})
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -329,7 +489,10 @@ class ReproServer:
     async def _route(self, method: str, target: str, body: bytes, writer) -> None:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
-        query = {key: values[-1] for key, values in parse_qs(split.query).items()}
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(split.query, keep_blank_values=True).items()
+        }
         if method == "GET" and path == "/healthz":
             await _respond(writer, 200, self._health())
         elif method == "POST" and path == "/jobs":
@@ -340,6 +503,12 @@ class ReproServer:
                 200,
                 {"jobs": [job.summary() for job in self.scheduler.jobs.values()]},
             )
+        elif method == "POST" and path == "/lease":
+            await self._post_lease(body, writer)
+        elif method == "POST" and path == "/chunks":
+            await self._post_chunks(body, writer)
+        elif method == "POST" and path == "/heartbeat":
+            await self._post_heartbeat(body, writer)
         elif method == "POST" and path == "/shutdown":
             await _respond(writer, 200, {"status": "stopping"})
             self.request_stop()
@@ -349,6 +518,8 @@ class ReproServer:
             await _respond(writer, 404, {"error": f"no route for {method} {split.path}"})
 
     def _health(self) -> dict:
+        now = time.monotonic()
+        horizon = REMOTE_ACTIVE_LEASES * self.config.lease_timeout
         return {
             "status": "ok",
             "workers": [
@@ -360,21 +531,39 @@ class ReproServer:
                 }
                 for handle in self._workers.values()
             ],
+            "remote_workers": [
+                {
+                    "id": worker_id,
+                    "last_seen_s": round(now - seen, 3),
+                    "active": now - seen <= horizon,
+                }
+                for worker_id, seen in self._remote_seen.items()
+            ],
             "workers_respawned": self.workers_respawned,
             "jobs": self.scheduler.job_counts(),
+            "jobs_restored": self.jobs_restored,
+            "memo": {
+                "retained": self.scheduler.memo_count,
+                "ttl": self.scheduler.memo_ttl,
+                "cap": self.scheduler.memo_cap,
+                "evicted": self.scheduler.stats.jobs_evicted,
+            },
+            "journal": str(self.journal.path) if self.journal else None,
             "stats": self.scheduler.stats.to_dict(),
         }
 
     async def _post_jobs(self, body: bytes, writer) -> None:
         try:
-            payload = json.loads(body.decode("utf-8") or "{}")
-            if not isinstance(payload, dict):
-                raise ValueError("request body must be a JSON object")
+            payload = _json_body(body)
             spec_payload = payload.get("spec", payload)
             priority = int(payload.get("priority", 0)) if "priority" in payload else 0
             spec = RunSpec.from_dict(spec_payload)
-            job, coalesced, events = self.scheduler.submit(spec, priority=priority)
-        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as error:
+            job, coalesced, events = self.scheduler.submit(
+                spec, priority=priority, now=time.monotonic()
+            )
+        except _BadRequest:
+            raise
+        except (ValueError, TypeError, KeyError) as error:
             await _respond(writer, 400, {"error": str(error)})
             return
         self._publish(events)
@@ -383,6 +572,91 @@ class ReproServer:
         self._dispatch()
         status = 200 if coalesced else 201
         await _respond(writer, status, {"job": job.summary(), "coalesced": coalesced})
+
+    # ------------------------------------------------------------------
+    # Remote-worker protocol
+    # ------------------------------------------------------------------
+    def _worker_id_of(self, payload: dict) -> str:
+        worker_id = payload.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            raise _BadRequest("body must carry a non-empty string 'worker_id'")
+        return worker_id
+
+    async def _post_lease(self, body: bytes, writer) -> None:
+        """Grant a chunk range to a remote worker (``POST /lease``)."""
+        worker_id = self._worker_id_of(_json_body(body))
+        now = time.monotonic()
+        self._remote_seen[worker_id] = now
+        tasks = self.scheduler.assign(worker_id, now)
+        specs = {}
+        for task in tasks:
+            if task.job_id not in specs:
+                specs[task.job_id] = self.scheduler.jobs[task.job_id].spec.to_dict()
+        await _respond(
+            writer,
+            200,
+            {
+                "tasks": [
+                    {
+                        "job_id": task.job_id,
+                        "basis": task.basis,
+                        "index": task.index,
+                        "shots": task.shots,
+                    }
+                    for task in tasks
+                ],
+                "specs": specs,
+                "lease_timeout": self.config.lease_timeout,
+            },
+        )
+
+    async def _post_chunks(self, body: bytes, writer) -> None:
+        """Fold remote chunk reports (and failures) into the scheduler."""
+        payload = _json_body(body)
+        worker_id = self._worker_id_of(payload)
+        results = payload.get("results", [])
+        failures = payload.get("failures", [])
+        if not isinstance(results, list) or not isinstance(failures, list):
+            raise _BadRequest("'results' and 'failures' must be lists")
+        now = time.monotonic()
+        self._remote_seen[worker_id] = now
+        accepted = 0
+        for entry in results:
+            try:
+                raw_task = entry["task"]
+                task = ChunkTask(
+                    str(raw_task["job_id"]),
+                    str(raw_task["basis"]),
+                    int(raw_task["index"]),
+                    int(raw_task["shots"]),
+                )
+                shots = int(entry["shots"])
+                errors = int(entry["errors"])
+                cached = bool(entry.get("cached", False))
+                info = entry.get("info")
+            except (KeyError, TypeError, ValueError) as error:
+                raise _BadRequest(f"malformed chunk result: {error}") from None
+            self._publish(
+                self.scheduler.record_result(worker_id, task, shots, errors, cached, info, now)
+            )
+            accepted += 1
+        for entry in failures:
+            try:
+                job_id = str(entry["job_id"])
+                message = str(entry.get("error", "worker failure"))
+            except (KeyError, TypeError) as error:
+                raise _BadRequest(f"malformed failure report: {error}") from None
+            self._publish(self.scheduler.fail_job(job_id, message, now))
+            accepted += 1
+        self._dispatch()
+        await _respond(writer, 200, {"accepted": accepted})
+
+    async def _post_heartbeat(self, body: bytes, writer) -> None:
+        """Renew a remote worker's lease deadline (``POST /heartbeat``)."""
+        worker_id = self._worker_id_of(_json_body(body))
+        now = time.monotonic()
+        self._remote_seen[worker_id] = now
+        await _respond(writer, 200, {"renewed": self.scheduler.renew(worker_id, now)})
 
     async def _get_job(self, path: str, query: dict, writer) -> None:
         segments = path.split("/")  # ["", "jobs", "<id>"] or ["", "jobs", "<id>", "<verb>"]
@@ -394,22 +668,33 @@ class ReproServer:
         if verb is None:
             await _respond(writer, 200, {"job": job.summary()})
         elif verb == "result":
-            timeout = float(query.get("timeout", 300.0))
-            try:
-                await asyncio.wait_for(self._done_event(job.id).wait(), timeout=timeout)
-            except asyncio.TimeoutError:
-                await _respond(
-                    writer, 504, {"error": "timed out waiting for job", "job": job.summary()}
-                )
-                return
+            timeout = _query_float(query, "timeout", 300.0)
+            if job.state not in JobState.TERMINAL:
+                try:
+                    await asyncio.wait_for(
+                        self._done_event(job.id).wait(), timeout=max(0.0, timeout)
+                    )
+                except asyncio.TimeoutError:
+                    await _respond(
+                        writer,
+                        504,
+                        {"error": "timed out waiting for job", "job": job.summary()},
+                    )
+                    return
             await _respond(writer, 200, {"job": job.summary(), "result": job.result})
         elif verb == "events":
-            await self._stream_events(job, writer)
+            since = _query_int(query, "since", 0)
+            await self._stream_events(job, writer, since)
         else:
             await _respond(writer, 404, {"error": f"unknown job endpoint {verb!r}"})
 
-    async def _stream_events(self, job, writer) -> None:
-        """NDJSON event stream: snapshot, live progress, terminal event."""
+    async def _stream_events(self, job, writer, since: int = 0) -> None:
+        """NDJSON event stream: snapshot, history replay, live events.
+
+        The subscription queue is registered *before* history is snapshotted,
+        so an event published during replay is never lost — it is simply
+        skipped by sequence number if the replay already covered it.
+        """
         queue: asyncio.Queue = asyncio.Queue()
         self._subscribers.setdefault(job.id, set()).add(queue)
         try:
@@ -420,12 +705,30 @@ class ReproServer:
                 b"Connection: close\r\n\r\n"
             )
             await _write_line(writer, {"event": "job", "job": job.summary()})
+            last_seq = since
+            replayed_terminal = False
+            for event in list(self._event_log.get(job.id, ())):
+                if event["seq"] <= since:
+                    continue
+                await _write_line(writer, event)
+                last_seq = event["seq"]
+                if event["event"] in ("done", "failed"):
+                    replayed_terminal = True
+            if replayed_terminal:
+                return
             if job.state in JobState.TERMINAL:
+                # Terminal but nothing retained to replay (journal-restored
+                # memo, or history trimmed): synthesize the terminal event.
                 await _write_line(writer, _terminal_event(job))
                 return
             while True:
                 event = await queue.get()
+                seq = event.get("seq")
+                if seq is not None and seq <= last_seq:
+                    continue  # already covered by the history replay
                 await _write_line(writer, event)
+                if seq is not None:
+                    last_seq = seq
                 if event["event"] in ("done", "failed"):
                     return
         finally:

@@ -28,6 +28,8 @@ AUDITED_MODULES = (
     "repro.experiments.suite",
     "repro.serve.client",
     "repro.serve.jobs",
+    "repro.serve.journal",
+    "repro.serve.remote",
     "repro.serve.server",
     "repro.serve.worker",
 )

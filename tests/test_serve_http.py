@@ -1,0 +1,318 @@
+"""HTTP edge cases for `repro serve`: parse errors, long-poll, reconnects.
+
+The satellite contract hardened here:
+
+* malformed query parameters (``?timeout=``, ``?since=``), non-JSON POST
+  bodies and a broken ``Content-Length`` answer ``400`` with a JSON error
+  instead of dropping the connection;
+* unknown routes and verbs answer ``404`` (never a hang);
+* :meth:`ServeClient.result` treats the server's long-poll ``504`` as
+  "not done yet" and re-polls until its *own* deadline;
+* :meth:`ServeClient.events` survives dropped connections by resuming
+  from the last sequence number, without duplicating or reordering;
+* the remote-worker endpoints (``/lease``, ``/chunks``, ``/heartbeat``)
+  validate their payloads.
+
+Servers here run with ``workers=0`` where possible (no subprocess spawn),
+so the module stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.api.spec import Budget, RunSpec
+from repro.serve import ServeClient, ServeConfig, serve_in_thread
+from repro.serve.client import ServeError
+
+#: Single-chunk-per-basis spec: the cheapest real job the fabric can run.
+SMALL_SPEC = RunSpec(code="steane", decoder="lookup", budget=Budget(shots=512), seed=11)
+
+
+def idle_config(**overrides):
+    defaults = dict(port=0, workers=0, poll_interval=0.05)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def raw_request(server, payload: bytes) -> bytes:
+    """Send raw bytes to the server socket, return the full response."""
+    host, port = server.url.split("//")[1].split(":")
+    with socket.create_connection((host, int(port)), timeout=10.0) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
+@pytest.fixture(scope="module")
+def idle_server():
+    with serve_in_thread(idle_config()) as server:
+        yield server
+
+
+class TestParseErrors:
+    def test_non_json_post_body_is_400(self, idle_server):
+        client = ServeClient(idle_server.url)
+        for path in ("/jobs", "/lease", "/chunks", "/heartbeat"):
+            response = raw_request(
+                idle_server,
+                b"POST " + path.encode() + b" HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Type: application/json\r\n"
+                b"Content-Length: 9\r\n\r\nnot json!",
+            )
+            assert response.startswith(b"HTTP/1.1 400"), path
+            assert b'"error"' in response
+        # The server survives every one of them.
+        assert client.health()["status"] == "ok"
+
+    def test_json_array_body_is_400(self, idle_server):
+        body = b"[1, 2, 3]"
+        response = raw_request(
+            idle_server,
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body,
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"JSON object" in response
+
+    def test_malformed_content_length_is_400(self, idle_server):
+        response = raw_request(
+            idle_server,
+            b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: banana\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_malformed_timeout_query_is_400(self, idle_server):
+        client = ServeClient(idle_server.url)
+        job_id = client.submit(SMALL_SPEC)["job"]["id"]
+        for bad in ("oops", "", "nan", "inf"):
+            with pytest.raises(ServeError) as excinfo:
+                client._request("GET", f"/jobs/{job_id}/result?timeout={bad}")
+            assert excinfo.value.status == 400, bad
+        # A well-formed request on the same socket path still works.
+        assert client.job(job_id)["id"] == job_id
+
+    def test_malformed_since_query_is_400(self, idle_server):
+        client = ServeClient(idle_server.url)
+        job_id = client.submit(SMALL_SPEC)["job"]["id"]
+        with pytest.raises(ServeError) as excinfo:
+            client._request("GET", f"/jobs/{job_id}/events?since=later")
+        assert excinfo.value.status == 400
+
+    def test_unknown_routes_and_verbs_are_404(self, idle_server):
+        client = ServeClient(idle_server.url)
+        job_id = client.submit(SMALL_SPEC)["job"]["id"]
+        for method, path in (
+            ("GET", "/nope"),
+            ("POST", "/jobs/extra/segments"),
+            ("DELETE", "/jobs"),
+            ("GET", f"/jobs/{job_id}/frobnicate"),
+        ):
+            with pytest.raises(ServeError) as excinfo:
+                client._request(method, path)
+            assert excinfo.value.status == 404, (method, path)
+        with pytest.raises(ServeError) as excinfo:
+            client.job("no-such-job")
+        assert excinfo.value.status == 404
+
+    def test_submit_without_spec_is_400(self, idle_server):
+        client = ServeClient(idle_server.url)
+        with pytest.raises(ServeError) as excinfo:
+            client._request("POST", "/jobs", {"priority": 1})
+        assert excinfo.value.status == 400
+
+
+class TestWorkerEndpoints:
+    def test_lease_requires_worker_id(self, idle_server):
+        client = ServeClient(idle_server.url)
+        for payload in ({}, {"worker_id": ""}, {"worker_id": 7}):
+            with pytest.raises(ServeError) as excinfo:
+                client._request("POST", "/lease", payload)
+            assert excinfo.value.status == 400, payload
+
+    def test_lease_grants_tasks_and_specs(self, idle_server):
+        client = ServeClient(idle_server.url)
+        client.submit(SMALL_SPEC)
+        leased = client.lease("r-test-1")
+        assert leased["tasks"], "queued job yielded no lease"
+        task = leased["tasks"][0]
+        assert set(task) == {"job_id", "basis", "index", "shots"}
+        assert task["job_id"] in leased["specs"]
+        assert leased["specs"][task["job_id"]]["code"] == "steane"
+        assert leased["lease_timeout"] == pytest.approx(30.0)
+        # The granted worker shows up in /healthz as a remote.
+        remotes = [w["id"] for w in client.health()["remote_workers"]]
+        assert "r-test-1" in remotes
+
+    def test_chunks_report_validates_payload(self, idle_server):
+        client = ServeClient(idle_server.url)
+        with pytest.raises(ServeError) as excinfo:
+            client._request(
+                "POST", "/chunks", {"worker_id": "r-test-2", "results": "nope"}
+            )
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client._request(
+                "POST",
+                "/chunks",
+                {"worker_id": "r-test-2", "results": [{"task": {"job_id": "j"}}]},
+            )
+        assert excinfo.value.status == 400
+
+    def test_heartbeat_without_lease_reports_not_renewed(self, idle_server):
+        client = ServeClient(idle_server.url)
+        assert client.heartbeat("r-ghost")["renewed"] is False
+
+
+class TestResultPolling:
+    def test_client_repolls_through_server_504s(self):
+        # Server long-poll windows far shorter than the job: the client
+        # must treat each 504 as "not done yet" and keep polling.
+        config = ServeConfig(port=0, workers=1, poll_interval=0.05, throttle=0.2)
+        with serve_in_thread(config) as server:
+            client = ServeClient(server.url)
+            job_id = client.submit(SMALL_SPEC)["job"]["id"]
+            result = client.result(job_id, timeout=120.0, poll_window=0.05)
+        assert result["shots"] == 512
+
+    def test_client_deadline_raises_504(self, idle_server):
+        # workers=0 and no remote fleet: the job can never finish.
+        client = ServeClient(idle_server.url)
+        job_id = client.submit(SMALL_SPEC)["job"]["id"]
+        with pytest.raises(ServeError) as excinfo:
+            client.result(job_id, timeout=0.4, poll_window=0.1)
+        assert excinfo.value.status == 504
+
+    def test_result_of_failed_job_raises_with_its_error(self):
+        config = ServeConfig(port=0, workers=1, poll_interval=0.05)
+        with serve_in_thread(config) as server:
+            client = ServeClient(server.url)
+            bad = SMALL_SPEC.replace(decoder="lookup:radius=oops")
+            job_id = client.submit(bad)["job"]["id"]
+            with pytest.raises(ServeError) as excinfo:
+                client.result(job_id, timeout=60.0, poll_window=0.5)
+        assert excinfo.value.status == 500
+        assert "radius" in str(excinfo.value)
+
+
+class FlakyEvents:
+    """Scripted `_events_once` stand-in: drops the stream between calls."""
+
+    def __init__(self, scripts):
+        self.scripts = list(scripts)
+        self.calls = []
+
+    def __call__(self, job_id, since):
+        self.calls.append(since)
+        if not self.scripts:
+            raise AssertionError("client reconnected more often than scripted")
+        script = self.scripts.pop(0)
+        yield {"event": "job", "job": {"id": job_id, "state": "running"}}
+        for event in script:
+            yield event
+        if self.scripts:
+            raise ConnectionError("stream dropped")
+
+
+class TestEventsReconnect:
+    def make_client(self, monkeypatch, scripts):
+        client = ServeClient("127.0.0.1:9")  # never actually connected
+        flaky = FlakyEvents(scripts)
+        monkeypatch.setattr(
+            client, "_events_once", lambda job_id, since: flaky(job_id, since)
+        )
+        return client, flaky
+
+    def test_resume_deduplicates_and_preserves_order(self, monkeypatch):
+        scripts = [
+            [
+                {"event": "progress", "seq": 1, "basis": "Z", "chunks_done": 1},
+                {"event": "progress", "seq": 2, "basis": "Z", "chunks_done": 2},
+            ],
+            [
+                {"event": "progress", "seq": 2, "basis": "Z", "chunks_done": 2},
+                {"event": "progress", "seq": 3, "basis": "X", "chunks_done": 1},
+                {"event": "done", "seq": 4, "result": {"shots": 512}},
+            ],
+        ]
+        client, flaky = self.make_client(monkeypatch, scripts)
+        events = list(client.events("job-1", reconnect_delay=0.0))
+        kinds = [event["event"] for event in events]
+        assert kinds == ["job", "progress", "progress", "progress", "done"]
+        seqs = [event["seq"] for event in events if "seq" in event]
+        assert seqs == [1, 2, 3, 4]  # seq 2 not duplicated, order preserved
+        assert flaky.calls == [0, 2]  # reconnect resumed from the last seq
+
+    def test_terminal_event_always_yielded_even_with_stale_seq(self, monkeypatch):
+        # After a server restart the event counter resets; a terminal event
+        # numbered below the client's high-water mark must still be yielded.
+        scripts = [
+            [{"event": "progress", "seq": 7, "basis": "Z", "chunks_done": 3}],
+            [{"event": "done", "seq": 1, "result": {"shots": 512}}],
+        ]
+        client, _ = self.make_client(monkeypatch, scripts)
+        events = list(client.events("job-1", reconnect_delay=0.0))
+        assert [event["event"] for event in events] == ["job", "progress", "done"]
+
+    def test_no_reconnect_mode_raises(self, monkeypatch):
+        scripts = [
+            [{"event": "progress", "seq": 1, "basis": "Z", "chunks_done": 1}],
+            [{"event": "done", "seq": 2, "result": {}}],
+        ]
+        client, _ = self.make_client(monkeypatch, scripts)
+        with pytest.raises(ConnectionError):
+            list(client.events("job-1", reconnect=False))
+
+    def test_reconnect_budget_exhaustion_raises_503(self, monkeypatch):
+        client = ServeClient("127.0.0.1:9")
+
+        def always_drops(job_id, since):
+            raise ConnectionError("down")
+            yield  # pragma: no cover - makes this a generator
+
+        monkeypatch.setattr(client, "_events_once", always_drops)
+        with pytest.raises(ServeError) as excinfo:
+            list(
+                client.events(
+                    "job-1", max_reconnects=2, reconnect_delay=0.0
+                )
+            )
+        assert excinfo.value.status == 503
+
+
+class TestHealthz:
+    def test_health_reports_memo_journal_and_remote_state(self, idle_server):
+        health = ServeClient(idle_server.url).health()
+        assert health["status"] == "ok"
+        assert {"retained", "ttl", "cap", "evicted"} <= set(health["memo"])
+        assert "journal" in health
+        assert isinstance(health["remote_workers"], list)
+        assert "jobs_restored" in health
+
+
+def test_events_stream_resumes_over_real_http():
+    """End-to-end seq resume: replay history via ?since= on a live server."""
+    config = ServeConfig(port=0, workers=1, poll_interval=0.05)
+    with serve_in_thread(config) as server:
+        client = ServeClient(server.url)
+        job_id = client.submit(SMALL_SPEC)["job"]["id"]
+        full = list(client.events(job_id))
+        assert full[-1]["event"] == "done"
+        mid_seq = full[1]["seq"]  # pretend we dropped after the first event
+        resumed = list(client.events(job_id, since=mid_seq))
+    replayed = [event for event in resumed if event.get("seq", 0) > 0]
+    assert all(event["seq"] > mid_seq for event in replayed[:-1])
+    assert resumed[-1]["event"] == "done"
+    assert resumed[-1]["result"] == full[-1]["result"]
+    # No duplicates, strictly increasing sequence in the resumed stream.
+    seqs = [event["seq"] for event in replayed]
+    assert seqs == sorted(set(seqs))

@@ -184,3 +184,109 @@ def test_events_stream_progress_then_done(offline_result):
         assert event["chunks_done"] >= frontier.get(basis, 0)
         frontier[basis] = event["chunks_done"]
     assert frontier == {"Z": 3, "X": 3}
+
+
+def _start_remote_worker(server_url, **overrides):
+    from repro.serve.remote import RemoteWorker
+
+    defaults = dict(poll_interval=0.05, max_idle=120.0)
+    defaults.update(overrides)
+    worker = RemoteWorker(server_url, **defaults)
+    thread = threading.Thread(target=worker.run_forever, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def test_remote_only_fleet_bit_identical_to_offline(offline_result):
+    # workers=0: every chunk is executed by the HTTP-leasing remote worker.
+    with serve_in_thread(fast_config(workers=0)) as server:
+        client = ServeClient(server.url)
+        worker, thread = _start_remote_worker(server.url)
+        try:
+            result = client.run(SPEC, timeout=180.0)
+            health = client.health()
+        finally:
+            worker.stop()
+            thread.join(timeout=30.0)
+    assert result == offline_result
+    assert worker.chunks_executed == 6
+    assert health["stats"]["chunks_executed"] == 6
+    assert [w["id"] for w in health["remote_workers"]] == [worker.worker_id]
+
+
+def test_mixed_local_and_remote_fleet_bit_identical(offline_result):
+    # One local worker process plus two HTTP remotes share one job; the
+    # throttle keeps chunks slow enough that the fleet genuinely splits
+    # the work, and the result must still be bit-identical.
+    with serve_in_thread(fast_config(workers=1, throttle=0.1, lease_chunks=1)) as server:
+        client = ServeClient(server.url)
+        remotes = [_start_remote_worker(server.url, throttle=0.1) for _ in range(2)]
+        try:
+            result = client.run(SPEC, timeout=180.0)
+            stats = client.health()["stats"]
+        finally:
+            for worker, _ in remotes:
+                worker.stop()
+            for _, thread in remotes:
+                thread.join(timeout=30.0)
+    assert result == offline_result
+    remote_chunks = sum(worker.chunks_executed for worker, _ in remotes)
+    assert stats["chunks_executed"] == 6
+    assert 0 < remote_chunks <= 6, "remote workers never joined the fleet"
+
+
+def test_server_restart_resumes_job_from_journal_and_cache(tmp_path, offline_result):
+    cache_dir = str(tmp_path / "cache")
+    config = dict(cache_dir=cache_dir, journal="auto", throttle=0.3, workers=1)
+    # First server: make some progress, then go down mid-job.
+    with serve_in_thread(fast_config(**config)) as server:
+        client = ServeClient(server.url)
+        job_id = client.submit(SPEC)["job"]["id"]
+        deadline = time.monotonic() + 60.0
+        published = 0
+        while published < 2 and time.monotonic() < deadline:
+            published = client.health()["stats"]["chunks_executed"]
+            time.sleep(0.05)
+        assert published >= 2, "server made no progress before the restart"
+    # Second server on the same journal and cache: the job is restored
+    # under its original id and completes without re-executing anything
+    # already published.
+    with serve_in_thread(fast_config(**config)) as server:
+        client = ServeClient(server.url)
+        assert client.health()["jobs_restored"] == 1
+        assert client.job(job_id)["id"] == job_id  # identity survived
+        result = client.result(job_id, timeout=180.0)
+        stats = client.health()["stats"]
+    assert result == offline_result
+    assert stats["chunks_cached"] >= published
+    assert stats["chunks_executed"] + stats["chunks_cached"] == 6
+    # Third server: the job is now a restored memo — served instantly,
+    # zero chunks executed or replayed.
+    with serve_in_thread(fast_config(**config)) as server:
+        client = ServeClient(server.url)
+        assert client.result(job_id, timeout=30.0) == offline_result
+        final = client.health()["stats"]
+    assert final["chunks_executed"] == 0 and final["chunks_cached"] == 0
+
+
+def test_memo_eviction_surfaces_in_healthz():
+    config = fast_config(workers=1, memo_ttl=0.3, poll_interval=0.05)
+    with serve_in_thread(config) as server:
+        client = ServeClient(server.url)
+        job_id = client.submit(SPEC)["job"]["id"]
+        client.result(job_id, timeout=180.0)
+        assert client.health()["memo"]["retained"] == 1
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            memo = client.health()["memo"]
+            if memo["retained"] == 0 and memo["evicted"] == 1:
+                break
+            time.sleep(0.05)
+        memo = client.health()["memo"]
+        assert memo == {"retained": 0, "ttl": 0.3, "cap": 1024, "evicted": 1}
+        # The evicted job is gone from the table; a resubmission runs fresh
+        # and still returns the identical payload.
+        assert all(job["id"] != job_id for job in client.jobs())
+        rerun = client.run(SPEC, timeout=180.0)
+        assert client.health()["stats"]["jobs_coalesced"] == 0
+    assert rerun["shots"] == 3000

@@ -270,3 +270,244 @@ class TestEvents:
         payload = json.loads(json.dumps(job.summary()))
         assert payload["state"] == "done"
         assert payload["progress"]["Z"]["chunks_done"] == 3
+
+class TestHeartbeat:
+    def test_renew_extends_the_lease_deadline(self):
+        scheduler = JobScheduler(lease_timeout=10.0, lease_chunks=4)
+        scheduler.submit(make_spec())
+        tasks = scheduler.assign("w1", now=0.0)
+        assert tasks
+        assert scheduler.renew("w1", now=8.0) is True
+        assert scheduler.reap(now=12.0) == []  # renewed at t=8 -> expires t=18
+        assert scheduler.reap(now=18.0) != []
+        assert scheduler.stats.leases_renewed == 1
+
+    def test_renew_without_a_lease_reports_false(self):
+        scheduler = JobScheduler()
+        assert scheduler.renew("ghost", now=0.0) is False
+
+
+class TestMemoEviction:
+    def test_ttl_expires_idle_memos(self):
+        scheduler = JobScheduler(memo_ttl=100.0)
+        job, _, _ = scheduler.submit(make_spec(), now=0.0)
+        drain(scheduler)
+        assert scheduler.memo_count == 1
+        assert scheduler.evict(now=50.0) == []
+        assert scheduler.evict(now=100.0) == [job.id]
+        assert scheduler.memo_count == 0
+        assert job.id not in scheduler.jobs
+        assert scheduler.stats.jobs_evicted == 1
+
+    def test_coalescing_touch_keeps_a_memo_warm(self):
+        scheduler = JobScheduler(memo_ttl=100.0)
+        job, _, _ = scheduler.submit(make_spec(), now=0.0)
+        drain(scheduler)
+        job2, coalesced, _ = scheduler.submit(make_spec(), now=80.0)
+        assert coalesced and job2 is job
+        assert scheduler.evict(now=150.0) == []  # touched at t=80 -> warm to t=180
+        assert scheduler.evict(now=180.0) == [job.id]
+
+    def test_lru_cap_evicts_least_recently_touched_first(self):
+        scheduler = JobScheduler(memo_cap=2)
+        jobs = []
+        for seed in (1, 2, 3):
+            job, _, _ = scheduler.submit(make_spec(seed=seed), now=float(seed))
+            drain(scheduler, now=float(seed))
+            jobs.append(job)
+        # Touch the oldest memo so the middle one becomes LRU.
+        scheduler.submit(make_spec(seed=1), now=10.0)
+        evicted = scheduler.evict(now=10.0)
+        assert evicted == [jobs[1].id]
+        assert scheduler.memo_count == 2
+        assert jobs[0].id in scheduler.jobs and jobs[2].id in scheduler.jobs
+
+    def test_evicted_spec_reruns_fresh(self):
+        scheduler = JobScheduler(memo_ttl=10.0)
+        job, _, _ = scheduler.submit(make_spec(), now=0.0)
+        drain(scheduler)
+        first_result = job.result
+        assert scheduler.evict(now=20.0) == [job.id]
+        job2, coalesced, _ = scheduler.submit(make_spec(), now=21.0)
+        assert not coalesced and job2.id != job.id
+        drain(scheduler, now=21.0)
+        # Determinism: the fresh run reproduces the evicted memo bit for bit
+        # (modulo the spec id fields that enter the payload identically).
+        assert job2.result == first_result
+
+    @pytest.mark.parametrize("ttl,cap", [(None, 4), (1000.0, None), (1000.0, 4), (50.0, 2)])
+    def test_ttl_cap_sweep_bounds_job_table(self, ttl, cap):
+        scheduler = JobScheduler(memo_ttl=ttl, memo_cap=cap)
+        for seed in range(10):
+            scheduler.submit(make_spec(seed=seed), now=float(seed))
+            drain(scheduler, now=float(seed))
+            scheduler.evict(now=float(seed))
+        # Far-future sweep: TTL (when set) clears everything; a bare cap
+        # keeps exactly `cap` memos.
+        scheduler.evict(now=10_000.0)
+        if ttl is not None:
+            assert scheduler.memo_count == 0 and not scheduler.jobs
+        else:
+            assert scheduler.memo_count == cap == len(scheduler.jobs)
+        assert scheduler.stats.jobs_evicted == 10 - scheduler.memo_count
+
+    def test_live_jobs_are_never_evicted(self):
+        scheduler = JobScheduler(memo_ttl=1.0, memo_cap=1)
+        job, _, _ = scheduler.submit(make_spec(), now=0.0)
+        scheduler.assign("w1", now=0.0)  # running, not terminal
+        assert scheduler.evict(now=10_000.0) == []
+        assert job.id in scheduler.jobs
+
+
+class FakeJournal:
+    """Minimal in-memory journal double (append-only list)."""
+
+    def __init__(self):
+        self.records = []
+
+    def append(self, record):
+        self.records.append(record)
+
+
+class TestJournalRestore:
+    def test_submission_and_completion_are_journaled(self):
+        journal = FakeJournal()
+        scheduler = JobScheduler(journal=journal)
+        job, _, _ = scheduler.submit(make_spec())
+        scheduler.submit(make_spec())  # coalesced: nothing durable changes
+        drain(scheduler)
+        kinds = [record["record"] for record in journal.records]
+        assert kinds == ["submit", "state"]
+        assert journal.records[0]["job_id"] == job.id
+        assert journal.records[1]["state"] == JobState.DONE
+        assert journal.records[1]["result"] == job.result
+
+    def test_restore_requeues_unfinished_jobs_with_identical_identity(self):
+        journal = FakeJournal()
+        first = JobScheduler(journal=journal)
+        job, _, _ = first.submit(make_spec(), priority=3)
+        first.assign("w1", now=0.0)  # running when the "crash" happens
+        restored = JobScheduler()
+        requeued = restored.restore(journal.records)
+        assert [j.id for j in requeued] == [job.id]
+        clone = restored.jobs[job.id]
+        assert (clone.key, clone.seq, clone.priority) == (job.key, job.seq, 3)
+        assert clone.state == JobState.QUEUED
+        assert restored.stats.jobs_restored == 1
+        # The restored job drains to the same result as an uninterrupted run.
+        drain(restored, "w2")
+        uninterrupted = JobScheduler()
+        ref_job, _, _ = uninterrupted.submit(make_spec())
+        drain(uninterrupted)
+        assert clone.result == ref_job.result
+
+    def test_restore_preserves_done_memos_and_seq_counter(self):
+        journal = FakeJournal()
+        first = JobScheduler(journal=journal)
+        job, _, _ = first.submit(make_spec())
+        drain(first)
+        restored = JobScheduler()
+        assert restored.restore(journal.records) == []
+        clone = restored.jobs[job.id]
+        assert clone.state == JobState.DONE
+        assert clone.result == job.result
+        # A resubmission coalesces into the restored memo...
+        again, coalesced, _ = restored.submit(make_spec())
+        assert coalesced and again is clone
+        # ...and a *different* spec gets a fresh id beyond the restored seq.
+        other, _, _ = restored.submit(make_spec(seed=99))
+        assert other.seq > job.seq
+
+    def test_restore_honours_evict_records(self):
+        journal = FakeJournal()
+        first = JobScheduler(journal=journal, memo_ttl=10.0)
+        job, _, _ = first.submit(make_spec(), now=0.0)
+        drain(first)
+        assert first.evict(now=20.0) == [job.id]
+        restored = JobScheduler()
+        restored.restore(journal.records)
+        assert job.id not in restored.jobs
+        assert restored.memo_count == 0
+
+    def test_restore_replays_failed_retry_chains(self):
+        journal = FakeJournal()
+        first = JobScheduler(journal=journal)
+        bad, _, _ = first.submit(make_spec())
+        first.fail_job(bad.id, "boom")
+        retry, coalesced, _ = first.submit(make_spec())
+        assert not coalesced and retry.id != bad.id
+        restored = JobScheduler()
+        requeued = restored.restore(journal.records)
+        assert [j.id for j in requeued] == [retry.id]
+        assert restored.jobs[bad.id].state == JobState.FAILED
+        assert restored.jobs[bad.id].error == "boom"
+
+    def test_stale_report_for_requeued_chunk_after_restart_is_discarded(self):
+        # The durability interaction the protocol must survive: a worker
+        # leased chunks before the crash; the restarted server requeued and
+        # re-ran them; the pre-crash worker finally reports.  The late
+        # report must change nothing and count as discarded.
+        journal = FakeJournal()
+        first = JobScheduler(journal=journal)
+        job, _, _ = first.submit(make_spec())
+        old_tasks = first.assign("w-old", now=0.0)
+        restored = JobScheduler()
+        restored.restore(journal.records)
+        drain(restored, "w-new")  # the restarted fleet completes the job
+        clone = restored.jobs[job.id]
+        assert clone.state == JobState.DONE
+        before = dict(vars(restored.stats))
+        result_before = clone.result
+        events = restored.record_result(
+            "w-old", old_tasks[0], old_tasks[0].shots, 999, False, None, now=50.0
+        )
+        assert events == []
+        assert clone.result == result_before
+        assert restored.stats.chunks_discarded == before["chunks_discarded"] + 1
+        assert restored.stats.chunks_executed == before["chunks_executed"]
+
+    def test_journal_roundtrip_through_disk(self, tmp_path):
+        from repro.serve.journal import JobJournal, load_journal
+
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        scheduler = JobScheduler(journal=journal)
+        job, _, _ = scheduler.submit(make_spec())
+        drain(scheduler)
+        journal.close()
+        records = load_journal(path)
+        restored = JobScheduler()
+        restored.restore(records)
+        assert restored.jobs[job.id].result == job.result
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        from repro.serve.journal import JobJournal, load_journal
+
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        scheduler = JobScheduler(journal=journal)
+        job, _, _ = scheduler.submit(make_spec())
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "state", "job_id": "trunc')  # mid-append crash
+        records = load_journal(path)
+        assert [r["record"] for r in records] == ["submit"]
+        restored = JobScheduler()
+        assert [j.id for j in restored.restore(records)] == [job.id]
+
+    def test_compaction_snapshot_roundtrips(self, tmp_path):
+        from repro.serve.journal import JobJournal, load_journal
+
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        scheduler = JobScheduler(journal=journal)
+        done_job, _, _ = scheduler.submit(make_spec())
+        drain(scheduler)
+        pending, _, _ = scheduler.submit(make_spec(seed=8))
+        journal.compact(scheduler.snapshot_records())
+        journal.close()
+        restored = JobScheduler()
+        requeued = restored.restore(load_journal(path))
+        assert [j.id for j in requeued] == [pending.id]
+        assert restored.jobs[done_job.id].state == JobState.DONE
+        assert restored.jobs[done_job.id].result == done_job.result
