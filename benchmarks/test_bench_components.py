@@ -20,15 +20,21 @@ from repro.core import MCTSConfig, PartitionMCTS, ScheduleEvaluator
 from repro.noise import brisbane_noise
 from repro.scheduling import checks_of_code, google_surface_schedule, lowest_depth_schedule
 from repro.sim import build_detector_error_model, sample_detector_error_model
+from repro.sim.frames import FrameSampler, TableauSampler
 
 
 @pytest.fixture(scope="module")
-def surface_dem():
+def surface_circuit():
     code = codes.build("surface:d=3")
     experiment = build_memory_experiment(
         code, google_surface_schedule(code), brisbane_noise(), basis="Z"
     )
-    return build_detector_error_model(experiment.circuit)
+    return experiment.circuit
+
+
+@pytest.fixture(scope="module")
+def surface_dem(surface_circuit):
+    return build_detector_error_model(surface_circuit)
 
 
 @pytest.fixture(scope="module")
@@ -108,6 +114,49 @@ class TestComponentThroughput:
         speedup = dense_time / packed_time
         print(f"\nsampler d=5: dense {dense_time * 1e3:.1f}ms "
               f"packed {packed_time * 1e3:.1f}ms speedup {speedup:.1f}x")
+        required = 5.0 if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") else 1.0
+        assert speedup >= required
+
+    def test_frame_sampler_throughput(self, benchmark, surface_circuit):
+        sampler = FrameSampler(surface_circuit)
+        batch = benchmark(sampler.sample, 4096, seed=0)
+        assert batch.detectors.shape == (4096, surface_circuit.num_detectors)
+
+    def test_frame_vs_tableau_speedup_d3(self, surface_circuit):
+        """Acceptance: batched Pauli-frame propagation is >= 5x a per-shot
+        stabilizer-tableau run of the same circuit at a realistic batch size.
+
+        The frame propagator carries all shots as packed uint64 words and
+        makes one vectorised pass per instruction; the tableau sampler pays
+        a full CHP simulation per shot.  Timed with best-of-N
+        ``perf_counter`` loops so the check also executes under
+        ``--benchmark-disable`` quick mode in CI; the hard >=5x gate arms
+        only under ``REPRO_BENCH_ASSERT_SPEEDUP`` (the bench-quick CI job)
+        and relaxes to "frames are faster" in the ordinary matrix.  Locally
+        the measured ratio is ~7000x, so the floor has enormous slack.
+        """
+        frames = FrameSampler(surface_circuit)
+        tableau = TableauSampler(surface_circuit)
+        shots, tableau_shots = 4096, 8
+
+        batch = frames.sample(shots, seed=0)
+        assert batch.detectors.shape == (shots, surface_circuit.num_detectors)
+
+        def best_of(func, repeats=5):
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                func()
+                times.append(time.perf_counter() - start)
+            return min(times)
+
+        frame_time = best_of(lambda: frames.sample(shots, seed=0)) / shots
+        tableau_time = best_of(
+            lambda: tableau.sample(tableau_shots, seed=0), repeats=3
+        ) / tableau_shots
+        speedup = tableau_time / frame_time
+        print(f"\nframes d=3: {1 / frame_time / 1e3:.0f} kshots/s vs tableau "
+              f"{1 / tableau_time:.0f} shots/s, speedup {speedup:.0f}x")
         required = 5.0 if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") else 1.0
         assert speedup >= required
 

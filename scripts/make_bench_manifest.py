@@ -34,8 +34,11 @@ import numpy as np  # noqa: E402
 from repro.api import codes, decoders  # noqa: E402
 from repro.circuits import build_memory_experiment  # noqa: E402
 from repro.noise import brisbane_noise  # noqa: E402
+from repro.circuits.circuit import Circuit, Instruction  # noqa: E402
 from repro.scheduling import google_surface_schedule, lowest_depth_schedule  # noqa: E402
 from repro.sim import build_detector_error_model, sample_detector_error_model  # noqa: E402
+from repro.sim.frames import FrameSampler, TableauSampler  # noqa: E402
+from repro.sim.tableau import simulate_circuit  # noqa: E402
 
 
 def _round(obj):
@@ -68,6 +71,29 @@ def surface_dem(distance: int):
         code, schedule, brisbane_noise(), basis="Z", noisy_rounds=noisy_rounds
     )
     return experiment.circuit, build_detector_error_model(experiment.circuit)
+
+
+def wide_clifford_circuit(num_qubits: int, ops: int, seed: int = 0) -> Circuit:
+    """A random wide Clifford circuit (H/S/CNOT/M mix) for tableau timing."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit()
+    circuit.append(Instruction("R", tuple(range(num_qubits))))
+    circuit.append(Instruction("H", tuple(range(num_qubits))))
+    for _ in range(ops):
+        kind = rng.integers(0, 4)
+        qubit = int(rng.integers(0, num_qubits))
+        if kind == 0:
+            circuit.append(Instruction("H", (qubit,)))
+        elif kind == 1:
+            circuit.append(Instruction("S", (qubit,)))
+        elif kind == 2:
+            other = int(rng.integers(0, num_qubits - 1))
+            other += other >= qubit
+            circuit.append(Instruction("CPAULI", (qubit, other), pauli="X"))
+        else:
+            circuit.append(Instruction("M", (qubit,)))
+    circuit.append(Instruction("M", tuple(range(num_qubits))))
+    return circuit
 
 
 def main() -> int:
@@ -123,6 +149,44 @@ def main() -> int:
         "packed_ms": packed_s * 1e3,
         "packed_speedup": dense_s / packed_s,
     }
+
+    print("timing frame propagator vs per-shot tableau (d=3) ...")
+    # The circuit-level sampling acceptance numbers: the batched Pauli-frame
+    # propagator carries all shots as packed uint64 words (one vectorised
+    # pass per instruction) against a full CHP tableau run per shot.
+    frames = FrameSampler(circuit_d3)
+    tableau = TableauSampler(circuit_d3)
+    frame_shots, tableau_shots = 4096, 8
+    frame_s = best_of(lambda: frames.sample(frame_shots, seed=0), repeats) / frame_shots
+    tableau_s = best_of(lambda: tableau.sample(tableau_shots, seed=0), 3) / tableau_shots
+    benchmarks["frame_propagator_d3"] = {
+        "frame_shots": frame_shots,
+        "frame_kshots_per_s": 1 / frame_s / 1e3,
+        "tableau_shots_per_s": 1 / tableau_s,
+        "frame_speedup_vs_tableau": tableau_s / frame_s,
+    }
+
+    print("timing packed vs dense tableau backends ...")
+    # Gate/measure throughput of the two tableau storage backends.  The
+    # packed backend's word-wide rowsums win with row width: dense keeps the
+    # edge at d=3 scale (17 qubits fit one word either way, and uint8
+    # columns are cheap), the packed backend pulls ahead past ~1000 qubits
+    # where dense rowsums materialise megabyte int64 intermediates.
+    tableau_widths: dict[str, dict] = {}
+    for label, width, ops in (("d3_surface", 0, 0), ("wide_1024", 1024, 600)):
+        if label == "d3_surface":
+            target = circuit_d3
+        else:
+            target = wide_clifford_circuit(width, ops)
+        packed_s = best_of(lambda: simulate_circuit(target, seed=0, mode="packed"), 3)
+        dense_s = best_of(lambda: simulate_circuit(target, seed=0, mode="dense"), 3)
+        tableau_widths[label] = {
+            "num_qubits": target.num_qubits,
+            "packed_ms": packed_s * 1e3,
+            "dense_ms": dense_s * 1e3,
+            "packed_speedup": dense_s / packed_s,
+        }
+    benchmarks["tableau_packed_vs_dense"] = tableau_widths
 
     print("timing decoder batch throughput (d=3) ...")
     # 200 shots matches the entry every manifest since BENCH_4 records, so

@@ -7,7 +7,7 @@ Subcommands::
     repro eval [overrides]              evaluate a named scheduler (no search)
     repro sweep [--grid f=v1,v2 ...]    run a spec grid, resumable JSONL output
     repro cache {ls,clear}              inspect / empty the chunk-result cache
-    repro list {codes,decoders,noise,schedulers,all}
+    repro list {codes,decoders,noise,schedulers,samplers,all}
     repro experiments {run,ls,render}   declarative paper-table suites
     repro tables {table2,...,all}       legacy spelling of `experiments run`
     repro serve [--workers N ...]       run the distributed execution service
@@ -42,7 +42,7 @@ import sys
 from pathlib import Path
 
 from repro.api.pipeline import Pipeline
-from repro.api.registries import codes, decoders, noise, schedulers
+from repro.api.registries import codes, decoders, noise, samplers, schedulers
 from repro.api.registry import parse_spec
 from repro.api.spec import RunSpec, canonical_spec
 
@@ -53,6 +53,7 @@ _REGISTRIES = {
     "decoders": decoders,
     "noise": noise,
     "schedulers": schedulers,
+    "samplers": samplers,
 }
 
 
@@ -112,6 +113,11 @@ def _add_component_flags(parser: argparse.ArgumentParser, *, scheduler: bool = T
         help="noisy syndrome rounds per memory experiment (default 1; drift "
         "noise channels vary across rounds)",
     )
+    parser.add_argument(
+        "--sampler",
+        default=None,
+        help='sampling backend spec, e.g. "dem" (default), "frames", "tableau:dense"',
+    )
 
 
 def _spec_from_args(args: argparse.Namespace, *, base: RunSpec | None = None) -> RunSpec:
@@ -120,7 +126,16 @@ def _spec_from_args(args: argparse.Namespace, *, base: RunSpec | None = None) ->
     spec = RunSpec.load(spec_path) if spec_path else (base or RunSpec())
     overrides = {
         field: getattr(args, field)
-        for field in ("code", "noise", "scheduler", "decoder", "seed", "workers", "rounds")
+        for field in (
+            "code",
+            "noise",
+            "scheduler",
+            "decoder",
+            "seed",
+            "workers",
+            "rounds",
+            "sampler",
+        )
         if getattr(args, field, None) is not None
     }
     if overrides:
@@ -300,7 +315,7 @@ _GRID_BUDGET_FIELDS = {
 #: Integer-valued top-level RunSpec fields.
 _GRID_INT_FIELDS = ("seed", "workers", "rounds")
 #: String-valued top-level RunSpec fields.
-_GRID_COMPONENT_FIELDS = ("code", "noise", "scheduler", "decoder", "eval_stage")
+_GRID_COMPONENT_FIELDS = ("code", "noise", "scheduler", "decoder", "eval_stage", "sampler")
 
 
 def _parse_grid_axis(text: str) -> tuple[str, list[str]]:

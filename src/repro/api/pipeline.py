@@ -233,6 +233,30 @@ class Pipeline:
         }
 
     @cached_property
+    def sampler_factory(self):
+        """``(circuit, dem) -> sampler`` factory from the sampler spec."""
+        return registries.samplers.build(self.spec.sampler)
+
+    @cached_property
+    def samplers(self) -> dict:
+        """Per-basis sampler objects (``sample(shots, seed=...) -> SampleBatch``).
+
+        ``None`` per basis for the default ``"dem"`` spec: the chunk engine
+        then takes its historical direct
+        :func:`~repro.sim.sampler.sample_detector_error_model` path, which
+        keeps pre-existing runs (and their cached chunks) bit-identical
+        without constructing anything.  Non-default specs build one sampler
+        per basis; the objects are picklable and shipped to pool workers
+        with each chunk.
+        """
+        if self.spec.sampler == "dem":
+            return {basis: None for basis in _BASES}
+        factory = self.sampler_factory
+        return {
+            basis: factory(self.circuit[basis], self.dem[basis]) for basis in _BASES
+        }
+
+    @cached_property
     def _executed(self) -> dict:
         """Per-basis ``(SampleBatch, predictions)`` from the sampling/decoding hot path.
 
@@ -243,16 +267,26 @@ class Pipeline:
         """
         shots = self.spec.budget.shots
         executed: dict = {}
+        samplers = self.samplers
         if self.spec.workers <= 1 or shots <= 0:
             for basis, stream in basis_streams(self.spec.eval_seed()):
                 executed[basis] = sample_and_decode(
-                    self.dem[basis], self.decoder_factory, shots, stream
+                    self.dem[basis],
+                    self.decoder_factory,
+                    shots,
+                    stream,
+                    sampler=samplers[basis],
                 )
             return executed
         with ProcessPoolExecutor(max_workers=self.spec.workers) as pool:
             futures = {
                 basis: submit_chunks(
-                    pool, self.dem[basis], self.decoder_factory, shots, stream
+                    pool,
+                    self.dem[basis],
+                    self.decoder_factory,
+                    shots,
+                    stream,
+                    sampler=samplers[basis],
                 )
                 for basis, stream in basis_streams(self.spec.eval_seed())
             }
@@ -298,6 +332,7 @@ class Pipeline:
         # thread-safe, and the driver threads below must only read them.
         dems = self.dem
         decoder_factory = self.decoder_factory
+        samplers = self.samplers
 
         def run_basis(basis, stream, pool) -> AdaptiveEstimate:
             return adaptive_sample_and_decode(
@@ -309,6 +344,7 @@ class Pipeline:
                 pool=pool,
                 lookahead=max(1, self.spec.workers),
                 store=stores[basis],
+                sampler=samplers[basis],
             )
 
         streams = basis_streams(self.spec.eval_seed())

@@ -1,7 +1,7 @@
-"""The four concrete registries behind ``repro.api``.
+"""The five concrete registries behind ``repro.api``.
 
-``codes``, ``decoders``, ``noise`` and ``schedulers`` are the single source
-of truth for everything the library can construct by name.  They replace the
+``codes``, ``decoders``, ``noise``, ``schedulers`` and ``samplers`` are the
+single source of truth for everything the library can construct by name.  They replace the
 legacy ``CODE_BUILDERS`` dict in :mod:`repro.codes.library` and the
 ``decoder_factory`` string dispatcher in :mod:`repro.decoders.base`, both of
 which now forward here through thin deprecation shims.
@@ -23,6 +23,12 @@ Registered builders follow per-registry conventions:
   :class:`~repro.core.SynthesisResult` (the ``"alphasyndrome"`` scheduler).
   Builders may declare optional ``noise``/``decoder_factory``/``budget``/
   ``seed`` parameters to receive the run context.
+* **samplers** — builder returns a *sampler factory*
+  ``(circuit, dem) -> sampler`` where the sampler exposes
+  ``sample(shots, seed=...) -> SampleBatch``.  The factory form lets spec
+  arguments bind before the per-basis circuit/DEM exist, mirroring the
+  decoder convention, and the factories are picklable ``partial`` objects
+  (or plain classes) so the chunked process pool can ship them.
 """
 
 from __future__ import annotations
@@ -62,28 +68,34 @@ from repro.scheduling.handcrafted import (
     google_surface_schedule,
     ibm_bb_schedule,
 )
+from repro.sim.frames import FrameSampler, TableauSampler
+from repro.sim.sampler import DemSampler
 
 __all__ = [
     "codes",
     "decoders",
     "noise",
     "schedulers",
+    "samplers",
     "register_code",
     "register_decoder",
     "register_noise",
     "register_scheduler",
+    "register_sampler",
 ]
 
 codes = Registry("code")
 decoders = Registry("decoder")
 noise = Registry("noise")
 schedulers = Registry("scheduler")
+samplers = Registry("sampler")
 
 #: Decorators for third-party / downstream registration.
 register_code = codes.register
 register_decoder = decoders.register
 register_noise = noise.register
 register_scheduler = schedulers.register
+register_sampler = samplers.register
 
 
 # ----------------------------------------------------------------------
@@ -334,6 +346,32 @@ def _anticlockwise(code):
 @register_scheduler("ibm_bb", help="Monomial-ordered bivariate-bicycle schedule")
 def _ibm_bb(code):
     return ibm_bb_schedule(code)
+
+
+# ----------------------------------------------------------------------
+# Samplers (builders return a (circuit, dem) -> sampler factory; samplers
+# expose sample(shots, seed=...) -> SampleBatch).  Like decoders, the
+# factories are ``partial`` objects / classes so they pickle into workers.
+# ----------------------------------------------------------------------
+@register_sampler(
+    "dem", help="DEM mechanism sampler, first-order fault decomposition (backend packed|dense)"
+)
+def _dem_sampler(backend: str = "packed"):
+    return partial(DemSampler, backend=backend)
+
+
+@register_sampler(
+    "frames", aliases=("frame",), help="Batched Pauli-frame circuit-level propagator"
+)
+def _frames_sampler():
+    return FrameSampler
+
+
+@register_sampler(
+    "tableau", help="Per-shot stabilizer-tableau reference (mode packed|dense)"
+)
+def _tableau_sampler(mode: str = "packed"):
+    return partial(TableauSampler, mode=mode)
 
 
 @register_scheduler(

@@ -126,6 +126,15 @@ class RunSpec:
     keeping suite-backed tables bit-identical to the historical output; the
     default ``None`` keeps the original ``basis_streams(seed)`` derivation.
 
+    ``sampler`` selects the syndrome-sampling backend by registry spec
+    string (:data:`repro.api.registries.samplers`): ``"dem"`` (the default
+    first-order DEM mechanism sampler, bit-identical to the historical
+    behaviour), ``"frames"`` (the batched circuit-level Pauli-frame
+    propagator) or ``"tableau"`` / ``"tableau:dense"`` (the per-shot
+    reference simulator).  Worker-count invariance and the chunk cache
+    apply to every backend: chunk layout and per-chunk seed streams depend
+    only on the shot plan, and the sampler spec enters every chunk address.
+
     ``rounds`` is the number of consecutive noisy syndrome rounds in the
     memory experiment (the paper uses one).  More rounds grow the detector
     volume and give time-varying noise channels (``"drift:..."``) a time
@@ -146,6 +155,7 @@ class RunSpec:
     workers: int = 1
     eval_stage: str | None = None
     rounds: int = 1
+    sampler: str = "dem"
 
     def __post_init__(self) -> None:
         if isinstance(self.budget, dict):
@@ -180,9 +190,19 @@ class RunSpec:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-dict form of the spec, budget nested (inverse of :meth:`from_dict`)."""
+        """Plain-dict form of the spec, budget nested (inverse of :meth:`from_dict`).
+
+        ``sampler`` is omitted while it holds its default (``"dem"``) — the
+        output-side dual of :meth:`from_dict`'s missing-field defaulting.
+        Together the two rules mean growing the spec a defaulted field
+        never invalidates stored payloads: old chunk-cache addresses, suite
+        fingerprints and serve job keys keep matching runs that don't use
+        the new field, while any non-default value enters them all.
+        """
         payload = dataclasses.asdict(self)
         payload["budget"] = self.budget.to_dict()
+        if self.sampler == "dem":
+            del payload["sampler"]
         return payload
 
     @classmethod

@@ -47,6 +47,10 @@ __all__ = ["CACHE_VERSION", "ChunkSummary", "ChunkStore", "ResultCache", "chunk_
 #: the address of every chunk.
 #: v3: ``RunSpec`` gained ``rounds`` (noisy syndrome rounds per memory
 #: experiment), which likewise enters every chunk address.
+#: (``RunSpec.sampler`` needed no bump: ``to_dict`` omits it at its default
+#: ``"dem"`` — the historical sampling path — so old addresses keep
+#: matching, while any non-default sampler enters the address and keys its
+#: chunks separately.)
 CACHE_VERSION = 3
 
 #: Budget fields that never influence a chunk's content (see module docs).

@@ -101,23 +101,45 @@ def chunk_streams(
     return stream.spawn(count)
 
 
+def _sample_chunk(
+    dem: "DetectorErrorModel",
+    shots: int,
+    stream: "np.random.SeedSequence | None",
+    sampler=None,
+) -> SampleBatch:
+    """Draw one chunk's batch from ``sampler`` (or the default DEM path).
+
+    ``sampler=None`` is the historical direct
+    :func:`repro.sim.sampler.sample_detector_error_model` call, kept as the
+    exact default so every pre-existing caller stays bit-identical; a
+    sampler object (built by ``repro.api.registries.samplers``) substitutes
+    its own ``sample(shots, seed=stream)`` with the same determinism
+    contract: output is a pure function of ``(shots, stream)``.
+    """
+    if sampler is None:
+        return sample_detector_error_model(dem, shots, seed=stream)
+    return sampler.sample(shots, seed=stream)
+
+
 def run_chunk(
     dem: "DetectorErrorModel",
     decoder_factory: "DecoderFactory",
     shots: int,
     stream: "np.random.SeedSequence | None",
+    sampler=None,
 ) -> tuple[SampleBatch, np.ndarray]:
     """Sample and decode one chunk (also the unit shipped to pool workers).
 
     The decoder is rebuilt from its factory inside the worker because
     decoder *instances* (matching graphs, lookup tables) need not be
-    picklable; the factory and the DEM are.  Decoding routes through
+    picklable; the factory, the DEM and the optional sampler object are.
+    Decoding routes through
     :func:`repro.sim.estimator.decode_predictions`, so each chunk rides the
     batch-first packed path: the sampler's ``packed_detectors`` words feed
     the decoder's dedup front end without a dense round-trip, and within a
     chunk only the unique syndromes are ever decoded.
     """
-    batch = sample_detector_error_model(dem, shots, seed=stream)
+    batch = _sample_chunk(dem, shots, stream, sampler)
     decoder = decoder_factory(dem)
     return batch, decode_predictions(decoder, batch)
 
@@ -160,6 +182,7 @@ def submit_chunks(
     stream: "np.random.SeedSequence | None",
     *,
     chunk_shots: int | None = None,
+    sampler=None,
 ) -> "list[Future]":
     """Submit every chunk of one sampling/decoding task to ``pool``.
 
@@ -171,7 +194,7 @@ def submit_chunks(
     sizes = chunk_sizes(shots, chunk_shots)
     streams = chunk_streams(stream, len(sizes))
     return [
-        pool.submit(run_chunk, dem, decoder_factory, size, chunk_stream)
+        pool.submit(run_chunk, dem, decoder_factory, size, chunk_stream, sampler)
         for size, chunk_stream in zip(sizes, streams)
     ]
 
@@ -184,6 +207,7 @@ def sample_and_decode(
     *,
     pool: "Executor | None" = None,
     chunk_shots: int | None = None,
+    sampler=None,
 ) -> tuple[SampleBatch, np.ndarray]:
     """Run the full chunked sampling/decoding task, serially or on a pool.
 
@@ -198,14 +222,14 @@ def sample_and_decode(
         return merge_chunks([], dem)
     if pool is not None:
         futures = submit_chunks(
-            pool, dem, decoder_factory, shots, stream, chunk_shots=chunk_shots
+            pool, dem, decoder_factory, shots, stream, chunk_shots=chunk_shots, sampler=sampler
         )
         return merge_chunks([future.result() for future in futures], dem)
     streams = chunk_streams(stream, len(sizes))
     decoder = decoder_factory(dem)
     results = []
     for size, chunk_stream in zip(sizes, streams):
-        batch = sample_detector_error_model(dem, size, seed=chunk_stream)
+        batch = _sample_chunk(dem, size, chunk_stream, sampler)
         results.append((batch, decode_predictions(decoder, batch)))
     return merge_chunks(results, dem)
 
@@ -218,6 +242,7 @@ def chunk_error_counts(
     decoder_factory: "DecoderFactory",
     shots: int,
     stream: "np.random.SeedSequence | None",
+    sampler=None,
 ) -> tuple[int, int]:
     """Sample and decode one chunk, reduced to ``(shots, logical errors)``.
 
@@ -226,7 +251,7 @@ def chunk_error_counts(
     collapsed to its error count so chunks are cheap to ship, merge and
     persist.  Module-level so it pickles into pool workers.
     """
-    batch, predictions = run_chunk(dem, decoder_factory, shots, stream)
+    batch, predictions = run_chunk(dem, decoder_factory, shots, stream, sampler)
     return batch.num_shots, count_wrong(predictions, batch)
 
 
@@ -295,6 +320,7 @@ def adaptive_sample_and_decode(
     pool: "Executor | None" = None,
     lookahead: int = 1,
     store=None,
+    sampler=None,
 ) -> AdaptiveEstimate:
     """Stream the fixed chunk plan through ``rule`` until it says stop.
 
@@ -346,6 +372,7 @@ def adaptive_sample_and_decode(
                             decoder_factory,
                             sizes[ahead],
                             streams[ahead],
+                            sampler,
                         )
             counts = replay(index)
             if counts is not None:
@@ -358,7 +385,7 @@ def adaptive_sample_and_decode(
                 else:
                     if decoder is None:
                         decoder = decoder_factory(dem)
-                    batch = sample_detector_error_model(dem, sizes[index], seed=streams[index])
+                    batch = _sample_chunk(dem, sizes[index], streams[index], sampler)
                     shots, errors = batch.num_shots, count_wrong(
                         decode_predictions(decoder, batch), batch
                     )

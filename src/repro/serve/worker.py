@@ -105,6 +105,7 @@ class JobContext:
             self.pipeline.decoder_factory,
             task.shots,
             self.streams[task.basis][task.index],
+            self.pipeline.samplers[task.basis],
         )
         if store is not None:
             store.put(task.index, shots, errors)

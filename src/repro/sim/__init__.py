@@ -20,9 +20,10 @@ from repro.sim.estimator import (
     fraction_wrong,
     rates_from_adaptive_estimates,
 )
+from repro.sim.frames import FrameSampler, TableauSampler
 from repro.sim.propagation import SparsePauli, measurement_flips, propagate_fault
-from repro.sim.sampler import SampleBatch, sample_detector_error_model
-from repro.sim.tableau import TableauSimulator, simulate_circuit
+from repro.sim.sampler import DemSampler, SampleBatch, sample_detector_error_model
+from repro.sim.tableau import DenseTableauSimulator, TableauSimulator, simulate_circuit
 
 __all__ = [
     "DetectorErrorModel",
@@ -32,8 +33,12 @@ __all__ = [
     "propagate_fault",
     "measurement_flips",
     "SampleBatch",
+    "DemSampler",
+    "FrameSampler",
+    "TableauSampler",
     "sample_detector_error_model",
     "TableauSimulator",
+    "DenseTableauSimulator",
     "simulate_circuit",
     "LogicalErrorRates",
     "basis_streams",

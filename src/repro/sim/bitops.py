@@ -38,6 +38,9 @@ __all__ = [
     "popcount",
     "xor_reduce_rows",
     "packed_matmul_parity",
+    "get_bit_column",
+    "xor_bit_column",
+    "rowsum_g_exponents",
 ]
 
 WORD_BITS = 64
@@ -117,6 +120,50 @@ def xor_reduce_rows(packed: np.ndarray, groups: "list[np.ndarray | list[int]]") 
         if len(group):
             out[index] = np.bitwise_xor.reduce(packed[np.asarray(group)], axis=0)
     return out
+
+
+def get_bit_column(packed: np.ndarray, column: int) -> np.ndarray:
+    """Bit ``column`` of every row of a packed matrix, as a 0/1 uint8 vector."""
+    word, bit = divmod(int(column), WORD_BITS)
+    return ((packed[:, word] >> np.uint64(bit)) & np.uint64(1)).astype(np.uint8)
+
+
+def xor_bit_column(packed: np.ndarray, column: int, values: np.ndarray) -> None:
+    """XOR a 0/1 vector (one entry per row) into bit ``column``, in place."""
+    word, bit = divmod(int(column), WORD_BITS)
+    packed[:, word] ^= values.astype(_WORD_DTYPE) << np.uint64(bit)
+
+
+def rowsum_g_exponents(
+    source_x: np.ndarray,
+    source_z: np.ndarray,
+    target_x: np.ndarray,
+    target_z: np.ndarray,
+) -> np.ndarray:
+    """Summed Aaronson–Gottesman ``g`` phase exponents over packed Pauli rows.
+
+    All four operands are packed X/Z bit rows of equal word count (the
+    source pair broadcasts against a stack of target rows).  The return
+    value is the ``int64`` sum over the packed axis of
+    ``g(x1, z1, x2, z2)`` per bit position — the phase-function total the
+    CHP ``rowsum`` needs, computed as ``popcount(plus) - popcount(minus)``
+    where the two masks pick out the bit positions contributing ``+1`` and
+    ``-1`` respectively.  Padding bits are zero in every operand and
+    contribute nothing.
+    """
+    sx = np.asarray(source_x)
+    sz = np.asarray(source_z)
+    tx = np.asarray(target_x)
+    tz = np.asarray(target_z)
+    source_y = sx & sz
+    source_x_only = sx & ~sz
+    source_z_only = ~sx & sz
+    target_y = tx & tz
+    plus = (source_y & tz & ~tx) | (source_x_only & target_y) | (source_z_only & tx & ~tz)
+    minus = (source_y & tx & ~tz) | (source_x_only & tz & ~tx) | (source_z_only & target_y)
+    return popcount(plus).astype(np.int64).sum(axis=-1) - popcount(minus).astype(
+        np.int64
+    ).sum(axis=-1)
 
 
 def packed_matmul_parity(

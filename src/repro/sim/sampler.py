@@ -34,7 +34,7 @@ import numpy as np
 from repro.sim.bitops import pack_rows, unpack_rows, xor_reduce_rows
 from repro.sim.dem import DetectorErrorModel
 
-__all__ = ["SampleBatch", "sample_detector_error_model"]
+__all__ = ["SampleBatch", "DemSampler", "sample_detector_error_model"]
 
 
 @dataclass
@@ -62,6 +62,32 @@ class SampleBatch:
     @property
     def num_shots(self) -> int:
         return int(self.detectors.shape[0])
+
+
+class DemSampler:
+    """DEM-backed sampler on the common sampler interface (spec ``"dem"``).
+
+    The default sampler backend: wraps :func:`sample_detector_error_model`
+    over a prebuilt :class:`DetectorErrorModel`, so its batches are
+    bit-identical to the historical direct calls for equal seeds.  The
+    ``circuit`` argument is part of the shared factory signature
+    ``factory(circuit, dem)`` and is unused here.
+    """
+
+    def __init__(self, circuit=None, dem: DetectorErrorModel | None = None, backend: str = "packed") -> None:
+        if dem is None:
+            raise ValueError("DemSampler requires a detector error model")
+        if backend not in ("packed", "dense"):
+            raise ValueError(f"backend must be 'packed' or 'dense', got {backend!r}")
+        self.dem = dem
+        self.backend = backend
+
+    def sample(
+        self, shots: int, *, seed: "int | np.random.SeedSequence | None" = None
+    ) -> SampleBatch:
+        return sample_detector_error_model(
+            self.dem, shots, seed=seed, backend=self.backend
+        )
 
 
 def _signature_groups(dem: DetectorErrorModel) -> tuple[list[list[int]], list[list[int]]]:

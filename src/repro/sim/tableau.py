@@ -1,17 +1,35 @@
-"""Aaronson–Gottesman stabilizer tableau simulator.
+"""Aaronson–Gottesman stabilizer tableau simulator (bit-packed + dense).
 
-A reference Clifford simulator used for verification: it executes the
-circuit IR exactly (including measurement randomness), which lets the test
-suite confirm that
+A Clifford simulator used both as the verification reference and as the
+circuit-level fallback sampler: it executes the circuit IR exactly
+(including measurement randomness), which lets the test suite confirm that
 
 * detectors declared by the builders are deterministic under zero noise,
 * syndrome circuits really measure the intended stabilizers, and
 * the DEM-based sampler agrees with direct simulation when noise is
   injected as explicit Pauli gates.
 
-The implementation follows the CHP construction: ``2n + 1`` rows of X/Z bit
+The implementation follows the CHP construction: ``2n`` rows of X/Z bit
 matrices plus sign bits, the first ``n`` rows being destabilizers and the
-next ``n`` rows stabilizers.
+next ``n`` rows stabilizers.  Two storage backends share one gate/measure/
+RNG skeleton (:class:`_TableauBase`):
+
+:class:`TableauSimulator`
+    the default — X/Z matrices as little-endian packed ``uint64`` words
+    (:mod:`repro.sim.bitops` layout), with rowsum phases computed by
+    word-wide popcount masks (:func:`repro.sim.bitops.rowsum_g_exponents`)
+    and gates as single-bit-column updates.  64 qubits advance per word
+    operation in every row update.
+
+:class:`DenseTableauSimulator`
+    the conformance reference — plain ``(2n, n)`` uint8 matrices with the
+    same vectorised row operations, kept for bit-identity regression tests
+    (spec string ``"tableau:dense"``).
+
+Both backends consume the *same* RNG stream in the same order (one
+``integers(0, 2)`` draw per random measurement, plus the per-instruction
+noise draws), so for equal seeds they produce identical measurement
+records bit for bit — that equivalence is pinned by the conformance tests.
 """
 
 from __future__ import annotations
@@ -19,60 +37,84 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.circuit import Circuit, Instruction
+from repro.sim.bitops import (
+    WORD_BITS,
+    get_bit_column,
+    packed_words,
+    rowsum_g_exponents,
+    unpack_rows,
+    xor_bit_column,
+)
 
-__all__ = ["TableauSimulator", "simulate_circuit"]
+__all__ = [
+    "TableauSimulator",
+    "DenseTableauSimulator",
+    "simulate_circuit",
+]
+
+_WORD_DTYPE = np.dtype("<u8")
 
 
-class TableauSimulator:
-    """Stabilizer-state simulator over ``num_qubits`` qubits (all start in |0>)."""
+class _TableauBase:
+    """Shared gate algebra, measurement skeleton and RNG discipline.
 
-    def __init__(self, num_qubits: int, *, seed: int | None = None) -> None:
+    Subclasses provide the storage primitives (single-qubit/two-qubit gate
+    column updates, ``_x_column``, the vectorised rowsum
+    ``_multiply_rows_by`` and ``_deterministic_outcome``); everything else —
+    gate composition, the measurement branches, and crucially the *order*
+    in which ``self.rng`` is consumed — lives here once, so the packed and
+    dense backends cannot drift apart.
+    """
+
+    def __init__(self, num_qubits: int, *, seed=None) -> None:
         self.num_qubits = num_qubits
+        # ``default_rng`` passes an existing Generator through unchanged,
+        # which is what lets a batch driver share one stream across shots.
         self.rng = np.random.default_rng(seed)
-        size = 2 * num_qubits
-        self.x_bits = np.zeros((size, num_qubits), dtype=np.uint8)
-        self.z_bits = np.zeros((size, num_qubits), dtype=np.uint8)
-        self.signs = np.zeros(size, dtype=np.uint8)
-        for qubit in range(num_qubits):
-            self.x_bits[qubit, qubit] = 1                # destabilizers X_i
-            self.z_bits[num_qubits + qubit, qubit] = 1   # stabilizers Z_i
+        self.signs = np.zeros(2 * num_qubits, dtype=np.uint8)
         self.measurement_record: list[int] = []
 
     # ------------------------------------------------------------------
-    # Elementary gates
+    # Storage primitives (subclass responsibility)
     # ------------------------------------------------------------------
     def hadamard(self, qubit: int) -> None:
-        x_col = self.x_bits[:, qubit].copy()
-        z_col = self.z_bits[:, qubit].copy()
-        self.signs ^= x_col & z_col
-        self.x_bits[:, qubit] = z_col
-        self.z_bits[:, qubit] = x_col
+        raise NotImplementedError
 
     def phase(self, qubit: int) -> None:
-        x_col = self.x_bits[:, qubit]
-        z_col = self.z_bits[:, qubit]
-        self.signs ^= x_col & z_col
-        self.z_bits[:, qubit] = z_col ^ x_col
+        raise NotImplementedError
 
     def cnot(self, control: int, target: int) -> None:
-        x_c = self.x_bits[:, control]
-        z_c = self.z_bits[:, control]
-        x_t = self.x_bits[:, target]
-        z_t = self.z_bits[:, target]
-        self.signs ^= x_c & z_t & (x_t ^ z_c ^ 1)
-        self.x_bits[:, target] = x_t ^ x_c
-        self.z_bits[:, control] = z_c ^ z_t
+        raise NotImplementedError
 
+    def x_gate(self, qubit: int) -> None:
+        raise NotImplementedError
+
+    def z_gate(self, qubit: int) -> None:
+        raise NotImplementedError
+
+    def _x_column(self, qubit: int) -> np.ndarray:
+        """The X bit of ``qubit`` in every tableau row (0/1 vector)."""
+        raise NotImplementedError
+
+    def _multiply_rows_by(self, rows: np.ndarray, pivot: int) -> None:
+        """Left-multiply every row in ``rows`` by row ``pivot`` (CHP rowsum)."""
+        raise NotImplementedError
+
+    def _promote_pivot(self, pivot: int, qubit: int) -> None:
+        """Move the pivot stabilizer to its destabilizer slot; set it to Z_qubit."""
+        raise NotImplementedError
+
+    def _deterministic_outcome(self, x_column: np.ndarray) -> int:
+        """Sign of the stabilizer product fixing a deterministic measurement."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Composed gates
+    # ------------------------------------------------------------------
     def cz(self, control: int, target: int) -> None:
         self.hadamard(target)
         self.cnot(control, target)
         self.hadamard(target)
-
-    def x_gate(self, qubit: int) -> None:
-        self.signs ^= self.z_bits[:, qubit]
-
-    def z_gate(self, qubit: int) -> None:
-        self.signs ^= self.x_bits[:, qubit]
 
     def y_gate(self, qubit: int) -> None:
         self.x_gate(qubit)
@@ -98,60 +140,26 @@ class TableauSimulator:
     # ------------------------------------------------------------------
     # Measurement and reset
     # ------------------------------------------------------------------
-    def _row_multiply(self, target_row: int, source_row: int) -> None:
-        """Multiply row ``target_row`` by row ``source_row`` (left multiplication)."""
-        phase = 0
-        for qubit in range(self.num_qubits):
-            x1, z1 = self.x_bits[source_row, qubit], self.z_bits[source_row, qubit]
-            x2, z2 = self.x_bits[target_row, qubit], self.z_bits[target_row, qubit]
-            phase += _g(x1, z1, x2, z2)
-        phase += 2 * (self.signs[source_row] + self.signs[target_row])
-        self.signs[target_row] = (phase % 4) // 2
-        self.x_bits[target_row] ^= self.x_bits[source_row]
-        self.z_bits[target_row] ^= self.z_bits[source_row]
-
     def measure_z(self, qubit: int, *, forced: int | None = None) -> int:
         n = self.num_qubits
-        stabilizer_rows = np.nonzero(self.x_bits[n:, qubit])[0]
+        x_column = self._x_column(qubit)
+        stabilizer_rows = np.nonzero(x_column[n:])[0]
         if stabilizer_rows.size:
-            # Outcome is random.
+            # Outcome is random: rowsum every other anticommuting row by the
+            # pivot.  The updates are independent (the pivot row itself never
+            # changes), so they happen as one vectorised gather.
             pivot = int(stabilizer_rows[0]) + n
-            for row in range(2 * n):
-                if row != pivot and self.x_bits[row, qubit]:
-                    self._row_multiply(row, pivot)
-            # The old stabilizer becomes the destabilizer.
-            self.x_bits[pivot - n] = self.x_bits[pivot]
-            self.z_bits[pivot - n] = self.z_bits[pivot]
-            self.signs[pivot - n] = self.signs[pivot]
-            self.x_bits[pivot] = 0
-            self.z_bits[pivot] = 0
-            self.z_bits[pivot, qubit] = 1
+            rows = np.nonzero(x_column)[0]
+            rows = rows[rows != pivot]
+            if rows.size:
+                self._multiply_rows_by(rows, pivot)
+            self._promote_pivot(pivot, qubit)
             outcome = int(self.rng.integers(0, 2)) if forced is None else forced
             self.signs[pivot] = outcome
             self.measurement_record.append(outcome)
             return outcome
         # Deterministic outcome: accumulate the product of stabilizers.
-        scratch = 2 * n  # virtual scratch row index handled manually
-        scratch_x = np.zeros(self.num_qubits, dtype=np.uint8)
-        scratch_z = np.zeros(self.num_qubits, dtype=np.uint8)
-        scratch_sign = 0
-        for destab_row in range(n):
-            if self.x_bits[destab_row, qubit]:
-                stab_row = destab_row + n
-                phase = 0
-                for q in range(self.num_qubits):
-                    phase += _g(
-                        self.x_bits[stab_row, q],
-                        self.z_bits[stab_row, q],
-                        scratch_x[q],
-                        scratch_z[q],
-                    )
-                phase += 2 * (self.signs[stab_row] + scratch_sign)
-                scratch_sign = (phase % 4) // 2
-                scratch_x ^= self.x_bits[stab_row]
-                scratch_z ^= self.z_bits[stab_row]
-        del scratch
-        outcome = int(scratch_sign)
+        outcome = self._deterministic_outcome(x_column)
         self.measurement_record.append(outcome)
         return outcome
 
@@ -266,22 +274,234 @@ class TableauSimulator:
         return list(self.measurement_record)
 
 
-def _g(x1: int, z1: int, x2: int, z2: int) -> int:
-    """Aaronson–Gottesman phase function for row multiplication."""
-    if x1 == 0 and z1 == 0:
-        return 0
-    if x1 == 1 and z1 == 1:
-        return int(z2) - int(x2)
-    if x1 == 1 and z1 == 0:
-        return int(z2) * (2 * int(x2) - 1)
-    return int(x2) * (1 - 2 * int(z2))
+class TableauSimulator(_TableauBase):
+    """Bit-packed stabilizer simulator over ``num_qubits`` qubits (all |0>).
+
+    X/Z matrices are ``(2n, words)`` little-endian ``uint64`` arrays in the
+    :mod:`repro.sim.bitops` layout; rowsum phases come from the popcount
+    masks of :func:`repro.sim.bitops.rowsum_g_exponents`, so every row
+    update touches 64 qubits per word operation.
+    """
+
+    def __init__(self, num_qubits: int, *, seed=None) -> None:
+        super().__init__(num_qubits, seed=seed)
+        self.num_words = packed_words(num_qubits)
+        size = 2 * num_qubits
+        self.x_words = np.zeros((size, self.num_words), dtype=_WORD_DTYPE)
+        self.z_words = np.zeros((size, self.num_words), dtype=_WORD_DTYPE)
+        one = np.uint64(1)
+        for qubit in range(num_qubits):
+            word, bit = divmod(qubit, WORD_BITS)
+            self.x_words[qubit, word] |= one << np.uint64(bit)               # destabilizers X_i
+            self.z_words[num_qubits + qubit, word] |= one << np.uint64(bit)  # stabilizers Z_i
+
+    # Unpacked views, for conformance tests and debugging.
+    @property
+    def x_bits(self) -> np.ndarray:
+        return unpack_rows(self.x_words, self.num_qubits)
+
+    @property
+    def z_bits(self) -> np.ndarray:
+        return unpack_rows(self.z_words, self.num_qubits)
+
+    # ------------------------------------------------------------------
+    # Elementary gates (single bit-column updates)
+    # ------------------------------------------------------------------
+    def hadamard(self, qubit: int) -> None:
+        x_col = get_bit_column(self.x_words, qubit)
+        z_col = get_bit_column(self.z_words, qubit)
+        self.signs ^= x_col & z_col
+        swap_mask = x_col ^ z_col
+        xor_bit_column(self.x_words, qubit, swap_mask)
+        xor_bit_column(self.z_words, qubit, swap_mask)
+
+    def phase(self, qubit: int) -> None:
+        x_col = get_bit_column(self.x_words, qubit)
+        z_col = get_bit_column(self.z_words, qubit)
+        self.signs ^= x_col & z_col
+        xor_bit_column(self.z_words, qubit, x_col)
+
+    def cnot(self, control: int, target: int) -> None:
+        x_c = get_bit_column(self.x_words, control)
+        z_c = get_bit_column(self.z_words, control)
+        x_t = get_bit_column(self.x_words, target)
+        z_t = get_bit_column(self.z_words, target)
+        self.signs ^= x_c & z_t & (x_t ^ z_c ^ 1)
+        xor_bit_column(self.x_words, target, x_c)
+        xor_bit_column(self.z_words, control, z_t)
+
+    def x_gate(self, qubit: int) -> None:
+        self.signs ^= get_bit_column(self.z_words, qubit)
+
+    def z_gate(self, qubit: int) -> None:
+        self.signs ^= get_bit_column(self.x_words, qubit)
+
+    # ------------------------------------------------------------------
+    # Measurement storage primitives
+    # ------------------------------------------------------------------
+    def _x_column(self, qubit: int) -> np.ndarray:
+        return get_bit_column(self.x_words, qubit)
+
+    def _multiply_rows_by(self, rows: np.ndarray, pivot: int) -> None:
+        g_sum = rowsum_g_exponents(
+            self.x_words[pivot], self.z_words[pivot],
+            self.x_words[rows], self.z_words[rows],
+        )
+        exponent = g_sum + 2 * (int(self.signs[pivot]) + self.signs[rows].astype(np.int64))
+        self.signs[rows] = ((exponent % 4) // 2).astype(np.uint8)
+        self.x_words[rows] ^= self.x_words[pivot]
+        self.z_words[rows] ^= self.z_words[pivot]
+
+    def _promote_pivot(self, pivot: int, qubit: int) -> None:
+        n = self.num_qubits
+        self.x_words[pivot - n] = self.x_words[pivot]
+        self.z_words[pivot - n] = self.z_words[pivot]
+        self.signs[pivot - n] = self.signs[pivot]
+        self.x_words[pivot] = 0
+        self.z_words[pivot] = 0
+        word, bit = divmod(qubit, WORD_BITS)
+        self.z_words[pivot, word] = np.uint64(1) << np.uint64(bit)
+
+    def _deterministic_outcome(self, x_column: np.ndarray) -> int:
+        n = self.num_qubits
+        scratch_x = np.zeros(self.num_words, dtype=_WORD_DTYPE)
+        scratch_z = np.zeros(self.num_words, dtype=_WORD_DTYPE)
+        sign = 0
+        # Sequential by construction: each rowsum's phase depends on the
+        # scratch row accumulated so far.  Each step is still one word-wide
+        # kernel call rather than a per-qubit Python loop.
+        for destab_row in np.nonzero(x_column[:n])[0]:
+            stab_row = int(destab_row) + n
+            g_sum = int(
+                rowsum_g_exponents(
+                    self.x_words[stab_row], self.z_words[stab_row], scratch_x, scratch_z
+                )
+            )
+            sign = ((g_sum + 2 * (int(self.signs[stab_row]) + sign)) % 4) // 2
+            scratch_x ^= self.x_words[stab_row]
+            scratch_z ^= self.z_words[stab_row]
+        return int(sign)
+
+
+class DenseTableauSimulator(_TableauBase):
+    """Dense uint8 reference backend (spec string ``"tableau:dense"``).
+
+    Same row-operation algebra as :class:`TableauSimulator` on plain
+    ``(2n, n)`` bit matrices; kept as the conformance baseline the packed
+    backend is regression-tested against.
+    """
+
+    def __init__(self, num_qubits: int, *, seed=None) -> None:
+        super().__init__(num_qubits, seed=seed)
+        size = 2 * num_qubits
+        self.x_bits = np.zeros((size, num_qubits), dtype=np.uint8)
+        self.z_bits = np.zeros((size, num_qubits), dtype=np.uint8)
+        for qubit in range(num_qubits):
+            self.x_bits[qubit, qubit] = 1                # destabilizers X_i
+            self.z_bits[num_qubits + qubit, qubit] = 1   # stabilizers Z_i
+
+    # ------------------------------------------------------------------
+    # Elementary gates
+    # ------------------------------------------------------------------
+    def hadamard(self, qubit: int) -> None:
+        x_col = self.x_bits[:, qubit].copy()
+        z_col = self.z_bits[:, qubit].copy()
+        self.signs ^= x_col & z_col
+        self.x_bits[:, qubit] = z_col
+        self.z_bits[:, qubit] = x_col
+
+    def phase(self, qubit: int) -> None:
+        x_col = self.x_bits[:, qubit]
+        z_col = self.z_bits[:, qubit]
+        self.signs ^= x_col & z_col
+        self.z_bits[:, qubit] = z_col ^ x_col
+
+    def cnot(self, control: int, target: int) -> None:
+        x_c = self.x_bits[:, control]
+        z_c = self.z_bits[:, control]
+        x_t = self.x_bits[:, target]
+        z_t = self.z_bits[:, target]
+        self.signs ^= x_c & z_t & (x_t ^ z_c ^ 1)
+        self.x_bits[:, target] = x_t ^ x_c
+        self.z_bits[:, control] = z_c ^ z_t
+
+    def x_gate(self, qubit: int) -> None:
+        self.signs ^= self.z_bits[:, qubit]
+
+    def z_gate(self, qubit: int) -> None:
+        self.signs ^= self.x_bits[:, qubit]
+
+    # ------------------------------------------------------------------
+    # Measurement storage primitives
+    # ------------------------------------------------------------------
+    def _x_column(self, qubit: int) -> np.ndarray:
+        return self.x_bits[:, qubit]
+
+    def _g_sums(self, source_row: int, target_x, target_z) -> np.ndarray:
+        """Vectorised ``sum_q g(source, target)`` over one or many target rows."""
+        x1 = self.x_bits[source_row].astype(np.int64)
+        z1 = self.z_bits[source_row].astype(np.int64)
+        x2 = np.asarray(target_x, dtype=np.int64)
+        z2 = np.asarray(target_z, dtype=np.int64)
+        g = (
+            x1 * z1 * (z2 - x2)
+            + x1 * (1 - z1) * z2 * (2 * x2 - 1)
+            + (1 - x1) * z1 * x2 * (1 - 2 * z2)
+        )
+        return g.sum(axis=-1)
+
+    def _multiply_rows_by(self, rows: np.ndarray, pivot: int) -> None:
+        g_sum = self._g_sums(pivot, self.x_bits[rows], self.z_bits[rows])
+        exponent = g_sum + 2 * (int(self.signs[pivot]) + self.signs[rows].astype(np.int64))
+        self.signs[rows] = ((exponent % 4) // 2).astype(np.uint8)
+        self.x_bits[rows] ^= self.x_bits[pivot]
+        self.z_bits[rows] ^= self.z_bits[pivot]
+
+    def _promote_pivot(self, pivot: int, qubit: int) -> None:
+        n = self.num_qubits
+        self.x_bits[pivot - n] = self.x_bits[pivot]
+        self.z_bits[pivot - n] = self.z_bits[pivot]
+        self.signs[pivot - n] = self.signs[pivot]
+        self.x_bits[pivot] = 0
+        self.z_bits[pivot] = 0
+        self.z_bits[pivot, qubit] = 1
+
+    def _deterministic_outcome(self, x_column: np.ndarray) -> int:
+        n = self.num_qubits
+        scratch_x = np.zeros(n, dtype=np.uint8)
+        scratch_z = np.zeros(n, dtype=np.uint8)
+        sign = 0
+        for destab_row in np.nonzero(x_column[:n])[0]:
+            stab_row = int(destab_row) + n
+            g_sum = int(self._g_sums(stab_row, scratch_x, scratch_z))
+            sign = ((g_sum + 2 * (int(self.signs[stab_row]) + sign)) % 4) // 2
+            scratch_x ^= self.x_bits[stab_row]
+            scratch_z ^= self.z_bits[stab_row]
+        return int(sign)
+
+
+#: Storage backends by spec mode string.
+_SIMULATOR_MODES = {
+    "packed": TableauSimulator,
+    "dense": DenseTableauSimulator,
+}
 
 
 def simulate_circuit(
-    circuit: Circuit, *, seed: int | None = None
+    circuit: Circuit, *, seed=None, mode: str = "packed"
 ) -> tuple[list[int], list[int], dict[int, int]]:
-    """Run ``circuit`` once; return (measurements, detector values, observable values)."""
-    simulator = TableauSimulator(circuit.num_qubits, seed=seed)
+    """Run ``circuit`` once; return (measurements, detector values, observable values).
+
+    ``mode`` selects the storage backend (``"packed"`` default,
+    ``"dense"`` reference); both produce identical output for equal seeds.
+    """
+    try:
+        simulator_class = _SIMULATOR_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown tableau mode {mode!r}; expected one of {sorted(_SIMULATOR_MODES)}"
+        ) from None
+    simulator = simulator_class(circuit.num_qubits, seed=seed)
     measurements = simulator.run(circuit)
     detector_values = [
         int(sum(measurements[m] for m in members) % 2)

@@ -36,7 +36,13 @@ class TestDocsLinks:
         assert len(problems) == 2
 
     def test_required_pages_exist(self):
-        for page in ("index.md", "architecture.md", "noise.md", "tutorial.md"):
+        for page in (
+            "index.md",
+            "architecture.md",
+            "noise.md",
+            "simulators.md",
+            "tutorial.md",
+        ):
             assert (REPO_ROOT / "docs" / page).exists(), page
 
     def test_mkdocs_nav_targets_exist(self):
@@ -57,6 +63,15 @@ class TestDocsMatchCode:
         reference = (REPO_ROOT / "docs" / "noise.md").read_text()
         for name in noise.available():
             assert f"`{name}" in reference, f"noise spec {name!r} missing from docs/noise.md"
+
+    def test_every_registered_sampler_spec_is_documented(self):
+        from repro.api.registries import samplers
+
+        reference = (REPO_ROOT / "docs" / "simulators.md").read_text()
+        for name in samplers.available():
+            assert f"`{name}" in reference, (
+                f"sampler spec {name!r} missing from docs/simulators.md"
+            )
 
     def test_architecture_names_every_top_level_module(self):
         """Each package under src/repro/ appears in the architecture tour."""
