@@ -37,6 +37,7 @@ from repro.noise import brisbane_noise  # noqa: E402
 from repro.circuits.circuit import Circuit, Instruction  # noqa: E402
 from repro.scheduling import google_surface_schedule, lowest_depth_schedule  # noqa: E402
 from repro.sim import build_detector_error_model, sample_detector_error_model  # noqa: E402
+from repro.io.stim_text import emit_stim_circuit, parse_stim_circuit  # noqa: E402
 from repro.sim.frames import FrameSampler, TableauSampler  # noqa: E402
 from repro.sim.tableau import simulate_circuit  # noqa: E402
 
@@ -187,6 +188,24 @@ def main() -> int:
             "packed_speedup": dense_s / packed_s,
         }
     benchmarks["tableau_packed_vs_dense"] = tableau_widths
+
+    print("timing stim text parse/emit throughput (d=5, 5 rounds) ...")
+    # The interop layer's hot path: `repro import` and the stimfile code
+    # spec both funnel through parse_stim_circuit, so a parse-throughput
+    # entry keeps text-format regressions on the same trajectory as the
+    # samplers and decoders.
+    stim_text = emit_stim_circuit(circuit_d5)
+    parsed = parse_stim_circuit(stim_text)
+    assert parsed == circuit_d5, "stim text round trip diverged"
+    parse_s = best_of(lambda: parse_stim_circuit(stim_text), repeats)
+    emit_s = best_of(lambda: emit_stim_circuit(circuit_d5), repeats)
+    benchmarks["stim_text_surface_d5_5rounds"] = {
+        "num_instructions": len(circuit_d5.instructions),
+        "num_lines": stim_text.count("\n"),
+        "parse_ms": parse_s * 1e3,
+        "emit_ms": emit_s * 1e3,
+        "parse_klines_per_s": stim_text.count("\n") / parse_s / 1e3,
+    }
 
     print("timing decoder batch throughput (d=3) ...")
     # 200 shots matches the entry every manifest since BENCH_4 records, so

@@ -1,0 +1,164 @@
+"""Regenerate the golden stim-interop corpus under tests/data/stim/.
+
+The corpus is the fixed external surface of the stim text converters
+(:mod:`repro.io.stim_text` / :mod:`repro.io.stim_dem`): every file is
+stored in the emitter's normal form, and ``digests.json`` pins sha256
+digests of each file's text, of its extracted DEM rendered as stim DEM
+text, and the basic circuit counts.  Parser or emitter regressions are
+byte-visible in the diff; the conformance tests
+(``tests/test_stim_corpus.py``) additionally check sampler agreement on
+every file.
+
+Contents:
+
+* ``memory_d3.stim`` / ``memory_d5.stim`` — full surface-code memory
+  experiments exported from the pipeline (the real workload shape:
+  schedules, per-tick noise, detectors between rounds).
+* ``repetition_d3.stim`` — the smallest full experiment (graphlike DEM,
+  exercises every decoder front end cheaply).
+* ``channel_<kind>.stim`` — one hand-built parity-check circuit per noise
+  channel kind (X_ERROR, Z_ERROR, Y_ERROR, DEPOLARIZE1, DEPOLARIZE2,
+  PAULI_CHANNEL_1, PAULI_CHANNEL_2), so each channel's parse/emit/DEM
+  path is pinned in isolation.  Z-sensitive channels sit inside an
+  H-sandwich so their Z components reach the Z-basis checks and the DEM
+  stays non-trivial.
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_stim_corpus.py [--out tests/data/stim]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from pathlib import Path
+
+from repro.api.pipeline import Pipeline
+from repro.circuits.circuit import Circuit
+from repro.io.stim_dem import emit_stim_dem
+from repro.io.stim_text import emit_stim_circuit
+from repro.sim.dem import build_detector_error_model
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "tests" / "data" / "stim"
+
+#: Pipeline-exported experiment files: name -> RunSpec field overrides.
+PIPELINE_CIRCUITS = {
+    "memory_d3": {"code": "surface:d=3", "noise": "scaled:p=0.003", "scheduler": "google"},
+    "memory_d5": {"code": "surface:d=5", "noise": "scaled:p=0.003", "scheduler": "lowest_depth"},
+    "repetition_d3": {"code": "repetition:d=3", "noise": "scaled:p=0.01"},
+}
+
+
+def _parity_skeleton(noise_hook, *, sandwich: bool = False) -> Circuit:
+    """A 3-data / 2-ancilla repetition-style experiment around one channel.
+
+    Round 1 establishes reference parities, ``noise_hook(circuit)`` injects
+    the channel under test on the data qubits, round 2 re-measures, and the
+    data readout closes the final detectors plus the logical observable.
+    With ``sandwich=True`` the noise sits between two transversal H layers,
+    turning Z components into X so Z-sensitive channels trip the checks.
+    """
+    circuit = Circuit()
+    data = (0, 1, 2)
+    ancillas = (3, 4)
+
+    def parity_round() -> list[int]:
+        circuit.reset(*ancillas)
+        circuit.tick()
+        for ancilla, (left, right) in zip(ancillas, ((0, 1), (1, 2))):
+            circuit.cx(left, ancilla)
+            circuit.cx(right, ancilla)
+        circuit.tick()
+        return circuit.measure(*ancillas)
+
+    circuit.reset(*data)
+    circuit.tick()
+    first = parity_round()
+    if sandwich:
+        circuit.h(*data)
+    noise_hook(circuit)
+    if sandwich:
+        circuit.h(*data)
+    circuit.tick()
+    second = parity_round()
+    for before, after in zip(first, second):
+        circuit.detector([before, after])
+    readout = circuit.measure(*data)
+    circuit.detector([second[0], readout[0], readout[1]])
+    circuit.detector([second[1], readout[1], readout[2]])
+    circuit.observable(0, [readout[0]])
+    return circuit
+
+
+def _channel_circuits() -> dict[str, Circuit]:
+    """One skeleton per registered noise-channel kind."""
+    p1 = (0.01, 0.005, 0.02)
+    p2 = tuple(0.001 * (k + 1) for k in range(15))
+    hooks = {
+        "x_error": (lambda c: c.x_error(0.02, 0, 1, 2), False),
+        "z_error": (lambda c: c.z_error(0.02, 0, 1, 2), True),
+        "y_error": (
+            lambda c: c.append_noise_op(
+                type("Op", (), {"name": "Y_ERROR", "qubits": (0, 1, 2), "probability": 0.02})()
+            ),
+            False,
+        ),
+        "depolarize1": (lambda c: c.depolarize1(0.03, 0, 1, 2), False),
+        "depolarize2": (lambda c: c.depolarize2(0.03, 0, 1), False),
+        "pauli_channel_1": (lambda c: c.pauli_channel_1(p1, 0, 1, 2), True),
+        "pauli_channel_2": (lambda c: c.pauli_channel_2(p2, 1, 2), True),
+    }
+    return {
+        f"channel_{kind}": _parity_skeleton(hook, sandwich=sandwich)
+        for kind, (hook, sandwich) in hooks.items()
+    }
+
+
+def build_corpus() -> dict[str, Circuit]:
+    """All corpus circuits by file stem, deterministic order."""
+    corpus = {
+        name: Pipeline(**overrides).circuit["Z"]
+        for name, overrides in PIPELINE_CIRCUITS.items()
+    }
+    corpus.update(_channel_circuits())
+    return corpus
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write every corpus file plus digests.json; prints one line per file."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(DEFAULT_OUT), help="corpus directory")
+    args = parser.parse_args(argv)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    digests: dict[str, dict] = {}
+    for name, circuit in sorted(build_corpus().items()):
+        text = emit_stim_circuit(circuit)
+        dem = build_detector_error_model(circuit)
+        (out / f"{name}.stim").write_text(text)
+        digests[f"{name}.stim"] = {
+            "circuit_sha256": _sha256(text),
+            "dem_sha256": _sha256(emit_stim_dem(dem)),
+            "num_qubits": circuit.num_qubits,
+            "num_instructions": len(circuit.instructions),
+            "num_measurements": circuit.num_measurements,
+            "num_detectors": circuit.num_detectors,
+            "num_observables": circuit.num_observables,
+            "num_mechanisms": dem.num_mechanisms,
+        }
+        print(f"{name}.stim: {digests[f'{name}.stim']['circuit_sha256'][:12]}")
+    (out / "digests.json").write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    print(f"{len(digests)} corpus files + digests.json in {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,13 @@ Subcommands::
     repro worker --server URL           lease chunks from a server over HTTP
     repro submit [spec.json] [overrides]  submit a RunSpec to a running server
     repro jobs [job_id]                 list / inspect jobs on a running server
+    repro import FILE [--dem]           validate a stim text file, show a summary
+    repro export [overrides] [--dem]    emit a spec's circuit/DEM as stim text
+
+``import``/``export`` speak stim's circuit and detector-error-model text
+formats (:mod:`repro.io`); an imported circuit file runs end to end via the
+``stimfile`` code spec (``repro run --code stimfile:PATH``), with the
+sampler axis, chunk cache and serve stack applying unchanged.
 
 ``worker``/``submit``/``jobs`` find their server via ``--server`` or the
 ``REPRO_SERVER`` environment variable (default ``http://127.0.0.1:8642``,
@@ -685,6 +692,68 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    """Parse a stim text file, print a summary, optionally re-emit it.
+
+    Parsing is the validation: a malformed or unsupported file raises
+    :class:`~repro.io.StimFormatError` (naming the file and line), which
+    :func:`main` turns into a one-line ``error:`` message and exit status 2.
+    ``--out`` writes the parsed object back out in normal form (aliases
+    canonicalised, REPEAT blocks flattened).
+    """
+    from repro.io import emit_stim_circuit, emit_stim_dem, load_stim_circuit, load_stim_dem
+
+    if args.dem:
+        dem = load_stim_dem(args.file)
+        print(
+            f"{args.file}: DEM with {dem.num_detectors} detector(s), "
+            f"{dem.num_observables} observable(s), {dem.num_mechanisms} mechanism(s)"
+        )
+        text = emit_stim_dem(dem)
+    else:
+        circuit = load_stim_circuit(args.file)
+        print(
+            f"{args.file}: {circuit.num_qubits} qubit(s), "
+            f"{len(circuit.instructions)} instruction(s), "
+            f"{circuit.num_measurements} measurement(s), "
+            f"{circuit.num_detectors} detector(s), "
+            f"{circuit.num_observables} observable(s), {circuit.num_ticks} tick(s)"
+        )
+        print(f"  run it: repro run --code stimfile:{args.file}")
+        text = emit_stim_circuit(circuit)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"normal form written to {path}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Emit a spec's generated circuit (or its DEM) as stim text.
+
+    Builds the :class:`Pipeline` exactly as ``repro run`` would and writes
+    the chosen basis artifact to ``--out``, or to stdout when no ``--out``
+    is given (for piping).  The exported circuit re-imports bit-exactly:
+    running it via ``--code stimfile:PATH`` reproduces the original run's
+    ``error_x`` (both consume the first per-basis seed stream).
+    """
+    from repro.io import emit_stim_circuit, emit_stim_dem
+
+    pipeline = Pipeline(_spec_from_args(args))
+    artifact = pipeline.dem[args.basis] if args.dem else pipeline.circuit[args.basis]
+    text = emit_stim_dem(artifact) if args.dem else emit_stim_circuit(artifact)
+    if args.out is None:
+        sys.stdout.write(text)
+        return 0
+    path = Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    kind = "DEM" if args.dem else "circuit"
+    print(f"basis-{args.basis} {kind} for {pipeline.spec.code} written to {path}")
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     """Legacy spelling of `repro experiments run` (quick budgets, same stack)."""
     from repro.experiments import available_suites
@@ -877,6 +946,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_server_flag(jobs_parser)
     jobs_parser.set_defaults(func=_cmd_jobs)
+
+    import_parser = subparsers.add_parser(
+        "import", help="validate a stim circuit/DEM text file and show a summary"
+    )
+    import_parser.add_argument("file", help="path to a stim .stim (or --dem .dem) text file")
+    import_parser.add_argument(
+        "--dem",
+        action="store_true",
+        help="parse as a detector error model instead of a circuit",
+    )
+    import_parser.add_argument(
+        "--out", default=None, help="also write the parsed object back out in normal form"
+    )
+    import_parser.set_defaults(func=_cmd_import)
+
+    export_parser = subparsers.add_parser(
+        "export", help="emit a spec's generated circuit or DEM as stim text"
+    )
+    export_parser.add_argument(
+        "spec", nargs="?", default=None, help="path to a RunSpec JSON file"
+    )
+    _add_component_flags(export_parser)
+    add_budget_flags(export_parser)
+    export_parser.add_argument(
+        "--basis", choices=("Z", "X"), default="Z", help="which basis artifact to export"
+    )
+    export_parser.add_argument(
+        "--dem",
+        action="store_true",
+        help="export the detector error model instead of the circuit",
+    )
+    export_parser.add_argument(
+        "--out", default=None, help="output file (default: stdout, for piping)"
+    )
+    export_parser.set_defaults(func=_cmd_export)
 
     tables_parser = subparsers.add_parser(
         "tables", help="regenerate the paper's tables and figures (alias of `experiments run`)"

@@ -41,7 +41,7 @@ from repro.parallel import (
     sample_and_decode,
     submit_chunks,
 )
-from repro.sim.dem import build_detector_error_model
+from repro.sim.dem import DemDecompositionError, build_detector_error_model
 from repro.sim.estimator import (
     LogicalErrorRates,
     basis_streams,
@@ -155,12 +155,38 @@ class Pipeline:
     # ------------------------------------------------------------------
     @cached_property
     def code(self):
-        """The constructed :class:`~repro.codes.base.StabilizerCode`."""
+        """The constructed :class:`~repro.codes.base.StabilizerCode`.
+
+        For ``code="stimfile:PATH"`` specs this is an
+        :class:`~repro.io.imported.ImportedCircuit` instead — the pipeline
+        then skips circuit generation (see :attr:`imported`).
+        """
         return registries.codes.build(self.spec.code)
+
+    @property
+    def imported(self):
+        """The :class:`~repro.io.imported.ImportedCircuit`, or ``None``.
+
+        Non-``None`` exactly when the code spec named an external circuit
+        file; the generation stages (noise, schedule, experiment) then
+        short-circuit and the imported circuit feeds both basis slots
+        directly (two independent replicas under the per-basis seed
+        streams — see :mod:`repro.io.imported`).
+        """
+        from repro.io.imported import ImportedCircuit
+
+        code = self.code
+        return code if isinstance(code, ImportedCircuit) else None
 
     @cached_property
     def noise(self):
-        """The :class:`~repro.noise.NoiseModel` (built with code context)."""
+        """The :class:`~repro.noise.NoiseModel` (built with code context).
+
+        ``None`` for imported circuits: their noise channels are already in
+        the instruction stream.
+        """
+        if self.imported is not None:
+            return None
         return registries.noise.build(self.spec.noise, code=self.code)
 
     @cached_property
@@ -180,6 +206,8 @@ class Pipeline:
         :class:`~repro.api.spec.RunSpec`), so the search is identical for
         every ``rounds`` value.
         """
+        if self.imported is not None:
+            return self.imported.schedule
         return registries.schedulers.build(
             self.spec.scheduler,
             code=self.code,
@@ -209,6 +237,12 @@ class Pipeline:
         ``spec.rounds`` noisy syndrome rounds are inserted between the
         logical readouts (the paper's protocol uses one).
         """
+        if self.imported is not None:
+            raise RuntimeError(
+                "imported circuits have no per-basis memory experiment: "
+                f"{self.imported.source!r} arrived fully built.  Use "
+                "pipeline.circuit / pipeline.dem / pipeline.rates directly."
+            )
         return {
             basis: build_memory_experiment(
                 self.code,
@@ -222,15 +256,33 @@ class Pipeline:
 
     @cached_property
     def circuit(self) -> dict:
-        """Per-basis noisy Clifford circuits."""
+        """Per-basis noisy Clifford circuits.
+
+        Imported circuits fill both basis slots with the same circuit (two
+        independent replicas under the two per-basis seed streams).
+        """
+        if self.imported is not None:
+            return {basis: self.imported.circuit for basis in _BASES}
         return {basis: experiment.circuit for basis, experiment in self.experiment.items()}
 
     @cached_property
     def dem(self) -> dict:
-        """Per-basis detector error models."""
-        return {
-            basis: build_detector_error_model(circuit) for basis, circuit in self.circuit.items()
-        }
+        """Per-basis detector error models.
+
+        When decomposition rejects an instruction the error names the fix:
+        circuit-level sampling (``--sampler frames``) does not go through
+        the DEM to sample, so richer circuits stay runnable.
+        """
+        try:
+            return {
+                basis: build_detector_error_model(circuit)
+                for basis, circuit in self.circuit.items()
+            }
+        except DemDecompositionError as error:
+            raise DemDecompositionError(
+                f"{error}  Circuit-level sampling handles this: rerun with "
+                "sampler='frames' (CLI: --sampler frames)."
+            ) from error
 
     @cached_property
     def sampler_factory(self):

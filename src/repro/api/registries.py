@@ -162,6 +162,20 @@ def _hyperbolic_color(variant: str = "k4"):
     return hyperbolic_color_substitute(variant)
 
 
+@register_code("stimfile", help="Circuit imported from a stim text file: stimfile:PATH")
+def _stimfile(path: str = ""):
+    # Imported lazily: the stim converters are only needed for this spec.
+    from repro.io.imported import ImportedCircuit
+    from repro.io.stim_text import load_stim_circuit
+
+    # parse_spec coerces bare tokens (a path like "7" or "1.5" would arrive
+    # as int/float); the file system wants the literal text back.
+    path = str(path)
+    if not path:
+        raise ValueError("stimfile needs a path: code='stimfile:circuits/memory.stim'")
+    return ImportedCircuit(circuit=load_stim_circuit(path), source=path)
+
+
 # ----------------------------------------------------------------------
 # Codes: legacy fixed names (kept verbatim from the old CODE_BUILDERS table
 # so every name in historical results files still resolves).

@@ -1,5 +1,41 @@
-"""Serialisation helpers (artifact-compatible QECC JSON format)."""
+"""Serialisation helpers: QECC JSON codes and stim text-format interop.
 
+Two format families live here:
+
+* :mod:`repro.io.qecc_json` — the artifact-compatible JSON encoding of
+  stabilizer codes.
+* :mod:`repro.io.stim_text` / :mod:`repro.io.stim_dem` — bidirectional
+  converters between the internal circuit IR / detector error model and
+  stim's circuit / DEM text formats, with :class:`ImportedCircuit`
+  (:mod:`repro.io.imported`) carrying imported circuits through the
+  pipeline via the ``stimfile:PATH`` code spec.
+"""
+
+from repro.io.imported import ImportedCircuit, ImportedSchedule
 from repro.io.qecc_json import code_from_dict, code_to_dict, dump_code_json, load_code_json
+from repro.io.stim_dem import emit_stim_dem, load_stim_dem, parse_stim_dem, write_stim_dem
+from repro.io.stim_text import (
+    StimFormatError,
+    emit_stim_circuit,
+    load_stim_circuit,
+    parse_stim_circuit,
+    write_stim_circuit,
+)
 
-__all__ = ["load_code_json", "dump_code_json", "code_to_dict", "code_from_dict"]
+__all__ = [
+    "load_code_json",
+    "dump_code_json",
+    "code_to_dict",
+    "code_from_dict",
+    "StimFormatError",
+    "parse_stim_circuit",
+    "emit_stim_circuit",
+    "load_stim_circuit",
+    "write_stim_circuit",
+    "parse_stim_dem",
+    "emit_stim_dem",
+    "load_stim_dem",
+    "write_stim_dem",
+    "ImportedCircuit",
+    "ImportedSchedule",
+]

@@ -1,0 +1,73 @@
+"""Imported-circuit pseudo-code: runs external stim circuits through the stack.
+
+The pipeline is organised around *generated* circuits (code -> noise ->
+schedule -> per-basis memory experiment).  An imported stim file arrives
+with all of that already baked in, so the ``stimfile:PATH`` registry entry
+returns an :class:`ImportedCircuit` instead of a
+:class:`~repro.codes.base.StabilizerCode`, and the pipeline short-circuits
+the generation stages when it sees one:
+
+* ``noise`` is ``None`` (the file's noise channels are the noise model),
+* ``schedule`` is an :class:`ImportedSchedule` carrying only what the rest
+  of the stack reads (``depth`` = the circuit's TICK count, empty
+  ``ticks()``),
+* ``circuit`` serves the same imported circuit for both basis slots — two
+  statistically independent replicas under the pipeline's two per-basis
+  seed streams, so every downstream invariant (chunk layout and cache
+  addresses, worker-count invariance, serve memoisation, adaptive
+  stopping) applies to imported circuits completely unchanged.
+
+The both-bases convention means ``error_x`` and ``error_z`` of an imported
+run are two independent estimates of the same circuit's logical error rate
+(stim files carry no basis axis).  Usefully exact corollary: exporting a
+pipeline's basis-Z circuit and re-importing it reproduces the original
+run's ``error_x`` bit for bit — both consume the first per-basis seed
+stream on an identical DEM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["ImportedCircuit", "ImportedSchedule"]
+
+
+@dataclass(frozen=True)
+class ImportedSchedule:
+    """Stand-in schedule for imported circuits.
+
+    Carries the two things the post-circuit stack reads from a schedule:
+    ``depth`` (reported in results; the imported circuit's TICK count) and
+    ``ticks()`` (empty — there is no per-stabilizer CNOT order to print).
+    """
+
+    depth: int
+
+    def ticks(self) -> dict:
+        """No synthesised CNOT order exists for an imported circuit."""
+        return {}
+
+
+@dataclass(frozen=True)
+class ImportedCircuit:
+    """A circuit loaded from an external file, posing as a registry "code".
+
+    ``Pipeline`` detects this type and skips code/noise/schedule/experiment
+    generation, running ``circuit`` directly.  ``source`` names the file it
+    came from (used in reprs and error messages).
+    """
+
+    circuit: Circuit
+    source: str
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if not self.name:
+            object.__setattr__(self, "name", f"stimfile:{self.source}")
+
+    @property
+    def schedule(self) -> ImportedSchedule:
+        """The stand-in schedule (depth = the circuit's TICK count)."""
+        return ImportedSchedule(depth=self.circuit.num_ticks)

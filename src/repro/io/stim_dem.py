@@ -1,0 +1,303 @@
+"""Stim detector-error-model text format: parser and emitter.
+
+The internal :class:`~repro.sim.dem.DetectorErrorModel` maps onto stim's DEM
+text almost one-to-one: each :class:`~repro.sim.dem.ErrorMechanism` is one
+``error(p) D... L...`` line (detectors then observables, each sorted
+ascending), and ``detector`` / ``logical_observable`` declaration lines pin
+``num_detectors`` / ``num_observables`` when they exceed the highest index
+any error references.
+
+Round-trip guarantees (pinned by the property tests):
+
+* ``parse_stim_dem(emit_stim_dem(dem)) == dem`` for every internal DEM —
+  mechanism order is preserved exactly (the parser never re-sorts or merges
+  error lines), probabilities are emitted with ``repr`` (shortest exact
+  form), and the pin lines restore detector/observable counts.
+* On the parse side, the full text grammar is accepted: ``repeat N {...}``
+  blocks (expanded), ``shift_detectors`` offsets (applied to subsequent
+  ``D`` targets, as stim defines), ``^`` decomposition separators (the
+  suggested split is dropped; targets XOR-accumulate into one mechanism),
+  comments, and coordinate arguments on ``detector``/``shift_detectors``
+  (accepted and dropped — the internal DEM carries no geometry).
+
+Degenerate inputs stay faithful: a target repeated an even number of times
+on one error line cancels (XOR), and an error line whose targets all cancel
+still contributes a mechanism with empty symptom sets, so what you parse is
+what the file says, not a cleaned-up version.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sim.dem import DetectorErrorModel, ErrorMechanism
+
+from repro.io.stim_text import StimFormatError
+
+__all__ = ["parse_stim_dem", "emit_stim_dem", "load_stim_dem", "write_stim_dem"]
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+def emit_stim_dem(dem: DetectorErrorModel) -> str:
+    """Render ``dem`` as stim DEM text, preserving stored mechanism order."""
+    lines: list[str] = []
+    max_detector = -1
+    max_observable = -1
+    for mechanism in dem.mechanisms:
+        targets = [f"D{d}" for d in sorted(mechanism.detectors)]
+        targets += [f"L{o}" for o in sorted(mechanism.observables)]
+        if mechanism.detectors:
+            max_detector = max(max_detector, max(mechanism.detectors))
+        if mechanism.observables:
+            max_observable = max(max_observable, max(mechanism.observables))
+        lines.append((f"error({repr(float(mechanism.probability))}) " + " ".join(targets)).rstrip())
+    if dem.num_detectors > max_detector + 1:
+        lines.append(f"detector D{dem.num_detectors - 1}")
+    if dem.num_observables > max_observable + 1:
+        lines.append(f"logical_observable L{dem.num_observables - 1}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def parse_stim_dem(text: str, *, source: str | None = None) -> DetectorErrorModel:
+    """Parse stim DEM text into an internal :class:`DetectorErrorModel`.
+
+    Error lines become mechanisms in file order.  ``num_detectors`` /
+    ``num_observables`` are one past the highest index referenced anywhere
+    (error targets or declaration lines), matching stim's convention.
+    ``source`` names the input in diagnostics (usually the file path).
+    """
+    state = _ParseState(source=source)
+    _parse_block(text.splitlines(), 0, state, depth=0)
+    return DetectorErrorModel(
+        num_detectors=state.max_detector + 1,
+        num_observables=state.max_observable + 1,
+        mechanisms=state.mechanisms,
+    )
+
+
+class _ParseState:
+    """Mutable parse accumulator: mechanisms, index maxima, detector offset."""
+
+    def __init__(self, source: str | None):
+        self.source = source
+        self.mechanisms: list[ErrorMechanism] = []
+        self.max_detector = -1
+        self.max_observable = -1
+        self.detector_offset = 0
+
+
+def _parse_block(lines: list[str], start: int, state: _ParseState, *, depth: int) -> int:
+    """Parse lines from ``start`` until EOF or a closing ``}``.
+
+    Returns the index of the ``}`` line (nested block) or ``len(lines)``.
+    ``repeat`` recursion re-parses the body per iteration so interleaved
+    ``shift_detectors`` offsets accumulate per-iteration, as stim defines.
+    """
+    index = start
+    while index < len(lines):
+        stripped = lines[index].split("#", 1)[0].strip()
+        line_number = index + 1
+        if not stripped:
+            index += 1
+            continue
+        if stripped == "}":
+            if depth:
+                return index
+            raise StimFormatError("unmatched '}'", line=line_number, source=state.source)
+        name, arguments, targets = _split_dem_line(stripped, line_number, state.source)
+        if name == "repeat":
+            if arguments is not None:
+                raise StimFormatError(
+                    "repeat takes no parenthesised arguments",
+                    line=line_number,
+                    source=state.source,
+                )
+            if len(targets) != 2 or targets[-1] != "{":
+                raise StimFormatError(
+                    "repeat must read: repeat N {", line=line_number, source=state.source
+                )
+            count = _parse_int(targets[0], "repeat count", line_number, state.source)
+            if count < 1:
+                raise StimFormatError(
+                    f"repeat count must be >= 1, got {count}",
+                    line=line_number,
+                    source=state.source,
+                )
+            block_end = None
+            for _ in range(count):
+                block_end = _parse_block(lines, index + 1, state, depth=depth + 1)
+                if block_end >= len(lines):
+                    raise StimFormatError(
+                        "repeat block never closed with '}'",
+                        line=line_number,
+                        source=state.source,
+                    )
+            index = block_end + 1
+            continue
+        _parse_dem_instruction(name, arguments, targets, state, line_number)
+        index += 1
+    return index
+
+
+def _parse_dem_instruction(
+    name: str,
+    arguments: list[float] | None,
+    targets: list[str],
+    state: _ParseState,
+    line: int,
+) -> None:
+    source = state.source
+    if name == "error":
+        if arguments is None or len(arguments) != 1:
+            raise StimFormatError(
+                "error needs exactly one parenthesised probability", line=line, source=source
+            )
+        probability = arguments[0]
+        if not 0.0 <= probability <= 1.0:
+            raise StimFormatError(
+                f"error probability must be in [0, 1], got {probability}",
+                line=line,
+                source=source,
+            )
+        detectors: set[int] = set()
+        observables: set[int] = set()
+        for token in targets:
+            if token == "^":
+                # Suggested decomposition separator: the split is advisory,
+                # the mechanism is the XOR of all its parts.
+                continue
+            kind, value = _parse_target(token, line, source)
+            if kind == "D":
+                value += state.detector_offset
+                detectors.symmetric_difference_update({value})
+                state.max_detector = max(state.max_detector, value)
+            else:
+                observables.symmetric_difference_update({value})
+                state.max_observable = max(state.max_observable, value)
+        state.mechanisms.append(
+            ErrorMechanism(probability, frozenset(detectors), frozenset(observables))
+        )
+        return
+    if name == "detector":
+        # Coordinate arguments are accepted and dropped.
+        for token in targets:
+            kind, value = _parse_target(token, line, source)
+            if kind != "D":
+                raise StimFormatError(
+                    f"detector declarations take D targets, got {token!r}",
+                    line=line,
+                    source=source,
+                )
+            state.max_detector = max(state.max_detector, value + state.detector_offset)
+        return
+    if name == "logical_observable":
+        if arguments is not None:
+            raise StimFormatError(
+                "logical_observable takes no parenthesised arguments",
+                line=line,
+                source=source,
+            )
+        for token in targets:
+            kind, value = _parse_target(token, line, source)
+            if kind != "L":
+                raise StimFormatError(
+                    f"logical_observable declarations take L targets, got {token!r}",
+                    line=line,
+                    source=source,
+                )
+            state.max_observable = max(state.max_observable, value)
+        return
+    if name == "shift_detectors":
+        # Coordinate arguments (parenthesised) are accepted and dropped;
+        # the single plain target is the detector-index shift.
+        if len(targets) != 1:
+            raise StimFormatError(
+                "shift_detectors needs exactly one plain-integer target",
+                line=line,
+                source=source,
+            )
+        shift = _parse_int(targets[0], "shift_detectors target", line, source)
+        if shift < 0:
+            raise StimFormatError(
+                f"shift_detectors must be >= 0, got {shift}", line=line, source=source
+            )
+        state.detector_offset += shift
+        return
+    raise StimFormatError(f"unknown DEM instruction {name!r}", line=line, source=source)
+
+
+def _split_dem_line(
+    text: str, line: int, source: str | None
+) -> tuple[str, list[float] | None, list[str]]:
+    """Split one DEM line into ``(name, paren args or None, target tokens)``."""
+    name_end = 0
+    while name_end < len(text) and (text[name_end].isalnum() or text[name_end] == "_"):
+        name_end += 1
+    name = text[:name_end].lower()
+    if not name:
+        raise StimFormatError(f"cannot parse DEM line {text!r}", line=line, source=source)
+    rest = text[name_end:].lstrip()
+    arguments: list[float] | None = None
+    if rest.startswith("("):
+        close = rest.find(")")
+        if close < 0:
+            raise StimFormatError("unterminated '(' argument list", line=line, source=source)
+        arguments = []
+        inner = rest[1:close].strip()
+        if inner:
+            for token in inner.split(","):
+                try:
+                    arguments.append(float(token.strip()))
+                except ValueError:
+                    raise StimFormatError(
+                        f"invalid numeric argument {token.strip()!r}",
+                        line=line,
+                        source=source,
+                    ) from None
+        rest = rest[close + 1 :]
+    return name, arguments, rest.split()
+
+
+def _parse_target(token: str, line: int, source: str | None) -> tuple[str, int]:
+    """Decode a ``D<k>`` or ``L<k>`` target token."""
+    kind = token[:1].upper()
+    if kind not in ("D", "L"):
+        raise StimFormatError(
+            f"expected D<k> or L<k> target, got {token!r}", line=line, source=source
+        )
+    value = _parse_int(token[1:], f"{kind} target index", line, source)
+    if value < 0:
+        raise StimFormatError(
+            f"target indices must be >= 0, got {token!r}", line=line, source=source
+        )
+    return kind, value
+
+
+def _parse_int(token: str, what: str, line: int, source: str | None) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise StimFormatError(
+            f"invalid {what} {token!r}", line=line, source=source
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def load_stim_dem(path: "str | Path") -> DetectorErrorModel:
+    """Parse the stim DEM file at ``path`` (diagnostics name the file)."""
+    path = Path(path)
+    return parse_stim_dem(path.read_text(), source=str(path))
+
+
+def write_stim_dem(dem: DetectorErrorModel, path: "str | Path") -> Path:
+    """Write ``dem`` as stim DEM text to ``path``; returns the written path."""
+    path = Path(path)
+    path.write_text(emit_stim_dem(dem))
+    return path

@@ -1,0 +1,522 @@
+"""Stim circuit text format: parser and emitter for the internal circuit IR.
+
+The supported instruction set is exactly the internal one
+(:mod:`repro.circuits.circuit`): resets and measurements in the Z/X bases,
+the ``H``/``S``/Pauli/controlled-Pauli/``SWAP`` Cliffords, every stochastic
+Pauli noise channel (including the general ``PAULI_CHANNEL_1/2``), ``TICK``,
+``DETECTOR`` and ``OBSERVABLE_INCLUDE``, plus ``REPEAT`` blocks (expanded on
+parse — the internal IR stores flat instruction lists).  ``QUBIT_COORDS`` /
+``SHIFT_COORDS`` annotations are accepted and dropped: the internal IR
+carries no geometry.
+
+Everything else in stim's instruction set (``MR``, ``MPP``, ``MY``/``RY``,
+``CORRELATED_ERROR``, heralded channels, non-Clifford gates, sweep/inverted
+targets, ...) raises :class:`StimFormatError` naming the offending line, so
+a failed import is a one-line diagnostic rather than a stack trace.
+
+Round-trip guarantees (pinned by the property tests):
+
+* ``parse_stim_circuit(emit_stim_circuit(c)) == c`` bit-for-bit for every
+  internal circuit — float probabilities are emitted with ``repr`` (shortest
+  exact form), record targets convert absolute -> relative -> absolute
+  losslessly, and instruction boundaries are one line each.
+* ``emit_stim_circuit(parse_stim_circuit(text))`` is the *normal form* of
+  ``text``: aliases canonicalise (``CNOT`` -> ``CX``), ``REPEAT`` blocks
+  flatten, multi-pair controlled gates split; parsing the normal form is a
+  fixed point.
+
+Measurement-record targets: stim detectors reference measurements
+relatively (``rec[-k]`` = k-th most recent); the internal IR stores
+absolute 0-based indices.  The parser converts as it walks (tracking the
+running measurement count, including through ``REPEAT`` expansions); the
+emitter converts back and rejects circuits whose annotations reference
+measurements that appear later in the instruction stream (inexpressible in
+stim's relative form).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuits.circuit import GATE_NAMES, NOISE_NAMES, Circuit, Instruction
+
+__all__ = [
+    "StimFormatError",
+    "parse_stim_circuit",
+    "emit_stim_circuit",
+    "load_stim_circuit",
+    "write_stim_circuit",
+]
+
+
+class StimFormatError(ValueError):
+    """A stim-format text could not be parsed / a circuit could not be emitted.
+
+    A ``ValueError`` subclass so the CLI's one-line user-error handling
+    applies.  ``line`` is the 1-based source line (``None`` for emit-side
+    errors); ``source`` is an optional file name prefixed to the message.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None, source: str | None = None):
+        self.line = line
+        self.source = source
+        prefix = ""
+        if source is not None:
+            prefix += f"{source}: "
+        if line is not None:
+            prefix += f"line {line}: "
+        super().__init__(prefix + message)
+
+
+# ----------------------------------------------------------------------
+# Instruction tables
+# ----------------------------------------------------------------------
+#: Internal gate mnemonics that emit under their own name.
+_VERBATIM_GATES = ("R", "RX", "M", "MX", "H", "S", "X", "Y", "Z", "SWAP")
+
+#: ``CPAULI`` check Pauli -> stim two-qubit gate name.
+_CPAULI_TO_STIM = {"X": "CX", "Y": "CY", "Z": "CZ"}
+
+#: stim gate name (or alias) -> (internal name, CPAULI check Pauli or None).
+_STIM_TO_INTERNAL: dict[str, tuple[str, str | None]] = {
+    name: (name, None) for name in _VERBATIM_GATES
+}
+_STIM_TO_INTERNAL.update(
+    {
+        "RZ": ("R", None),
+        "MZ": ("M", None),
+        "CX": ("CPAULI", "X"),
+        "CNOT": ("CPAULI", "X"),
+        "ZCX": ("CPAULI", "X"),
+        "CY": ("CPAULI", "Y"),
+        "ZCY": ("CPAULI", "Y"),
+        "CZ": ("CPAULI", "Z"),
+        "ZCZ": ("CPAULI", "Z"),
+    }
+)
+
+#: Noise channels shared verbatim with stim, with their paren-argument count
+#: (None = exactly one probability).
+_CHANNEL_ARITY = {
+    "X_ERROR": 1,
+    "Y_ERROR": 1,
+    "Z_ERROR": 1,
+    "DEPOLARIZE1": 1,
+    "DEPOLARIZE2": 1,
+    "PAULI_CHANNEL_1": 3,
+    "PAULI_CHANNEL_2": 15,
+}
+
+#: Annotations accepted and dropped (the internal IR has no geometry).
+_IGNORED = ("QUBIT_COORDS", "SHIFT_COORDS")
+
+#: Real stim instructions we recognise but deliberately do not support, with
+#: the reason the diagnostic should give.
+_UNSUPPORTED: dict[str, str] = {}
+for _name in ("MR", "MRZ", "MRX", "MRY"):
+    _UNSUPPORTED[_name] = "combined measure+reset is not supported; split into M then R"
+for _name in ("MY", "RY"):
+    _UNSUPPORTED[_name] = "Y-basis measurement/reset is not supported"
+_UNSUPPORTED["MPP"] = "Pauli-product measurement is not supported"
+for _name in ("CORRELATED_ERROR", "E", "ELSE_CORRELATED_ERROR"):
+    _UNSUPPORTED[_name] = "correlated error records are not supported"
+for _name in ("HERALDED_ERASE", "HERALDED_PAULI_CHANNEL_1"):
+    _UNSUPPORTED[_name] = "heralded channels are not supported"
+for _name in (
+    "C_XYZ",
+    "C_ZYX",
+    "SQRT_X",
+    "SQRT_X_DAG",
+    "SQRT_Y",
+    "SQRT_Y_DAG",
+    "S_DAG",
+    "SQRT_XX",
+    "SQRT_YY",
+    "SQRT_ZZ",
+    "ISWAP",
+    "ISWAP_DAG",
+    "XCX",
+    "XCY",
+    "XCZ",
+    "YCX",
+    "YCY",
+    "YCZ",
+    "CXSWAP",
+    "SWAPCX",
+):
+    _UNSUPPORTED[_name] = "gate outside the supported Clifford set (H, S, X/Y/Z, CX/CY/CZ, SWAP)"
+_UNSUPPORTED["H_XY"] = _UNSUPPORTED["H_YZ"] = _UNSUPPORTED["C_XYZ"]
+_UNSUPPORTED["DEPOLARIZE"] = "unknown arity; use DEPOLARIZE1 or DEPOLARIZE2"
+
+
+# ----------------------------------------------------------------------
+# Emission
+# ----------------------------------------------------------------------
+def _format_float(value: float) -> str:
+    """Shortest exact decimal form of ``value`` (``float(repr(x)) == x``)."""
+    return repr(float(value))
+
+
+def emit_stim_circuit(circuit: Circuit) -> str:
+    """Render ``circuit`` as stim circuit text (one instruction per line).
+
+    Raises :class:`StimFormatError` if a ``DETECTOR`` / ``OBSERVABLE``
+    references a measurement that has not happened yet at its position in
+    the instruction stream (stim's relative ``rec[-k]`` targets cannot
+    express forward references).
+    """
+    lines: list[str] = []
+    measurements = 0
+    for position, instruction in enumerate(circuit.instructions):
+        name = instruction.name
+        if name == "CPAULI":
+            lines.append(
+                f"{_CPAULI_TO_STIM[instruction.pauli]} "
+                + " ".join(str(q) for q in instruction.qubits)
+            )
+        elif name in _VERBATIM_GATES:
+            qubits = " ".join(str(q) for q in instruction.qubits)
+            lines.append(f"{name} {qubits}".rstrip())
+        elif name in ("PAULI_CHANNEL_1", "PAULI_CHANNEL_2"):
+            args = ", ".join(_format_float(p) for p in instruction.probabilities)
+            qubits = " ".join(str(q) for q in instruction.qubits)
+            lines.append(f"{name}({args}) {qubits}".rstrip())
+        elif name in NOISE_NAMES:
+            qubits = " ".join(str(q) for q in instruction.qubits)
+            lines.append(f"{name}({_format_float(instruction.probability)}) {qubits}".rstrip())
+        elif name == "TICK":
+            lines.append("TICK")
+        elif name in ("DETECTOR", "OBSERVABLE"):
+            records = []
+            for target in instruction.targets:
+                if target >= measurements:
+                    raise StimFormatError(
+                        f"{name} at instruction {position} references measurement "
+                        f"{target}, but only {measurements} measurement(s) precede it "
+                        "— stim rec[-k] targets cannot reference future measurements"
+                    )
+                records.append(f"rec[{target - measurements}]")
+            if name == "DETECTOR":
+                lines.append(("DETECTOR " + " ".join(records)).rstrip())
+            else:
+                lines.append(
+                    (f"OBSERVABLE_INCLUDE({instruction.index}) " + " ".join(records)).rstrip()
+                )
+        else:  # pragma: no cover - every IR name is handled above
+            raise StimFormatError(f"cannot emit instruction {name!r}")
+        if name in ("M", "MX"):
+            measurements += len(instruction.qubits)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def _parse_parens(argument_text: str, line: int, source: str | None) -> list[float]:
+    """Parse the comma-separated parenthesised argument list of one line."""
+    values: list[float] = []
+    for token in argument_text.split(","):
+        token = token.strip()
+        if not token:
+            raise StimFormatError("empty parenthesised argument", line=line, source=source)
+        try:
+            values.append(float(token))
+        except ValueError:
+            raise StimFormatError(
+                f"invalid numeric argument {token!r}", line=line, source=source
+            ) from None
+    return values
+
+
+def _split_line(
+    raw: str, line: int, source: str | None
+) -> tuple[str, list[float] | None, list[str]]:
+    """Split one instruction line into ``(NAME, paren args or None, target tokens)``."""
+    text = raw.strip()
+    name_end = 0
+    while name_end < len(text) and (text[name_end].isalnum() or text[name_end] == "_"):
+        name_end += 1
+    name = text[:name_end].upper()
+    if not name:
+        raise StimFormatError(f"cannot parse instruction {text!r}", line=line, source=source)
+    rest = text[name_end:].lstrip()
+    arguments: list[float] | None = None
+    if rest.startswith("("):
+        close = rest.find(")")
+        if close < 0:
+            raise StimFormatError("unterminated '(' argument list", line=line, source=source)
+        arguments = _parse_parens(rest[1:close], line, source)
+        rest = rest[close + 1 :]
+    targets = rest.split()
+    return name, arguments, targets
+
+
+def _qubit_targets(tokens: list[str], name: str, line: int, source: str | None) -> tuple[int, ...]:
+    """Decode plain qubit-index targets; reject stim's fancier target types."""
+    qubits: list[int] = []
+    for token in tokens:
+        if token.startswith("!"):
+            raise StimFormatError(
+                f"inverted target {token!r} is not supported", line=line, source=source
+            )
+        if token.startswith("rec["):
+            raise StimFormatError(
+                f"{name} does not accept measurement-record targets", line=line, source=source
+            )
+        if token.startswith("sweep["):
+            raise StimFormatError(
+                f"sweep target {token!r} is not supported", line=line, source=source
+            )
+        if token == "*":
+            raise StimFormatError(
+                "combined (tensor-product) targets are not supported", line=line, source=source
+            )
+        try:
+            qubit = int(token)
+        except ValueError:
+            raise StimFormatError(
+                f"invalid qubit target {token!r}", line=line, source=source
+            ) from None
+        if qubit < 0:
+            raise StimFormatError(
+                f"qubit targets must be >= 0, got {qubit}", line=line, source=source
+            )
+        qubits.append(qubit)
+    return tuple(qubits)
+
+
+def _record_targets(
+    tokens: list[str], measurements: int, name: str, line: int, source: str | None
+) -> tuple[int, ...]:
+    """Decode ``rec[-k]`` targets into absolute measurement indices."""
+    records: list[int] = []
+    for token in tokens:
+        if not (token.startswith("rec[") and token.endswith("]")):
+            raise StimFormatError(
+                f"{name} takes rec[-k] targets, got {token!r}", line=line, source=source
+            )
+        try:
+            lookback = int(token[4:-1])
+        except ValueError:
+            raise StimFormatError(
+                f"invalid record target {token!r}", line=line, source=source
+            ) from None
+        if lookback >= 0:
+            raise StimFormatError(
+                f"record lookbacks must be negative, got {token!r}", line=line, source=source
+            )
+        absolute = measurements + lookback
+        if absolute < 0:
+            raise StimFormatError(
+                f"{token} looks back past the first measurement "
+                f"(only {measurements} so far)",
+                line=line,
+                source=source,
+            )
+        records.append(absolute)
+    return tuple(records)
+
+
+def _check_no_arguments(
+    arguments: list[float] | None, name: str, line: int, source: str | None
+) -> None:
+    if arguments is not None:
+        if name in ("M", "MX", "MZ"):
+            raise StimFormatError(
+                f"noisy measurement {name}({_format_float(arguments[0])}) is not "
+                "supported; model readout noise with an explicit X_ERROR/Z_ERROR "
+                "before the measurement",
+                line=line,
+                source=source,
+            )
+        raise StimFormatError(
+            f"{name} takes no parenthesised arguments", line=line, source=source
+        )
+
+
+def parse_stim_circuit(text: str, *, source: str | None = None) -> Circuit:
+    """Parse stim circuit text into an internal :class:`Circuit`.
+
+    ``REPEAT n { ... }`` blocks (arbitrarily nested) are expanded inline;
+    relative ``rec[-k]`` targets resolve against the running measurement
+    count exactly as stim defines them, so detectors inside repeated blocks
+    land on the right absolute indices per iteration.  ``source`` names the
+    input in diagnostics (usually the file path).
+    """
+    circuit = Circuit()
+    _parse_block(text.splitlines(), 0, circuit, source, depth=0)
+    return circuit
+
+
+def _parse_block(
+    lines: list[str], start: int, circuit: Circuit, source: str | None, *, depth: int
+) -> int:
+    """Parse lines from ``start`` until EOF or a closing ``}``.
+
+    Appends instructions to ``circuit`` and returns the index of the line
+    holding the ``}`` (for a nested block) or ``len(lines)`` at top level.
+    ``REPEAT`` recursion re-parses the block body per iteration so record
+    lookbacks resolve per-iteration, matching stim semantics.
+    """
+    index = start
+    while index < len(lines):
+        raw = lines[index]
+        stripped = raw.split("#", 1)[0].strip()
+        line_number = index + 1
+        if not stripped:
+            index += 1
+            continue
+        if stripped == "}":
+            if depth:
+                return index
+            raise StimFormatError("unmatched '}'", line=line_number, source=source)
+        upper = stripped.upper()
+        if upper.startswith("REPEAT"):
+            count_text = stripped[len("REPEAT") :].strip()
+            if not count_text.endswith("{"):
+                raise StimFormatError(
+                    "REPEAT must open a '{' block on the same line",
+                    line=line_number,
+                    source=source,
+                )
+            count_text = count_text[:-1].strip()
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise StimFormatError(
+                    f"invalid REPEAT count {count_text!r}", line=line_number, source=source
+                ) from None
+            if count < 1:
+                raise StimFormatError(
+                    f"REPEAT count must be >= 1, got {count}", line=line_number, source=source
+                )
+            block_end = None
+            for _ in range(count):
+                block_end = _parse_block(lines, index + 1, circuit, source, depth=depth + 1)
+                if block_end >= len(lines):
+                    raise StimFormatError(
+                        "REPEAT block never closed with '}'", line=line_number, source=source
+                    )
+            index = block_end + 1
+            continue
+        _parse_instruction(stripped, circuit, line_number, source)
+        index += 1
+    return index
+
+
+def _parse_instruction(text: str, circuit: Circuit, line: int, source: str | None) -> None:
+    """Parse one (non-REPEAT) instruction line and append it to ``circuit``."""
+    name, arguments, target_tokens = _split_line(text, line, source)
+    if name in _IGNORED:
+        return
+    if name in _UNSUPPORTED:
+        raise StimFormatError(
+            f"unsupported instruction {name!r}: {_UNSUPPORTED[name]}", line=line, source=source
+        )
+    if name == "TICK":
+        _check_no_arguments(arguments, name, line, source)
+        if target_tokens:
+            raise StimFormatError("TICK takes no targets", line=line, source=source)
+        _append(circuit, Instruction("TICK"), line, source)
+        return
+    if name == "DETECTOR":
+        # Parenthesised detector coordinates are accepted and dropped.
+        targets = _record_targets(
+            target_tokens, circuit.num_measurements, name, line, source
+        )
+        _append(circuit, Instruction("DETECTOR", targets=targets), line, source)
+        return
+    if name == "OBSERVABLE_INCLUDE":
+        if not arguments or len(arguments) != 1 or arguments[0] != int(arguments[0]):
+            raise StimFormatError(
+                "OBSERVABLE_INCLUDE needs one integer argument (the observable index)",
+                line=line,
+                source=source,
+            )
+        observable_index = int(arguments[0])
+        if observable_index < 0:
+            raise StimFormatError(
+                f"observable indices must be >= 0, got {observable_index}",
+                line=line,
+                source=source,
+            )
+        targets = _record_targets(
+            target_tokens, circuit.num_measurements, name, line, source
+        )
+        _append(
+            circuit,
+            Instruction("OBSERVABLE", targets=targets, index=observable_index),
+            line,
+            source,
+        )
+        return
+    if name in _CHANNEL_ARITY:
+        arity = _CHANNEL_ARITY[name]
+        if arguments is None or len(arguments) != arity:
+            raise StimFormatError(
+                f"{name} needs exactly {arity} parenthesised probability"
+                f"{'s' if arity > 1 else ''}, got "
+                f"{0 if arguments is None else len(arguments)}",
+                line=line,
+                source=source,
+            )
+        qubits = _qubit_targets(target_tokens, name, line, source)
+        if name in ("PAULI_CHANNEL_1", "PAULI_CHANNEL_2"):
+            instruction = Instruction(name, qubits, probabilities=tuple(arguments))
+        else:
+            instruction = Instruction(name, qubits, probability=arguments[0])
+        _append(circuit, instruction, line, source)
+        return
+    if name in _STIM_TO_INTERNAL:
+        internal, check_pauli = _STIM_TO_INTERNAL[name]
+        _check_no_arguments(arguments, name, line, source)
+        qubits = _qubit_targets(target_tokens, name, line, source)
+        if internal == "CPAULI":
+            if len(qubits) % 2 or not qubits:
+                raise StimFormatError(
+                    f"{name} needs an even, non-zero number of qubit targets",
+                    line=line,
+                    source=source,
+                )
+            # stim packs many control/target pairs on one line; the internal
+            # CPAULI is one pair per instruction, so the line splits.
+            for control, target in zip(qubits[::2], qubits[1::2]):
+                _append(
+                    circuit,
+                    Instruction(internal, (control, target), pauli=check_pauli),
+                    line,
+                    source,
+                )
+            return
+        _append(circuit, Instruction(internal, qubits), line, source)
+        return
+    raise StimFormatError(f"unknown instruction {name!r}", line=line, source=source)
+
+
+def _append(circuit: Circuit, instruction: Instruction, line: int, source: str | None) -> None:
+    """Append through :meth:`Circuit.append` so IR validation applies."""
+    try:
+        circuit.append(instruction)
+    except ValueError as error:
+        raise StimFormatError(str(error), line=line, source=source) from None
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+def load_stim_circuit(path: "str | Path") -> Circuit:
+    """Parse the stim circuit file at ``path`` (diagnostics name the file)."""
+    path = Path(path)
+    return parse_stim_circuit(path.read_text(), source=str(path))
+
+
+def write_stim_circuit(circuit: Circuit, path: "str | Path") -> Path:
+    """Write ``circuit`` as stim text to ``path``; returns the written path."""
+    path = Path(path)
+    path.write_text(emit_stim_circuit(circuit))
+    return path
+
+
+# Re-exported for symmetry with the IR module; emitting uses the same gate
+# tables, so the supported set is discoverable in one place.
+SUPPORTED_INTERNAL_NAMES = frozenset(GATE_NAMES | NOISE_NAMES | {"TICK", "DETECTOR", "OBSERVABLE"})

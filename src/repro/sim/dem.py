@@ -20,10 +20,36 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.circuits.circuit import ONE_QUBIT_PAULIS, TWO_QUBIT_PAULIS, Circuit
+from repro.circuits.circuit import (
+    GATE_NAMES,
+    NOISE_NAMES,
+    ONE_QUBIT_PAULIS,
+    TWO_QUBIT_PAULIS,
+    Circuit,
+)
 from repro.sim.propagation import SparsePauli, propagate_fault
 
-__all__ = ["ErrorMechanism", "DetectorErrorModel", "build_detector_error_model"]
+__all__ = [
+    "DemDecompositionError",
+    "ErrorMechanism",
+    "DetectorErrorModel",
+    "build_detector_error_model",
+]
+
+#: Instruction names the first-order fault decomposition understands.  The
+#: propagation kernel silently ignores anything else, which would make a
+#: DEM built from a richer circuit silently wrong — so decomposition checks
+#: membership up front and refuses loudly instead.
+_DECOMPOSABLE_NAMES = frozenset(GATE_NAMES | NOISE_NAMES | {"TICK", "DETECTOR", "OBSERVABLE"})
+
+
+class DemDecompositionError(ValueError):
+    """A circuit instruction cannot be decomposed into DEM mechanisms.
+
+    Raised instead of building a silently incomplete model.  Circuit-level
+    samplers (``sampler="frames"``) do not require DEM decomposition for
+    sampling, so callers with richer circuits can route around this.
+    """
 
 # Canonical Pauli orders shared with the circuit IR (PAULI_CHANNEL_1/2
 # probability tuples are defined in exactly this order).
@@ -111,7 +137,9 @@ def _mechanism_paulis(instruction) -> list[tuple[float, SparsePauli]]:
             ):
                 mechanisms.append((share, _pair_pauli(first, second, letter_a, letter_b)))
     else:
-        raise ValueError(f"not a noise instruction: {name}")
+        raise DemDecompositionError(
+            f"noise instruction {name!r} has no first-order fault decomposition"
+        )
     return mechanisms
 
 
@@ -137,6 +165,13 @@ def build_detector_error_model(circuit: Circuit) -> DetectorErrorModel:
     Pauli mechanisms, propagated forward, mapped onto detector/observable
     flips and merged by symptom.
     """
+    for instruction in circuit.instructions:
+        if instruction.name not in _DECOMPOSABLE_NAMES:
+            raise DemDecompositionError(
+                f"instruction {instruction.name!r} cannot be decomposed into a "
+                "detector error model: fault propagation only understands the "
+                "stochastic-Pauli instruction set"
+            )
     detector_members = circuit.detectors()
     observable_members = circuit.observables()
     num_detectors = len(detector_members)

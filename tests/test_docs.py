@@ -41,6 +41,7 @@ class TestDocsLinks:
             "architecture.md",
             "noise.md",
             "simulators.md",
+            "interop.md",
             "tutorial.md",
         ):
             assert (REPO_ROOT / "docs" / page).exists(), page
@@ -72,6 +73,22 @@ class TestDocsMatchCode:
             assert f"`{name}" in reference, (
                 f"sampler spec {name!r} missing from docs/simulators.md"
             )
+
+    def test_interop_cli_verbs_are_documented(self):
+        """`repro import`/`repro export` must appear in README and interop.md."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        interop = (REPO_ROOT / "docs" / "interop.md").read_text()
+        for verb in ("repro import", "repro export", "stimfile:"):
+            assert verb in readme, f"{verb!r} missing from README.md"
+            assert verb in interop, f"{verb!r} missing from docs/interop.md"
+
+    def test_interop_documents_every_registered_sampler(self):
+        """The differential-testing guarantee names each sampler backend."""
+        from repro.api.registries import samplers
+
+        interop = (REPO_ROOT / "docs" / "interop.md").read_text()
+        for name in samplers.available():
+            assert f"`{name}`" in interop, f"sampler {name!r} missing from docs/interop.md"
 
     def test_architecture_names_every_top_level_module(self):
         """Each package under src/repro/ appears in the architecture tour."""

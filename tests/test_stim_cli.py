@@ -1,0 +1,184 @@
+"""CLI coverage for ``repro import`` / ``repro export``.
+
+The contract: happy paths print summaries and exit 0; malformed or
+unsupported files exit 2 with a single ``error:`` line naming the file and
+line number — never a traceback (pinned via a real subprocess).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main
+from repro.io import load_stim_circuit, load_stim_dem, parse_stim_circuit
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+CORPUS = Path(__file__).resolve().parent / "data" / "stim"
+
+
+class TestImport:
+    def test_happy_path_prints_summary(self, capsys):
+        assert main(["import", str(CORPUS / "repetition_d3.stim")]) == 0
+        out = capsys.readouterr().out
+        assert "6 qubit(s)" in out
+        assert "repro run --code stimfile:" in out
+
+    def test_import_dem(self, tmp_path, capsys):
+        path = tmp_path / "model.dem"
+        path.write_text("error(0.1) D0 L0\nerror(0.2) D0 D1\n")
+        assert main(["import", "--dem", str(path)]) == 0
+        assert "2 detector(s), 1 observable(s), 2 mechanism(s)" in capsys.readouterr().out
+
+    def test_out_writes_normal_form(self, tmp_path, capsys):
+        messy = tmp_path / "messy.stim"
+        messy.write_text("# hi\nCNOT 0 1 2 3\nREPEAT 2 {\nMZ 0\n}\n")
+        out = tmp_path / "normal.stim"
+        assert main(["import", str(messy), "--out", str(out)]) == 0
+        assert out.read_text() == "CX 0 1\nCX 2 3\nM 0\nM 0\n"
+        # The normal form is a parse fixed point.
+        assert parse_stim_circuit(out.read_text()) == load_stim_circuit(messy)
+
+    def test_malformed_file_is_one_line_error_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.stim"
+        path.write_text("H 0\nEXPLODE 1\n")
+        assert main(["import", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.count("\n") == 1
+        assert "error:" in captured.err and "line 2" in captured.err
+
+    def test_unsupported_instruction_names_line_number(self, tmp_path, capsys):
+        path = tmp_path / "unsupported.stim"
+        path.write_text("M 0\nDETECTOR rec[-1]\nMPP X0*X1\n")
+        assert main(["import", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "line 3" in err and "MPP" in err and "StimFormatError" not in err
+
+    def test_missing_file_exit_2(self, capsys):
+        assert main(["import", "/nonexistent/nothing.stim"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_traceback_in_subprocess(self, tmp_path):
+        """A real process run: stderr stays a single diagnostic line."""
+        path = tmp_path / "bad.stim"
+        path.write_text("MR 0\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.api.cli", "import", str(path)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert proc.stderr.startswith("error:")
+        assert "line 1" in proc.stderr
+
+
+class TestExport:
+    def test_export_circuit_to_file(self, tmp_path, capsys):
+        out = tmp_path / "rep.stim"
+        assert (
+            main(
+                [
+                    "export",
+                    "--code",
+                    "repetition:d=3",
+                    "--noise",
+                    "scaled:p=0.01",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "basis-Z circuit" in capsys.readouterr().out
+        circuit = load_stim_circuit(out)
+        assert circuit.num_detectors > 0 and circuit.num_observables == 1
+
+    def test_export_to_stdout_is_pure_text(self, capsys):
+        assert main(["export", "--code", "repetition:d=3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("R ") or out.startswith("RX ")
+        parse_stim_circuit(out)  # must be valid stim text, nothing else
+
+    def test_export_dem_basis_x(self, tmp_path, capsys):
+        out = tmp_path / "model.dem"
+        assert (
+            main(
+                ["export", "--code", "repetition:d=3", "--basis", "X", "--dem", "--out", str(out)]
+            )
+            == 0
+        )
+        assert "basis-X DEM" in capsys.readouterr().out
+        assert load_stim_dem(out).num_mechanisms > 0
+
+    def test_export_import_round_trip_through_files(self, tmp_path, capsys):
+        out = tmp_path / "exported.stim"
+        assert main(["export", "--code", "repetition:d=3", "--out", str(out)]) == 0
+        assert main(["import", str(out)]) == 0
+        normal = tmp_path / "normal.stim"
+        assert main(["import", str(out), "--out", str(normal)]) == 0
+        # Exported text is already normal form: re-import changes nothing.
+        assert normal.read_text() == out.read_text()
+
+    def test_bad_spec_is_one_line_error(self, capsys):
+        assert main(["export", "--code", "not_a_code"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+
+class TestStimfileRunVerb:
+    def test_run_with_stimfile_code(self, capsys):
+        path = CORPUS / "repetition_d3.stim"
+        assert main(["run", "--code", f"stimfile:{path}", "--shots", "512", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stimfile:" in out and "err_x=" in out
+
+    def test_run_with_missing_stimfile_is_one_line_error(self, capsys):
+        assert main(["run", "--code", "stimfile:/nope/gone.stim", "--shots", "16"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_with_empty_stimfile_spec_names_usage(self, capsys):
+        assert main(["run", "--code", "stimfile", "--shots", "16"]) == 2
+        assert "stimfile needs a path" in capsys.readouterr().err
+
+
+class TestDemRejectionGuidance:
+    """The DEM-decomposition bugfix: targeted error naming --sampler frames."""
+
+    def test_pipeline_dem_error_suggests_frames(self):
+        from repro.api.pipeline import Pipeline
+        from repro.circuits.circuit import Circuit, Instruction
+        from repro.sim.dem import DemDecompositionError
+
+        circuit = Circuit()
+        circuit.reset(0)
+        # A future DEM-inexpressible instruction (e.g. classical feedback),
+        # injected past append() validation.
+        circuit.instructions.append(Instruction("CFEEDBACK", (0,)))
+        circuit.measure(0)
+        circuit.detector([0])
+        pipeline = Pipeline(code="repetition:d=3", shots=16)
+        pipeline.__dict__["circuit"] = {"Z": circuit, "X": circuit}
+        with pytest.raises(DemDecompositionError, match="--sampler frames"):
+            pipeline.dem
+
+    def test_build_dem_rejects_unknown_instruction(self):
+        from repro.circuits.circuit import Circuit, Instruction
+        from repro.sim.dem import DemDecompositionError, build_detector_error_model
+
+        circuit = Circuit()
+        circuit.reset(0)
+        circuit.instructions.append(Instruction("CFEEDBACK", (0,)))
+        circuit.measure(0)
+        with pytest.raises(DemDecompositionError, match="CFEEDBACK"):
+            build_detector_error_model(circuit)
+
+    def test_decomposition_error_is_a_value_error(self):
+        """So the CLI's one-line user-error handling applies unchanged."""
+        from repro.sim.dem import DemDecompositionError
+
+        assert issubclass(DemDecompositionError, ValueError)

@@ -1,0 +1,221 @@
+"""Golden-corpus conformance: tests/data/stim/ pins the interop surface.
+
+Three layers, per the interop contract (docs/interop.md):
+
+* **Byte-level**: every corpus file is stored in the emitter's normal form
+  (parse → re-emit reproduces the file exactly) and matches the sha256 /
+  count digests in ``digests.json`` — a parser or emitter regression is
+  byte-visible in the diff.  Regenerate with
+  ``PYTHONPATH=src python scripts/make_stim_corpus.py``.
+* **Differential**: every registered sampler backend (``dem``, ``frames``,
+  ``tableau``) runs each corpus circuit through the full pipeline; their
+  logical error rates must agree within overlapping Wilson intervals.
+  Every registered decoder front end decodes an imported circuit.
+* **End-to-end**: an imported stim circuit flows through ``repro run``
+  (worker-count invariant, bit for bit) and ``repro serve`` (bit-identical
+  to offline), and a circuit exported from a pipeline re-imports to the
+  exact same ``error_x``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import wilson_interval
+from repro.api.pipeline import Pipeline
+from repro.api.registries import decoders, samplers
+from repro.api.spec import Budget, RunSpec
+from repro.io import (
+    emit_stim_circuit,
+    emit_stim_dem,
+    load_stim_circuit,
+    parse_stim_circuit,
+)
+from repro.sim.dem import build_detector_error_model
+
+CORPUS_DIR = Path(__file__).resolve().parent / "data" / "stim"
+CORPUS_FILES = sorted(path.name for path in CORPUS_DIR.glob("*.stim"))
+DIGESTS = json.loads((CORPUS_DIR / "digests.json").read_text())
+
+#: Per-shot tableau simulation is orders of magnitude slower than the
+#: batched backends, so its differential shot budget shrinks with circuit
+#: size; the Wilson windows widen to match, keeping the test sound.
+TABLEAU_SHOTS = {"memory_d3.stim": 192, "memory_d5.stim": 64}
+BATCH_SHOTS = 4096
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def test_corpus_is_present_and_covers_the_advertised_shapes():
+    assert CORPUS_FILES, "corpus missing; run scripts/make_stim_corpus.py"
+    assert set(CORPUS_FILES) == set(DIGESTS), "digests.json out of sync with *.stim files"
+    for required in (
+        "memory_d3.stim",
+        "memory_d5.stim",
+        "repetition_d3.stim",
+        # One file per registered noise-channel kind.
+        "channel_x_error.stim",
+        "channel_y_error.stim",
+        "channel_z_error.stim",
+        "channel_depolarize1.stim",
+        "channel_depolarize2.stim",
+        "channel_pauli_channel_1.stim",
+        "channel_pauli_channel_2.stim",
+    ):
+        assert required in CORPUS_FILES
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+class TestGoldenFiles:
+    def test_stored_text_is_normal_form(self, name):
+        text = (CORPUS_DIR / name).read_text()
+        assert emit_stim_circuit(parse_stim_circuit(text)) == text
+
+    def test_circuit_digest_and_counts(self, name):
+        text = (CORPUS_DIR / name).read_text()
+        pinned = DIGESTS[name]
+        assert _sha256(text) == pinned["circuit_sha256"]
+        circuit = parse_stim_circuit(text)
+        assert circuit.num_qubits == pinned["num_qubits"]
+        assert len(circuit.instructions) == pinned["num_instructions"]
+        assert circuit.num_measurements == pinned["num_measurements"]
+        assert circuit.num_detectors == pinned["num_detectors"]
+        assert circuit.num_observables == pinned["num_observables"]
+
+    def test_dem_digest(self, name):
+        """The extracted DEM (rendered as stim DEM text) is pinned too."""
+        circuit = load_stim_circuit(CORPUS_DIR / name)
+        dem = build_detector_error_model(circuit)
+        assert dem.num_mechanisms == DIGESTS[name]["num_mechanisms"]
+        assert _sha256(emit_stim_dem(dem)) == DIGESTS[name]["dem_sha256"]
+
+    def test_round_trip_identity(self, name):
+        circuit = load_stim_circuit(CORPUS_DIR / name)
+        assert parse_stim_circuit(emit_stim_circuit(circuit)) == circuit
+
+
+def _rates_for(name: str, sampler: str, shots: int):
+    spec = RunSpec(
+        code=f"stimfile:{CORPUS_DIR / name}",
+        sampler=sampler,
+        budget=Budget(shots=shots),
+        seed=11,
+    )
+    return Pipeline(spec).rates
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+def test_all_samplers_agree_within_wilson(name):
+    """frames-vs-tableau-vs-DEM differential agreement on every corpus file.
+
+    Each backend estimates the same circuit's logical error rate from its
+    own independent stream; at z=3.9 (~1e-4 per tail) the Wilson intervals
+    must pairwise overlap.  A decomposition bug (DEM), a propagation bug
+    (frames) or a tableau bug shows up as a disjoint pair.
+    """
+    observed = {}
+    for sampler in samplers.available():
+        shots = TABLEAU_SHOTS.get(name, 1024) if sampler == "tableau" else BATCH_SHOTS
+        rates = _rates_for(name, sampler, shots)
+        # error_x and error_z are two independent replicas of the imported
+        # circuit; both must agree across backends.
+        observed[sampler] = [
+            (round(rates.error_x * shots), shots),
+            (round(rates.error_z * shots), shots),
+        ]
+    names = sorted(observed)
+    for replica in (0, 1):
+        intervals = {
+            sampler: wilson_interval(*observed[sampler][replica], z=3.9) for sampler in names
+        }
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                low = max(intervals[first][0], intervals[second][0])
+                high = min(intervals[first][1], intervals[second][1])
+                assert low <= high, (
+                    f"{name}: {first} vs {second} disagree on replica {replica}: "
+                    f"{observed[first][replica]} vs {observed[second][replica]}"
+                )
+
+
+@pytest.mark.parametrize("decoder", sorted(decoders.available()))
+def test_every_decoder_front_end_decodes_an_imported_circuit(decoder):
+    rates = Pipeline(
+        code=f"stimfile:{CORPUS_DIR / 'repetition_d3.stim'}",
+        decoder=decoder,
+        shots=2048,
+        seed=5,
+    ).rates
+    assert 0.0 <= rates.error_x <= 1.0 and 0.0 <= rates.error_z <= 1.0
+    # The repetition DEM is tiny and graphlike; every decoder should beat
+    # random guessing by a wide margin at p=0.01.
+    assert rates.overall < 0.25
+
+
+def test_mwpm_matches_exact_lookup_on_graphlike_import():
+    """On a graphlike DEM, matching is exact — it must track the MLE table."""
+    kwargs = dict(
+        code=f"stimfile:{CORPUS_DIR / 'repetition_d3.stim'}", shots=4096, seed=9
+    )
+    mwpm = Pipeline(decoder="mwpm", **kwargs).rates
+    lookup = Pipeline(decoder="lookup", **kwargs).rates
+    low_m, high_m = wilson_interval(round(mwpm.error_x * 4096), 4096, z=3.9)
+    low_l, high_l = wilson_interval(round(lookup.error_x * 4096), 4096, z=3.9)
+    assert max(low_m, low_l) <= min(high_m, high_l)
+
+
+class TestEndToEnd:
+    def test_workers_invariance_bit_identical(self):
+        """Imported circuits inherit the chunk engine's worker invariance."""
+        kwargs = dict(
+            code=f"stimfile:{CORPUS_DIR / 'repetition_d3.stim'}", shots=4096, seed=3
+        )
+        serial = Pipeline(workers=1, **kwargs).rates
+        pooled = Pipeline(workers=2, **kwargs).rates
+        assert serial == pooled
+
+    def test_export_then_import_reproduces_error_x_exactly(self, tmp_path):
+        """The designed exactness hook: an exported basis-Z circuit re-runs
+        on the same seed stream and DEM, so error_x matches bit for bit."""
+        original = Pipeline(
+            code="surface:d=3", noise="scaled:p=0.003", scheduler="google",
+            shots=2048, seed=7,
+        )
+        path = tmp_path / "exported.stim"
+        path.write_text(emit_stim_circuit(original.circuit["Z"]))
+        reimported = Pipeline(code=f"stimfile:{path}", shots=2048, seed=7)
+        assert reimported.rates.error_x == original.rates.error_x
+
+    def test_served_stimfile_bit_identical_to_offline(self):
+        """An imported circuit flows through `repro serve` unchanged."""
+        from repro.serve import ServeClient, ServeConfig, serve_in_thread
+
+        spec = RunSpec(
+            code=f"stimfile:{CORPUS_DIR / 'repetition_d3.stim'}",
+            decoder="lookup",
+            budget=Budget(shots=2048),
+            seed=13,
+        )
+        offline = Pipeline(spec).run().to_dict()
+        config = ServeConfig(port=0, workers=2, poll_interval=0.05, lease_timeout=15.0)
+        with serve_in_thread(config) as server:
+            served = ServeClient(server.url).run(spec, timeout=180.0)
+        assert served == offline
+
+    def test_adaptive_mode_works_on_imported_circuits(self):
+        pipeline = Pipeline(
+            code=f"stimfile:{CORPUS_DIR / 'repetition_d3.stim'}",
+            shots=1024,
+            target_rse=0.5,
+            max_shots=8192,
+            seed=2,
+        )
+        report = pipeline.adaptive_report
+        assert report is not None
+        assert pipeline.rates.shots > 0

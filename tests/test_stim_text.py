@@ -1,0 +1,380 @@
+"""Stim text-format converters: round-trip identity, grammar, diagnostics.
+
+The central contracts (also exercised on the golden corpus in
+``test_stim_corpus.py``):
+
+* ``parse_stim_circuit(emit_stim_circuit(c)) == c`` bit-for-bit for every
+  internal circuit — pinned here property-based over random circuits at
+  widths crossing the uint64 word boundary (1/63/64/65).
+* ``emit ∘ parse`` is a normal form: parsing it again is a fixed point.
+* ``parse_stim_dem(emit_stim_dem(dem)) == dem`` with mechanism *order*
+  preserved.
+* Errors are :class:`StimFormatError` (a ValueError) naming the 1-based
+  line, so the CLI renders them as one-line diagnostics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.circuit import Circuit, Instruction
+from repro.io import (
+    StimFormatError,
+    emit_stim_circuit,
+    emit_stim_dem,
+    parse_stim_circuit,
+    parse_stim_dem,
+)
+from repro.sim.dem import DetectorErrorModel, ErrorMechanism
+
+# ----------------------------------------------------------------------
+# Random-circuit strategy
+# ----------------------------------------------------------------------
+probabilities = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+
+
+def _distinct_qubits(n: int, count_range: tuple[int, int]):
+    low, high = count_range
+    return st.lists(
+        st.integers(0, n - 1), min_size=low, max_size=min(high, n), unique=True
+    ).map(tuple)
+
+
+@st.composite
+def circuits(draw, num_qubits: int):
+    """A random valid internal circuit on ``num_qubits`` qubits."""
+    circuit = Circuit()
+    measurements = 0
+    observables_used = 0
+    for _ in range(draw(st.integers(0, 30))):
+        kind = draw(
+            st.sampled_from(
+                [
+                    "gate",
+                    "cpauli",
+                    "swap",
+                    "measure",
+                    "noise1",
+                    "noise2",
+                    "pc1",
+                    "pc2",
+                    "tick",
+                    "detector",
+                    "observable",
+                ]
+            )
+        )
+        if kind == "gate":
+            name = draw(st.sampled_from(["R", "RX", "H", "S", "X", "Y", "Z"]))
+            circuit.append(Instruction(name, draw(_distinct_qubits(num_qubits, (1, 4)))))
+        elif kind == "cpauli" and num_qubits >= 2:
+            pair = draw(_distinct_qubits(num_qubits, (2, 2)))
+            circuit.append(Instruction("CPAULI", pair, pauli=draw(st.sampled_from("XYZ"))))
+        elif kind == "swap" and num_qubits >= 2:
+            circuit.append(Instruction("SWAP", draw(_distinct_qubits(num_qubits, (2, 2)))))
+        elif kind == "measure":
+            qubits = draw(_distinct_qubits(num_qubits, (1, 4)))
+            circuit.append(Instruction(draw(st.sampled_from(["M", "MX"])), qubits))
+            measurements += len(qubits)
+        elif kind == "noise1":
+            name = draw(st.sampled_from(["X_ERROR", "Y_ERROR", "Z_ERROR", "DEPOLARIZE1"]))
+            circuit.append(
+                Instruction(
+                    name,
+                    draw(_distinct_qubits(num_qubits, (1, 3))),
+                    probability=draw(probabilities),
+                )
+            )
+        elif kind == "noise2" and num_qubits >= 2:
+            circuit.append(
+                Instruction(
+                    "DEPOLARIZE2",
+                    draw(_distinct_qubits(num_qubits, (2, 2))),
+                    probability=draw(probabilities),
+                )
+            )
+        elif kind == "pc1":
+            probs = draw(
+                st.lists(st.floats(0.0, 1 / 3, allow_nan=False), min_size=3, max_size=3)
+            )
+            circuit.append(
+                Instruction(
+                    "PAULI_CHANNEL_1",
+                    draw(_distinct_qubits(num_qubits, (1, 2))),
+                    probabilities=tuple(probs),
+                )
+            )
+        elif kind == "pc2" and num_qubits >= 2:
+            probs = draw(
+                st.lists(st.floats(0.0, 1 / 15, allow_nan=False), min_size=15, max_size=15)
+            )
+            circuit.append(
+                Instruction(
+                    "PAULI_CHANNEL_2",
+                    draw(_distinct_qubits(num_qubits, (2, 2))),
+                    probabilities=tuple(probs),
+                )
+            )
+        elif kind == "tick":
+            circuit.append(Instruction("TICK"))
+        elif kind == "detector" and measurements:
+            targets = draw(
+                st.lists(st.integers(0, measurements - 1), min_size=1, max_size=4, unique=True)
+            )
+            circuit.append(Instruction("DETECTOR", targets=tuple(targets)))
+        elif kind == "observable" and measurements:
+            targets = draw(
+                st.lists(st.integers(0, measurements - 1), min_size=1, max_size=4, unique=True)
+            )
+            circuit.append(
+                Instruction(
+                    "OBSERVABLE",
+                    targets=tuple(targets),
+                    index=draw(st.integers(0, max(0, observables_used))),
+                )
+            )
+            observables_used += 1
+    return circuit
+
+
+class TestCircuitRoundTrip:
+    # Widths straddling the packed-uint64 word boundary: regressions in how
+    # wide circuits serialise would surface exactly there.
+    @pytest.mark.parametrize("num_qubits", [1, 2, 63, 64, 65])
+    def test_parse_emit_is_identity(self, num_qubits):
+        @settings(max_examples=60, deadline=None)
+        @given(circuits(num_qubits))
+        def check(circuit):
+            assert parse_stim_circuit(emit_stim_circuit(circuit)) == circuit
+
+        check()
+
+    @pytest.mark.parametrize("num_qubits", [1, 64])
+    def test_emitted_text_is_a_fixed_point(self, num_qubits):
+        @settings(max_examples=30, deadline=None)
+        @given(circuits(num_qubits))
+        def check(circuit):
+            text = emit_stim_circuit(circuit)
+            assert emit_stim_circuit(parse_stim_circuit(text)) == text
+
+        check()
+
+    def test_probability_floats_round_trip_exactly(self):
+        circuit = Circuit()
+        circuit.x_error(0.1 + 0.2, 0)  # 0.30000000000000004
+        circuit.pauli_channel_1((1e-300, 0.1, 2 / 3), 0)
+        assert parse_stim_circuit(emit_stim_circuit(circuit)) == circuit
+
+    def test_relative_record_targets_convert_per_position(self):
+        circuit = Circuit()
+        circuit.measure(0)
+        circuit.measure(1, 2)
+        circuit.detector([0, 2])
+        circuit.measure(0)
+        circuit.detector([3])
+        text = emit_stim_circuit(circuit)
+        assert "DETECTOR rec[-3] rec[-1]" in text
+        assert text.rstrip().endswith("DETECTOR rec[-1]")
+        assert parse_stim_circuit(text) == circuit
+
+
+class TestCircuitGrammar:
+    def test_repeat_block_equals_textual_expansion(self):
+        body = "M 0\nDETECTOR rec[-1] rec[-2]\nX_ERROR(0.125) 0\n"
+        prefix = "R 0\nM 0\n"
+        repeated = parse_stim_circuit(prefix + "REPEAT 4 {\n" + body + "}\n")
+        expanded = parse_stim_circuit(prefix + body * 4)
+        assert repeated == expanded
+
+    @pytest.mark.parametrize("repeats", [1, 2, 5])
+    def test_repeat_of_random_bodies(self, repeats):
+        @settings(max_examples=20, deadline=None)
+        @given(circuits(3))
+        def check(circuit):
+            body = emit_stim_circuit(circuit)
+            block = "REPEAT %d {\n%s}\n" % (repeats, body)
+            assert parse_stim_circuit(block) == parse_stim_circuit(body * repeats)
+
+        check()
+
+    def test_nested_repeat(self):
+        text = "REPEAT 2 {\nREPEAT 3 {\nH 0\n}\nX 1\n}\n"
+        circuit = parse_stim_circuit(text)
+        assert [i.name for i in circuit.instructions] == (["H"] * 3 + ["X"]) * 2
+
+    def test_aliases_canonicalise(self):
+        text = "RZ 0\nCNOT 0 1\nMZ 0\nZCZ 0 1\n"
+        circuit = parse_stim_circuit(text)
+        assert [i.name for i in circuit.instructions] == ["R", "CPAULI", "M", "CPAULI"]
+        assert circuit.instructions[1].pauli == "X"
+        assert circuit.instructions[3].pauli == "Z"
+
+    def test_multi_pair_cx_line_splits(self):
+        circuit = parse_stim_circuit("CX 0 1 2 3 4 5\n")
+        assert len(circuit.instructions) == 3
+        assert circuit.instructions[2].qubits == (4, 5)
+
+    def test_comments_blanks_and_coords_are_dropped(self):
+        text = (
+            "# a comment\n"
+            "QUBIT_COORDS(0, 1) 0\n\n"
+            "H 0  # trailing comment\n"
+            "SHIFT_COORDS(0, 0, 1)\n"
+            "M 0\n"
+            "DETECTOR(1, 2) rec[-1]\n"
+        )
+        circuit = parse_stim_circuit(text)
+        assert [i.name for i in circuit.instructions] == ["H", "M", "DETECTOR"]
+
+    def test_case_insensitive_names(self):
+        assert parse_stim_circuit("h 0\ncx 0 1\n").instructions[0].name == "H"
+
+
+class TestCircuitDiagnostics:
+    def test_unsupported_instruction_names_line(self):
+        with pytest.raises(StimFormatError, match=r"line 3: unsupported instruction 'MPP'"):
+            parse_stim_circuit("H 0\nM 0\nMPP X0*X1\n")
+
+    def test_unknown_instruction_names_line(self):
+        with pytest.raises(StimFormatError, match=r"line 2: unknown instruction 'FROB'"):
+            parse_stim_circuit("H 0\nFROB 1\n")
+
+    def test_source_name_prefixes_message(self, tmp_path):
+        from repro.io import load_stim_circuit
+
+        path = tmp_path / "bad.stim"
+        path.write_text("MR 0\n")
+        with pytest.raises(StimFormatError, match=r"bad\.stim: line 1"):
+            load_stim_circuit(path)
+
+    def test_noisy_measurement_rejected_with_guidance(self):
+        with pytest.raises(StimFormatError, match=r"noisy measurement M\(0\.01\)"):
+            parse_stim_circuit("M(0.01) 0\n")
+
+    def test_record_lookback_past_start(self):
+        with pytest.raises(StimFormatError, match="looks back past the first measurement"):
+            parse_stim_circuit("M 0\nDETECTOR rec[-2]\n")
+
+    def test_ir_validation_wrapped_with_line(self):
+        # Circuit._check rejects the probability sum; the parser must
+        # surface that as a located StimFormatError, not a raw ValueError.
+        with pytest.raises(StimFormatError, match="line 1"):
+            parse_stim_circuit("PAULI_CHANNEL_1(0.5, 0.5, 0.5) 0\n")
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("REPEAT 2 {\nH 0\n", "never closed"),
+            ("H 0\n}\n", "unmatched"),
+            ("REPEAT 0 {\nH 0\n}\n", "count must be >= 1"),
+            ("X_ERROR 0\n", "parenthesised probability"),
+            ("H(0.1) 0\n", "no parenthesised arguments"),
+            ("DETECTOR 0\n", r"rec\[-k\] targets"),
+            ("H rec[-1]\n", "does not accept measurement-record"),
+            ("H !0\n", "inverted target"),
+            ("H sweep[0]\n", "sweep target"),
+            ("CX 0\n", "even, non-zero"),
+            ("X_ERROR(nope) 0\n", "invalid numeric argument"),
+            ("OBSERVABLE_INCLUDE rec[-1]\n", "one integer argument"),
+        ],
+    )
+    def test_malformed_inputs(self, text, match):
+        with pytest.raises(StimFormatError, match=match):
+            parse_stim_circuit(text)
+
+    def test_emit_rejects_forward_record_reference(self):
+        circuit = Circuit()
+        circuit.measure(0)
+        # Bypass append(): the IR itself tolerates forward references, but
+        # stim's relative targets cannot express them.
+        circuit.instructions.append(Instruction("DETECTOR", targets=(5,)))
+        with pytest.raises(StimFormatError, match="future measurements"):
+            emit_stim_circuit(circuit)
+
+
+# ----------------------------------------------------------------------
+# DEM text
+# ----------------------------------------------------------------------
+mechanisms = st.builds(
+    ErrorMechanism,
+    probability=probabilities,
+    detectors=st.frozensets(st.integers(0, 40), max_size=5),
+    observables=st.frozensets(st.integers(0, 4), max_size=2),
+)
+
+
+@st.composite
+def dems(draw):
+    mechanism_list = draw(st.lists(mechanisms, max_size=12))
+    max_detector = max((max(m.detectors, default=-1) for m in mechanism_list), default=-1)
+    max_observable = max((max(m.observables, default=-1) for m in mechanism_list), default=-1)
+    return DetectorErrorModel(
+        num_detectors=max_detector + 1 + draw(st.integers(0, 3)),
+        num_observables=max_observable + 1 + draw(st.integers(0, 2)),
+        mechanisms=mechanism_list,
+    )
+
+
+class TestDemRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(dems())
+    def test_parse_emit_is_identity_and_preserves_order(self, dem):
+        assert parse_stim_dem(emit_stim_dem(dem)) == dem
+
+    def test_counts_pinned_by_declaration_lines(self):
+        dem = DetectorErrorModel(num_detectors=7, num_observables=2, mechanisms=[])
+        text = emit_stim_dem(dem)
+        assert "detector D6" in text and "logical_observable L1" in text
+        assert parse_stim_dem(text) == dem
+
+    def test_order_not_canonicalised(self):
+        text = "error(0.25) D1\nerror(0.125) D0\n"
+        dem = parse_stim_dem(text)
+        assert [m.probability for m in dem.mechanisms] == [0.25, 0.125]
+        assert emit_stim_dem(dem) == text
+
+
+class TestDemGrammar:
+    def test_caret_separators_xor_accumulate(self):
+        dem = parse_stim_dem("error(0.1) D0 D1 ^ D1 D2 L0\n")
+        assert dem.mechanisms[0].detectors == frozenset({0, 2})
+        assert dem.mechanisms[0].observables == frozenset({0})
+
+    def test_repeated_targets_cancel(self):
+        dem = parse_stim_dem("error(0.1) D3 D3\n")
+        assert dem.mechanisms[0].detectors == frozenset()
+        assert dem.num_detectors == 4  # the reference still sizes the model
+
+    def test_shift_detectors_offsets_following_errors(self):
+        text = "error(0.1) D0\nshift_detectors(0, 1) 2\nerror(0.2) D0 L0\n"
+        dem = parse_stim_dem(text)
+        assert dem.mechanisms[0].detectors == frozenset({0})
+        assert dem.mechanisms[1].detectors == frozenset({2})
+        assert dem.num_detectors == 3
+
+    def test_repeat_with_shift_expands_rounds(self):
+        text = "repeat 3 {\nerror(0.1) D0 D1\nshift_detectors 1\n}\n"
+        dem = parse_stim_dem(text)
+        assert [sorted(m.detectors) for m in dem.mechanisms] == [[0, 1], [1, 2], [2, 3]]
+
+    def test_comments_and_detector_coordinates(self):
+        dem = parse_stim_dem("# dem\nerror(0.5) D0  # mech\ndetector(1, 2) D4\n")
+        assert dem.num_detectors == 5 and dem.num_mechanisms == 1
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("error(2.0) D0\n", r"in \[0, 1\]"),
+            ("error D0\n", "parenthesised probability"),
+            ("bogus(0.1) D0\n", "unknown DEM instruction"),
+            ("error(0.1) Q0\n", "expected D<k> or L<k>"),
+            ("repeat 2 {\nerror(0.1) D0\n", "never closed"),
+            ("shift_detectors -1\n", "must be >= 0"),
+            ("logical_observable D0\n", "take L targets"),
+        ],
+    )
+    def test_malformed_inputs_name_lines(self, text, match):
+        with pytest.raises(StimFormatError, match=match):
+            parse_stim_dem(text)
